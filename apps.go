@@ -1,0 +1,46 @@
+package tea
+
+import (
+	"github.com/tea-graph/tea/internal/apps"
+)
+
+// Analytics built atop the walk engine, per the paper's §5.2 "Applications
+// scope" (walk-based algorithms deploy directly on TEA's samplers).
+
+type (
+	// PPRConfig parameterizes temporal personalized PageRank estimation.
+	PPRConfig = apps.PPRConfig
+	// PPRScore is one vertex's estimated PPR mass.
+	PPRScore = apps.PPRScore
+)
+
+// Unreachable marks vertices with no time-respecting path from the source in
+// EarliestArrival results.
+const Unreachable = apps.Unreachable
+
+// TemporalPPR estimates personalized PageRank from source by temporal random
+// walks with restart, using the engine's sampler for every transition.
+// Scores sum to 1 and come back sorted by descending mass.
+func TemporalPPR(eng *Engine, source Vertex, cfg PPRConfig) ([]PPRScore, error) {
+	return apps.TemporalPPR(eng, source, cfg)
+}
+
+// EarliestArrival computes, for every vertex, the earliest time a
+// time-respecting path from src (departing strictly after startTime) can
+// arrive there; Unreachable if none exists. Exact, O(|E| log |E|).
+func EarliestArrival(g *Graph, src Vertex, startTime Time) []Time {
+	return apps.EarliestArrival(g, src, startTime)
+}
+
+// ReachableSet returns the vertices temporally reachable from src after
+// startTime, ascending, excluding src.
+func ReachableSet(g *Graph, src Vertex, startTime Time) []Vertex {
+	return apps.ReachableSet(g, src, startTime)
+}
+
+// LatestDeparture computes, per vertex, the latest edge time on which one
+// can still reach dst strictly before deadline; temporal.MinTime if dst is
+// unreachable.
+func LatestDeparture(g *Graph, dst Vertex, deadline Time) []Time {
+	return apps.LatestDeparture(g, dst, deadline)
+}

@@ -1,0 +1,175 @@
+package tea
+
+// One benchmark per evaluation artifact of the paper (Table 4 and Figures 2,
+// 9–14, plus the §5.2 sensitivity study). Each benchmark executes the same
+// experiment driver cmd/teabench uses, over a reduced profile so `go test
+// -bench=.` finishes in minutes; run `teabench all` for the full-scale
+// numbers recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"github.com/tea-graph/tea/internal/experiments"
+	"github.com/tea-graph/tea/internal/gen"
+)
+
+// benchConfig returns the benchmark-scale experiment configuration: one
+// heavy-tailed dataset per run, enough walk volume to exercise sampling.
+func benchConfig() experiments.Config {
+	cfg := experiments.Quick()
+	cfg.Profiles = []gen.Profile{{Name: "bench", Vertices: 1000, Edges: 50000, Skew: 0.8, Seed: 9}}
+	cfg.WalksPerVertex = 20
+	cfg.Length = 40
+	return cfg
+}
+
+func BenchmarkFig2SamplingCost(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4Linear(b *testing.B)      { benchTable4(b, 0) }
+func BenchmarkTable4Exponential(b *testing.B) { benchTable4(b, 1) }
+func BenchmarkTable4Node2Vec(b *testing.B)    { benchTable4(b, 2) }
+
+// benchTable4 runs the full three-system comparison; the row index selects
+// which algorithm's numbers the benchmark reports (all three always run, as
+// in the paper's methodology).
+func benchTable4(b *testing.B, row int) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rows[row]
+		b.ReportMetric(r.SpeedupGW, "speedup-vs-GW")
+		b.ReportMetric(r.SpeedupKK, "speedup-vs-KK")
+	}
+}
+
+func BenchmarkFig9Memory(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].TEA), "TEA-bytes")
+	}
+}
+
+func BenchmarkFig10OtherEngines(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParamSensitivity(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Sensitivity(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11Breakdown(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12Methods(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13aEdgeSearch(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig13aCandidateSearch(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13bHPATBuild(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig13bHPATBuild(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13cAuxIndex(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig13cAuxIndex(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13dIncremental(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig13dIncremental(cfg, []int{1, 100, 10_000, 100_000}, []int{100, 10_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the headline: speedup at the largest degree, smallest batch.
+		b.ReportMetric(rows[3].Speedup, "speedup-deg100k-batch100")
+	}
+}
+
+func BenchmarkFig13ePreprocess(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig13ePreprocess(cfg, []int{1, 2, 4, 8, 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14OutOfCore(b *testing.B) {
+	cfg := benchConfig()
+	cfg.WalksPerVertex = 4
+	cfg.Length = 10
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig14OutOfCore(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rows[0]
+		if r.TEABytes > 0 {
+			b.ReportMetric(float64(r.GWBytes)/float64(r.TEABytes), "io-ratio")
+		}
+	}
+}
+
+func BenchmarkDistScaling(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.DistScaling(cfg, []int{1, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[1].MessagesPerStep, "msgs/step-4parts")
+	}
+}

@@ -1,0 +1,240 @@
+// Command teabench regenerates the paper's evaluation artifacts (Table 4 and
+// Figures 2, 9–14 plus the §5.2 parameter sensitivity study) on the scaled
+// synthetic dataset profiles.
+//
+// Usage:
+//
+//	teabench [flags] <experiment>...
+//	teabench all                     # every experiment, in paper order
+//
+// Experiments: fig2 table4 fig9 fig10 sens fig11 fig12 fig13a fig13b fig13c
+// fig13d fig13e fig14.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/tea-graph/tea/internal/experiments"
+	"github.com/tea-graph/tea/internal/gen"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "use 10x-smaller dataset profiles")
+		threads  = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		walks    = flag.Int("walks", 0, "walks per vertex R (0 = calibrated default)")
+		length   = flag.Int("length", 80, "walk length L")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		contrast = flag.Float64("contrast", 50, "exponential weight contrast (lambda*timespan)")
+		dataset  = flag.String("dataset", "", "restrict to one dataset (growth|edit|delicious|twitter)")
+		asJSON   = flag.Bool("json", false, "emit rows as JSON instead of tables")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: teabench [flags] <experiment>...\n\nexperiments: all %s\n\nflags:\n",
+			strings.Join(names(), " "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *threads > 0 {
+		cfg.Threads = *threads
+	}
+	if *walks > 0 {
+		cfg.WalksPerVertex = *walks
+	}
+	cfg.Length = *length
+	cfg.Seed = *seed
+	cfg.Contrast = *contrast
+	if *dataset != "" {
+		var keep []gen.Profile
+		for _, p := range cfg.Profiles {
+			if strings.HasPrefix(p.Name, *dataset) {
+				keep = append(keep, p)
+			}
+		}
+		if len(keep) == 0 {
+			fatal(fmt.Errorf("unknown dataset %q", *dataset))
+		}
+		cfg.Profiles = keep
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && args[0] == "all" {
+		args = names()
+	}
+	for _, name := range args {
+		runOne(name, cfg, *asJSON)
+	}
+}
+
+func names() []string {
+	return []string{"fig2", "table4", "fig9", "fig10", "sens", "fig11", "fig12",
+		"fig13a", "fig13b", "fig13c", "fig13d", "fig13e", "fig14",
+		"ablation-degree", "ablation-trunk", "dist"}
+}
+
+func runOne(name string, cfg experiments.Config, asJSON bool) {
+	if !asJSON {
+		fmt.Printf("== %s ==\n", title(name))
+	}
+	start := time.Now()
+	var (
+		out     string
+		rowsAny any
+		err     error
+	)
+	switch name {
+	case "fig2":
+		var rows []experiments.Fig2Row
+		rows, err = experiments.Fig2(cfg)
+		out = experiments.RenderFig2(rows)
+		rowsAny = rows
+	case "table4":
+		var rows []experiments.Table4Row
+		rows, err = experiments.Table4(cfg)
+		out = experiments.RenderTable4(rows)
+		rowsAny = rows
+	case "fig9":
+		var rows []experiments.Fig9Row
+		rows, err = experiments.Fig9(cfg)
+		out = experiments.RenderFig9(rows)
+		rowsAny = rows
+	case "fig10":
+		var rows []experiments.Fig10Row
+		rows, err = experiments.Fig10(cfg)
+		out = experiments.RenderFig10(rows)
+		rowsAny = rows
+	case "sens":
+		var rows []experiments.SensRow
+		rows, err = experiments.Sensitivity(cfg)
+		out = experiments.RenderSens(rows)
+		rowsAny = rows
+	case "fig11":
+		var rows []experiments.Fig11Row
+		rows, err = experiments.Fig11(cfg)
+		out = experiments.RenderFig11(rows)
+		rowsAny = rows
+	case "fig12":
+		var rows []experiments.Fig12Row
+		rows, err = experiments.Fig12(cfg)
+		out = experiments.RenderFig12(rows)
+		rowsAny = rows
+	case "fig13a":
+		var rows []experiments.Fig13ScalingRow
+		rows, err = experiments.Fig13aCandidateSearch(cfg)
+		out = experiments.RenderFig13Scaling(rows)
+		rowsAny = rows
+	case "fig13b":
+		var rows []experiments.Fig13ScalingRow
+		rows, err = experiments.Fig13bHPATBuild(cfg)
+		out = experiments.RenderFig13Scaling(rows)
+		rowsAny = rows
+	case "fig13c":
+		var rows []experiments.Fig13ScalingRow
+		rows, err = experiments.Fig13cAuxIndex(cfg)
+		out = experiments.RenderFig13Scaling(rows)
+		rowsAny = rows
+	case "fig13d":
+		var rows []experiments.Fig13dRow
+		rows, err = experiments.Fig13dIncremental(cfg, nil, nil)
+		out = experiments.RenderFig13d(rows)
+		rowsAny = rows
+	case "fig13e":
+		var rows []experiments.Fig13eRow
+		rows, err = experiments.Fig13ePreprocess(cfg, nil)
+		out = experiments.RenderFig13e(rows)
+		rowsAny = rows
+	case "fig14":
+		var rows []experiments.Fig14Row
+		rows, err = experiments.Fig14OutOfCore(cfg)
+		out = experiments.RenderFig14(rows)
+		rowsAny = rows
+	case "ablation-degree":
+		var rows []experiments.AblationDegreeRow
+		rows, err = experiments.AblationDegreeScaling(cfg, nil)
+		out = experiments.RenderAblationDegree(rows)
+		rowsAny = rows
+	case "ablation-trunk":
+		var rows []experiments.AblationTrunkRow
+		rows, err = experiments.AblationTrunkSize(cfg, 0, nil)
+		out = experiments.RenderAblationTrunk(rows)
+		rowsAny = rows
+	case "dist":
+		var rows []experiments.DistRow
+		rows, err = experiments.DistScaling(cfg, nil)
+		out = experiments.RenderDist(rows)
+		rowsAny = rows
+	default:
+		fatal(fmt.Errorf("unknown experiment %q (want one of: all %s)", name, strings.Join(names(), " ")))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"experiment": name, "rows": rowsAny}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Print(out)
+	fmt.Printf("(%s elapsed)\n\n", time.Since(start).Round(time.Millisecond))
+}
+
+func title(name string) string {
+	switch name {
+	case "fig2":
+		return "Figure 2: average sampling cost (edges/step)"
+	case "table4":
+		return "Table 4: runtime and speedups"
+	case "fig9":
+		return "Figure 9: memory usage"
+	case "fig10":
+		return "Figure 10: TEA vs other engines"
+	case "sens":
+		return "Section 5.2: parameter sensitivity"
+	case "fig11":
+		return "Figure 11: piecewise breakdown (HPAT, auxiliary index)"
+	case "fig12":
+		return "Figure 12: sampling methods (runtime, memory)"
+	case "fig13a":
+		return "Figure 13a: candidate edge set search"
+	case "fig13b":
+		return "Figure 13b: HPAT generation"
+	case "fig13c":
+		return "Figure 13c: auxiliary index generation"
+	case "fig13d":
+		return "Figure 13d: incremental HPAT updating"
+	case "fig13e":
+		return "Figure 13e: preprocessing thread scaling"
+	case "fig14":
+		return "Figure 14: out-of-core execution"
+	case "ablation-degree":
+		return "Ablation: per-sample cost vs vertex degree (complexity table of §4.3)"
+	case "ablation-trunk":
+		return "Ablation: PAT trunk-size policy (§3.2)"
+	case "dist":
+		return "Extension: distributed-style execution (§4.4 future work)"
+	default:
+		return name
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "teabench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,34 @@
+package tea
+
+import (
+	"github.com/tea-graph/tea/internal/dist"
+)
+
+// Distributed-style execution — the §4.4 future-work direction of the paper
+// (HPAT-based sampling inside a KnightKing-like partitioned walker engine),
+// realized as in-process workers exchanging walker batches in
+// bulk-synchronous rounds.
+
+type (
+	// Cluster is a partitioned walk engine: each worker owns a vertex
+	// partition's adjacency and HPAT; walkers migrate between workers.
+	Cluster = dist.Cluster
+	// ClusterConfig sizes the cluster.
+	ClusterConfig = dist.Config
+	// ClusterRunConfig parameterizes a distributed run.
+	ClusterRunConfig = dist.RunConfig
+	// ClusterResult reports a distributed run, including cross-partition
+	// message counts (the network traffic a real deployment would pay).
+	ClusterResult = dist.Result
+)
+
+// ClusterNode2Vec configures distributed temporal node2vec: β is computed
+// locally on every worker via a replicated edge Bloom filter.
+type ClusterNode2Vec = dist.Node2VecParams
+
+// NewCluster hash-partitions g across workers and builds per-partition HPAT
+// indices. Results are bit-identical for any partition count — walker
+// randomness depends only on walk id and step.
+func NewCluster(g *Graph, weight WeightSpec, cfg ClusterConfig) (*Cluster, error) {
+	return dist.New(g, weight, cfg)
+}

@@ -1,0 +1,30 @@
+package tea
+
+import (
+	"github.com/tea-graph/tea/internal/embed"
+	"github.com/tea-graph/tea/internal/temporal"
+)
+
+// CTDNE-style embedding support: the walk corpus the engine produces is the
+// expensive half of temporal network embedding (§1 of the paper); this
+// facade closes the loop with a dependency-free SGNS trainer.
+
+type (
+	// EmbeddingConfig parameterizes skip-gram-with-negative-sampling training.
+	EmbeddingConfig = embed.Config
+	// Embedding holds trained vertex vectors.
+	Embedding = embed.Model
+	// EmbeddingNeighbor is one nearest-neighbor query result.
+	EmbeddingNeighbor = embed.Neighbor
+)
+
+// TrainEmbedding fits SGNS embeddings to the walks of a Result (run with
+// WalkConfig.KeepPaths). numVertices must cover every visited vertex —
+// usually Graph.NumVertices().
+func TrainEmbedding(res *Result, numVertices int, cfg EmbeddingConfig) (*Embedding, error) {
+	corpus := make([][]temporal.Vertex, len(res.Paths))
+	for i, p := range res.Paths {
+		corpus[i] = p.Vertices
+	}
+	return embed.Train(corpus, numVertices, cfg)
+}

@@ -1,0 +1,83 @@
+package tea_test
+
+import (
+	"fmt"
+
+	tea "github.com/tea-graph/tea"
+)
+
+// Build a temporal graph from an edge stream and run recency-biased walks.
+func ExampleNewEngine() {
+	g, err := tea.FromEdges([]tea.Edge{
+		{Src: 0, Dst: 1, Time: 1},
+		{Src: 1, Dst: 2, Time: 2},
+		{Src: 2, Dst: 0, Time: 3},
+		{Src: 0, Dst: 2, Time: 4},
+	})
+	if err != nil {
+		panic(err)
+	}
+	eng, err := tea.NewEngine(g, tea.ExponentialWalk(0.5), tea.Options{})
+	if err != nil {
+		panic(err)
+	}
+	res, err := eng.Run(tea.WalkConfig{
+		Length:        10,
+		StartVertices: []tea.Vertex{0},
+		Seed:          1,
+		KeepPaths:     true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	p := res.Paths[0]
+	fmt.Println("vertices:", p.Vertices)
+	fmt.Println("times:   ", p.Times)
+	// Output:
+	// vertices: [0 2]
+	// times:    [4]
+}
+
+// Temporal candidate sets shrink with the walker's arrival time: the Figure 1
+// commuting network from the paper.
+func ExampleGraph_CandidateCount() {
+	g := tea.CommuteGraph()
+	fmt.Println("arriving at 7 from 8 (t=0):", g.CandidateCount(7, 0), "onward connections")
+	fmt.Println("arriving at 7 from 0 (t=3):", g.CandidateCount(7, 3), "onward connections")
+	fmt.Println("arriving at 7 from 9 (t=4):", g.CandidateCount(7, 4), "onward connections")
+	// Output:
+	// arriving at 7 from 8 (t=0): 7 onward connections
+	// arriving at 7 from 0 (t=3): 4 onward connections
+	// arriving at 7 from 9 (t=4): 3 onward connections
+}
+
+// Exact temporal reachability: the paper's "only three paths" example.
+func ExampleReachableSet() {
+	g := tea.CommuteGraph()
+	fmt.Println(tea.ReachableSet(g, 9, tea.MinTime))
+	// Output:
+	// [4 5 6 7]
+}
+
+// Extract a time window with the Edges_interval primitive.
+func ExampleGraph_EdgesInterval() {
+	g := tea.CommuteGraph()
+	sub := g.EdgesInterval(3, 5)
+	fmt.Println("edges in [3,5]:", sub.NumEdges())
+	// Output:
+	// edges in [3,5]: 5
+}
+
+// Streaming ingestion: batches of strictly newer edges, walks at any point.
+func ExampleNewStream() {
+	s, err := tea.NewStream(tea.StreamConfig{Weight: tea.Exponential(1)})
+	if err != nil {
+		panic(err)
+	}
+	_ = s.AppendBatch([]tea.Edge{{Src: 0, Dst: 1, Time: 1}})
+	_ = s.AppendBatch([]tea.Edge{{Src: 1, Dst: 2, Time: 2}, {Src: 2, Dst: 3, Time: 3}})
+	verts, _ := s.WalkSeeded(0, tea.MinTime, 5, 1)
+	fmt.Println(verts)
+	// Output:
+	// [0 1 2 3]
+}

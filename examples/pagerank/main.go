@@ -1,0 +1,66 @@
+// Pagerank: temporal personalized PageRank atop the walk engine — the §5.2
+// deployment of a classic static-graph algorithm on temporal semantics. The
+// example contrasts PPR computed with time-respecting walks against the
+// exact temporal reachability set: PPR mass lands only on temporally
+// reachable vertices, something a static PPR would get wrong.
+//
+//	go run ./examples/pagerank
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tea "github.com/tea-graph/tea"
+)
+
+func main() {
+	profile := tea.DatasetProfile{Name: "citations", Vertices: 1500, Edges: 30000, Skew: 0.7, Seed: 31}
+	g, err := profile.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("citation-style network: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	eng, err := tea.NewEngine(g, tea.ExponentialWalk(profile.Lambda(10)), tea.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	source := tea.Vertex(42)
+	scores, err := tea.TemporalPPR(eng, source, tea.PPRConfig{
+		Alpha: 0.15,
+		Walks: 50000,
+		Seed:  8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ntemporal personalized PageRank from vertex %d (top 10):\n", source)
+	for i, s := range scores {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  %5d  %.4f\n", s.Vertex, s.Score)
+	}
+
+	// Cross-check against exact temporal reachability: every vertex carrying
+	// PPR mass must be reachable by a time-respecting path.
+	arrival := tea.EarliestArrival(g, source, tea.MinTime)
+	reachable := 0
+	for _, t := range arrival {
+		if t != tea.Unreachable {
+			reachable++
+		}
+	}
+	for _, s := range scores {
+		if arrival[s.Vertex] == tea.Unreachable {
+			log.Fatalf("BUG: PPR mass on temporally unreachable vertex %d", s.Vertex)
+		}
+	}
+	fmt.Printf("\n%d of %d vertices are temporally reachable from %d;\n",
+		reachable, g.NumVertices(), source)
+	fmt.Printf("all %d PPR-positive vertices are inside that set — temporal semantics preserved.\n",
+		len(scores))
+}

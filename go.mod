@@ -1,0 +1,3 @@
+module github.com/tea-graph/tea
+
+go 1.22

@@ -1,0 +1,76 @@
+package baseline
+
+import (
+	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+// CTDNE models the reference CTDNE walker of Figure 10: a straightforward
+// research implementation with no system-level optimizations. Each step it
+// materializes the candidate edge list afresh (allocation included),
+// recomputes every temporal weight, normalizes into explicit probabilities,
+// and scans the distribution — the behaviour of the published model code,
+// which favours clarity over reuse.
+type CTDNE struct {
+	g    *temporal.Graph
+	eval weightEval
+}
+
+// NewCTDNE builds the reference walker for the given graph and weight spec.
+func NewCTDNE(g *temporal.Graph, spec sampling.WeightSpec) (*CTDNE, error) {
+	ev, err := newWeightEval(g, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &CTDNE{g: g, eval: ev}, nil
+}
+
+// Name implements the engine's Sampler contract.
+func (c *CTDNE) Name() string { return "CTDNE" }
+
+// Sample implements the Sampler contract in reference style: build the
+// candidate list, build the normalized distribution, scan. Three passes and
+// two allocations per step, deliberately unoptimized.
+func (c *CTDNE) Sample(u temporal.Vertex, k int, r *xrand.Rand) (int, int64, bool) {
+	if k <= 0 {
+		return 0, 0, false
+	}
+	deg := c.g.Degree(u)
+	if deg == 0 {
+		return 0, 0, false
+	}
+	if k > deg {
+		k = deg
+	}
+	times := c.g.OutTimes(u)
+	candidates := make([]temporal.Time, k)
+	copy(candidates, times[:k])
+
+	weights := make([]float64, k)
+	total := 0.0
+	for i := range candidates {
+		weights[i] = c.eval.at(times, i)
+		total += weights[i]
+	}
+	if !(total > 0) {
+		return 0, int64(2 * k), false
+	}
+	probs := make([]float64, k)
+	for i, w := range weights {
+		probs[i] = w / total
+	}
+	x := r.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if x < acc {
+			return i, int64(4 * k), true
+		}
+	}
+	return k - 1, int64(4 * k), true
+}
+
+// MemoryBytes implements the Sampler contract: no persistent index, only
+// per-step transients.
+func (c *CTDNE) MemoryBytes() int64 { return 0 }

@@ -1,0 +1,70 @@
+package baseline
+
+import (
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+// staticITS is the sampler §4.3 prescribes for the baselines on *static*
+// temporal weights (uniform/linear): the weights do not depend on the
+// walker, so per-vertex cumulative arrays can be precomputed once and every
+// candidate prefix is sampled by an O(log D) binary search. Both GraphWalker
+// and KnightKing fall back to this strategy for the linear temporal weight
+// walk; their Table 4 gap on that algorithm is the paper's 1-node-vs-8-node
+// hardware difference, not an algorithmic one.
+type staticITS struct {
+	g   *temporal.Graph
+	cum []float64
+	off []int64
+}
+
+func newStaticITS(g *temporal.Graph, ev weightEval) *staticITS {
+	numV := g.NumVertices()
+	off := make([]int64, numV+1)
+	for u := 0; u < numV; u++ {
+		off[u+1] = off[u] + int64(g.Degree(temporal.Vertex(u))) + 1
+	}
+	cum := make([]float64, off[numV])
+	for u := 0; u < numV; u++ {
+		times := g.OutTimes(temporal.Vertex(u))
+		base := off[u]
+		sum := 0.0
+		cum[base] = 0
+		for i := range times {
+			sum += ev.at(times, i)
+			cum[base+int64(i)+1] = sum
+		}
+	}
+	return &staticITS{g: g, cum: cum, off: off}
+}
+
+func (s *staticITS) sample(u temporal.Vertex, k int, r *xrand.Rand) (int, int64, bool) {
+	deg := s.g.Degree(u)
+	if k <= 0 || deg == 0 {
+		return 0, 0, false
+	}
+	if k > deg {
+		k = deg
+	}
+	cum := s.cum[s.off[u] : s.off[u]+int64(deg)+1]
+	if !(cum[k] > 0) {
+		return 0, 0, false
+	}
+	x := r.Range(cum[k])
+	lo, hi := 0, k-1
+	var eval int64
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		eval++
+		if cum[mid+1] > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, eval + 1, true
+}
+
+func (s *staticITS) memoryBytes() int64 {
+	return int64(len(s.cum))*8 + int64(len(s.off))*8
+}

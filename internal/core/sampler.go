@@ -1,0 +1,99 @@
+package core
+
+import (
+	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+// Sampler draws one edge from the k newest out-edges of a vertex with
+// probability proportional to the application's edge weights. It is the
+// pluggable heart of the engine: HPAT, PAT, plain ITS, the per-candidate-set
+// alias method, and the GraphWalker/KnightKing baseline strategies all
+// implement it, so every experiment runs the identical walk loop.
+//
+// evaluated counts edges/array slots examined during the draw — the Figure 2
+// "average sampling cost" metric. Implementations must be safe for concurrent
+// use by multiple goroutines each holding its own *xrand.Rand.
+type Sampler interface {
+	// Name identifies the sampler in experiment output.
+	Name() string
+	// Sample draws an edge index in [0, k) of vertex u. ok is false when the
+	// candidate prefix is empty or carries no weight.
+	Sample(u temporal.Vertex, k int, r *xrand.Rand) (edgeIdx int, evaluated int64, ok bool)
+	// MemoryBytes reports the sampler's index footprint (Figures 9, 12b).
+	MemoryBytes() int64
+}
+
+// ITSSampler samples candidate prefixes by inverse transform sampling over
+// per-vertex per-edge prefix sums: O(log D) per draw and O(D) space. §5.4
+// notes ITS slots directly into TEA because the newest-first edge order
+// matches the prefix-sum layout; it is the "ITS" row of Figure 12.
+type ITSSampler struct {
+	g   *temporal.Graph
+	w   *sampling.GraphWeights
+	cum []float64
+	off []int64
+}
+
+// NewITSSampler builds per-vertex cumulative arrays for the weighted graph.
+func NewITSSampler(w *sampling.GraphWeights) *ITSSampler {
+	g := w.Graph()
+	numV := g.NumVertices()
+	off := make([]int64, numV+1)
+	for u := 0; u < numV; u++ {
+		off[u+1] = off[u] + int64(g.Degree(temporal.Vertex(u))) + 1
+	}
+	cum := make([]float64, off[numV])
+	for u := 0; u < numV; u++ {
+		ws := w.Vertex(temporal.Vertex(u))
+		sum := 0.0
+		base := off[u]
+		cum[base] = 0
+		for i, x := range ws {
+			sum += x
+			cum[base+int64(i)+1] = sum
+		}
+	}
+	return &ITSSampler{g: g, w: w, cum: cum, off: off}
+}
+
+// Name implements Sampler.
+func (s *ITSSampler) Name() string { return "ITS" }
+
+// Sample implements Sampler via binary search over the cumulative array.
+func (s *ITSSampler) Sample(u temporal.Vertex, k int, r *xrand.Rand) (int, int64, bool) {
+	if k <= 0 {
+		return 0, 0, false
+	}
+	deg := s.g.Degree(u)
+	if deg == 0 {
+		return 0, 0, false
+	}
+	if k > deg {
+		k = deg
+	}
+	cum := s.cum[s.off[u] : s.off[u]+int64(deg)+1]
+	total := cum[k]
+	if !(total > 0) {
+		return 0, 0, false
+	}
+	x := r.Range(total)
+	lo, hi := 0, k-1
+	var eval int64
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		eval++
+		if cum[mid+1] > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, eval + 1, true
+}
+
+// MemoryBytes implements Sampler: the cumulative arrays plus shared weights.
+func (s *ITSSampler) MemoryBytes() int64 {
+	return int64(len(s.cum))*8 + int64(len(s.off))*8 + s.w.MemoryBytes()
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/tea-graph/tea/internal/stats"
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+// betaTrialCap bounds the Dynamic_parameter rejection loop so a pathological
+// parameter function cannot stall a walker; with the paper's p=0.5, q=2 the
+// acceptance probability per trial is ≥ 1/4 and the cap is unreachable in
+// practice. Hitting the cap force-accepts the last proposal.
+const betaTrialCap = 4096
+
+// WalkConfig parameterizes a walk run: R walks of length L per start vertex,
+// mirroring the paper's evaluation setup (R=1, L=80 for Table 4).
+type WalkConfig struct {
+	// WalksPerVertex is R; default 1.
+	WalksPerVertex int
+	// Length is the maximum number of steps L; default 80.
+	Length int
+	// StartTime is the arrival time of the virtual edge that drops the walker
+	// on its start vertex; default MinTime (every out-edge is a candidate).
+	StartTime temporal.Time
+	// StartVertices restricts the walk sources; nil walks from every vertex.
+	StartVertices []temporal.Vertex
+	// Threads for parallel walking; <1 means GOMAXPROCS.
+	Threads int
+	// Seed makes runs reproducible; walker i uses stream Split(i).
+	Seed uint64
+	// KeepPaths stores the sampled paths in the result (memory-heavy on big
+	// runs; experiments leave it off, examples turn it on).
+	KeepPaths bool
+	// Visitor, if non-nil, is invoked for every step as it is sampled —
+	// walker-centric stream processing without storing paths. Walkers run in
+	// parallel, so the callback MUST be safe for concurrent use; walkID
+	// identifies the walk (source-major order), step counts from 0.
+	Visitor func(walkID, step int, from, to temporal.Vertex, at temporal.Time)
+}
+
+func (c *WalkConfig) normalize(numVertices int) {
+	if c.WalksPerVertex <= 0 {
+		c.WalksPerVertex = 1
+	}
+	if c.Length <= 0 {
+		c.Length = 80
+	}
+	if c.StartTime == 0 {
+		c.StartTime = temporal.MinTime
+	}
+}
+
+// Path is one sampled temporal walk: the visited vertices and the timestamps
+// of the traversed edges (len(Times) == len(Vertices)-1). The timestamps are
+// strictly increasing — the defining property of a temporal path (§2.1).
+type Path struct {
+	Vertices []temporal.Vertex
+	Times    []temporal.Time
+}
+
+// Result aggregates a walk run.
+type Result struct {
+	Cost     stats.Cost
+	Duration time.Duration
+	// Lengths histograms the realized walk lengths (steps per walk).
+	Lengths *stats.Histogram
+	// Paths holds the sampled walks when WalkConfig.KeepPaths is set, in
+	// deterministic (source-major) order.
+	Paths []Path
+}
+
+// Run executes the configured walks in parallel and returns the merged
+// result. It is safe to call Run concurrently on one engine.
+func (e *Engine) Run(cfg WalkConfig) (*Result, error) {
+	cfg.normalize(e.g.NumVertices())
+	threads := cfg.Threads
+	if threads < 1 {
+		threads = defaultThreads()
+	}
+	sources := cfg.StartVertices
+	if sources == nil {
+		sources = make([]temporal.Vertex, e.g.NumVertices())
+		for i := range sources {
+			sources[i] = temporal.Vertex(i)
+		}
+	} else {
+		for _, s := range sources {
+			if int(s) >= e.g.NumVertices() {
+				return nil, fmt.Errorf("core: start vertex %d outside graph with %d vertices", s, e.g.NumVertices())
+			}
+		}
+	}
+	totalWalks := len(sources) * cfg.WalksPerVertex
+
+	root := xrand.New(cfg.Seed)
+	result := &Result{Lengths: stats.NewHistogram(cfg.Length + 1)}
+	if cfg.KeepPaths {
+		result.Paths = make([]Path, totalWalks)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	results := make([]walkerState, threads)
+	chunk := (totalWalks + threads - 1) / threads
+	if chunk == 0 {
+		chunk = 1
+	}
+	for w := 0; w < threads; w++ {
+		lo := w * chunk
+		if lo >= totalWalks {
+			break
+		}
+		hi := lo + chunk
+		if hi > totalWalks {
+			hi = totalWalks
+		}
+		wg.Add(1)
+		go func(worker, lo, hi int) {
+			defer wg.Done()
+			st := &results[worker]
+			st.lengths = stats.NewHistogram(cfg.Length + 1)
+			for wi := lo; wi < hi; wi++ {
+				src := sources[wi/cfg.WalksPerVertex]
+				r := root.Split(uint64(wi))
+				p := e.walkOne(wi, src, cfg, r, st)
+				if cfg.KeepPaths {
+					result.Paths[wi] = p
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for i := range results {
+		if results[i].lengths == nil {
+			continue
+		}
+		result.Cost.Add(results[i].cost)
+		result.Lengths.Merge(results[i].lengths)
+	}
+	result.Duration = time.Since(start)
+	return result, nil
+}
+
+type walkerState struct {
+	cost    stats.Cost
+	lengths *stats.Histogram
+	_       [32]byte // pad against false sharing between workers
+}
+
+// walkOne runs a single temporal walk from src, implementing the main loop of
+// Algorithm 2: sample an edge from the candidate set via the engine's
+// sampler, apply the Dynamic_parameter rejection test, advance.
+func (e *Engine) walkOne(walkID int, src temporal.Vertex, cfg WalkConfig, r *xrand.Rand, st *walkerState) Path {
+	var p Path
+	if cfg.KeepPaths {
+		p.Vertices = make([]temporal.Vertex, 1, cfg.Length+1)
+		p.Vertices[0] = src
+		p.Times = make([]temporal.Time, 0, cfg.Length)
+	}
+	st.cost.WalksStarted++
+
+	u := src
+	k := e.g.CandidateCount(u, cfg.StartTime)
+	var prev temporal.Vertex
+	hasPrev := false
+	steps := 0
+	for steps < cfg.Length {
+		if k == 0 {
+			break
+		}
+		var (
+			edgeIdx int
+			dst     temporal.Vertex
+			at      temporal.Time
+			ok      bool
+		)
+		accepted := false
+		for trial := 0; trial < betaTrialCap; trial++ {
+			var ev int64
+			edgeIdx, ev, ok = e.sampler.Sample(u, k, r)
+			st.cost.EdgesEvaluated += ev
+			if !ok {
+				break
+			}
+			dst, at = e.g.EdgeAt(u, edgeIdx)
+			if e.app.Parameter == nil || !hasPrev {
+				accepted = true
+				break
+			}
+			st.cost.Trials++
+			if r.Range(e.app.MaxParameter) <= e.app.Parameter(e.g, prev, dst) {
+				accepted = true
+				break
+			}
+			st.cost.Rejected++
+		}
+		if !ok {
+			break // zero-weight candidate prefix: dead end
+		}
+		if !accepted {
+			// Trial cap reached; force-accept the last proposal to
+			// guarantee progress (documented deviation, unreachable with
+			// the paper's parameters).
+			accepted = true
+		}
+		st.cost.Steps++
+		if cfg.KeepPaths {
+			p.Vertices = append(p.Vertices, dst)
+			p.Times = append(p.Times, at)
+		}
+		if cfg.Visitor != nil {
+			cfg.Visitor(walkID, steps, u, dst, at)
+		}
+		// O(1) candidate lookup for the next step (§4.2) when the
+		// precomputed table exists, binary search otherwise.
+		k = e.g.CandidateCountAfterEdge(u, edgeIdx)
+		prev, hasPrev = u, true
+		u = dst
+		steps++
+	}
+	st.lengths.Observe(steps)
+	if steps == cfg.Length {
+		st.cost.WalksCompleted++
+	} else {
+		st.cost.WalksDeadEnded++
+	}
+	return p
+}

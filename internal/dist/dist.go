@@ -1,0 +1,380 @@
+// Package dist implements the distributed-execution direction §4.4 of the
+// paper sketches as future work: "replacing the rejection sampling of
+// KnightKing by our PAT or HPAT in order to support distributed execution".
+//
+// The vertex space is hash-partitioned across workers. Each worker holds the
+// out-edges and the HPAT index of its own vertices only, and walkers migrate
+// between workers in bulk-synchronous rounds, exactly the walker-centric
+// message model of KnightKing — but every sampling step uses the local HPAT
+// instead of rejection, so one message per step suffices (rejection would
+// need a round trip per trial).
+//
+// Workers are goroutines within one process (this repository's substitute
+// for a multi-node cluster; see DESIGN.md): the partitioning, message
+// volume, and round structure are exactly what a networked deployment would
+// see, which is what the tests and metrics verify.
+package dist
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/tea-graph/tea/internal/hpat"
+	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/stats"
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+// Config parameterizes a simulated cluster.
+type Config struct {
+	// Partitions is the worker count; vertices are assigned by id modulo
+	// Partitions. Must be ≥ 1.
+	Partitions int
+	// Threads bounds index-construction parallelism per partition.
+	Threads int
+	// Node2Vec, if non-nil, runs temporal node2vec: the β ∈ {1/p, 1, 1/q}
+	// dynamic parameter is applied by rejection at each step, with the
+	// neighbor test answered by a replicated edge Bloom filter (see
+	// edgeBloom) because the previous vertex's adjacency may live on another
+	// worker.
+	Node2Vec *Node2VecParams
+}
+
+// Node2VecParams configures distributed temporal node2vec.
+type Node2VecParams struct {
+	// P and Q are node2vec's return and in-out parameters (must be > 0).
+	P, Q float64
+	// BloomBitsPerEdge sizes the replicated membership filter; 0 selects 16
+	// (false-positive probability ≈ 4e-4, which can only upgrade a distant
+	// candidate's β from 1/q to 1).
+	BloomBitsPerEdge int
+}
+
+// walker is one in-flight walk's migrating state. The rng stream is derived
+// from the walk id alone, so results are independent of the partitioning —
+// the key determinism property the tests rely on.
+type walker struct {
+	id      uint64
+	current temporal.Vertex
+	arrival temporal.Time
+	steps   int32 // steps taken so far
+	prev    temporal.Vertex
+	hasPrev bool
+}
+
+// partition is one simulated worker: the subgraph of its owned vertices'
+// out-edges plus their HPAT.
+type partition struct {
+	g   *temporal.Graph // full vertex space, owned out-edges only
+	idx *hpat.Index
+}
+
+// Cluster is a set of partitions executing temporal walks cooperatively.
+type Cluster struct {
+	parts []*partition
+	numV  int
+	spec  sampling.WeightSpec
+	n2v   *Node2VecParams
+	bloom *edgeBloom // replicated neighbor membership for node2vec's β
+}
+
+// New partitions the graph and builds each worker's HPAT over its own
+// vertices' adjacency.
+func New(g *temporal.Graph, spec sampling.WeightSpec, cfg Config) (*Cluster, error) {
+	if cfg.Partitions < 1 {
+		return nil, fmt.Errorf("dist: need at least one partition, got %d", cfg.Partitions)
+	}
+	if spec.Custom != nil {
+		return nil, fmt.Errorf("dist: custom weight functions are not supported in distributed mode")
+	}
+	threads := cfg.Threads
+	if threads < 1 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	numV := g.NumVertices()
+	c := &Cluster{numV: numV, spec: spec}
+	if cfg.Node2Vec != nil {
+		if cfg.Node2Vec.P <= 0 || cfg.Node2Vec.Q <= 0 {
+			return nil, fmt.Errorf("dist: node2vec parameters must be positive")
+		}
+		n2v := *cfg.Node2Vec
+		c.n2v = &n2v
+		c.bloom = newEdgeBloom(g.NumEdges(), n2v.BloomBitsPerEdge)
+		for _, e := range g.Edges(nil) {
+			c.bloom.add(e.Src, e.Dst)
+		}
+	}
+
+	// Linear-time weights reference the graph's minimum timestamp; anchor it
+	// globally so every partition computes identical per-vertex
+	// distributions regardless of its local time range.
+	if spec.Kind == sampling.WeightLinearTime {
+		globalMin, _ := g.TimeRange()
+		spec = sampling.WeightSpec{Custom: func(t temporal.Time) float64 {
+			return float64(t-globalMin) + 1
+		}}
+		c.spec = spec
+	}
+
+	// Split the edge stream by owner of the source vertex.
+	perPart := make([][]temporal.Edge, cfg.Partitions)
+	all := g.Edges(nil)
+	for _, e := range all {
+		p := int(e.Src) % cfg.Partitions
+		perPart[p] = append(perPart[p], e)
+	}
+	for pid := 0; pid < cfg.Partitions; pid++ {
+		sub, err := temporal.FromEdges(perPart[pid], temporal.WithNumVertices(numV))
+		if err != nil && len(perPart[pid]) != 0 {
+			return nil, fmt.Errorf("dist: building partition %d: %w", pid, err)
+		}
+		if sub == nil {
+			sub, _ = temporal.FromEdges(nil, temporal.WithNumVertices(numV))
+		}
+		sub.PrecomputeCandidates(threads)
+		w, err := sampling.BuildGraphWeights(sub, spec, threads)
+		if err != nil {
+			return nil, fmt.Errorf("dist: weights for partition %d: %w", pid, err)
+		}
+		c.parts = append(c.parts, &partition{
+			g:   sub,
+			idx: hpat.Build(w, hpat.Config{Threads: threads}),
+		})
+	}
+	return c, nil
+}
+
+// Partitions returns the worker count.
+func (c *Cluster) Partitions() int { return len(c.parts) }
+
+// owner returns the partition owning vertex u.
+func (c *Cluster) owner(u temporal.Vertex) int { return int(u) % len(c.parts) }
+
+// MemoryBytes reports the summed per-partition index footprint, counting
+// the replicated Bloom filter once per partition (each worker holds a copy).
+func (c *Cluster) MemoryBytes() int64 {
+	total := int64(0)
+	for _, p := range c.parts {
+		total += p.idx.MemoryBytes() + p.g.MemoryBytes()
+		if c.bloom != nil {
+			total += c.bloom.memoryBytes()
+		}
+	}
+	return total
+}
+
+// RunConfig parameterizes a distributed walk run.
+type RunConfig struct {
+	// WalksPerVertex is R; default 1. Length is L; default 80.
+	WalksPerVertex int
+	Length         int
+	// Seed drives every walker's stream.
+	Seed uint64
+	// KeepPaths stores full walks in the result.
+	KeepPaths bool
+}
+
+// Result aggregates a distributed run.
+type Result struct {
+	Cost     stats.Cost
+	Duration time.Duration
+	// Rounds is the number of bulk-synchronous supersteps executed.
+	Rounds int
+	// Messages is the number of walker migrations that crossed a partition
+	// boundary — the network traffic a real deployment would pay.
+	Messages int64
+	// LocalMoves counts migrations that stayed on-worker.
+	LocalMoves int64
+	// Paths holds completed walks when KeepPaths is set, indexed by walk id.
+	Paths [][]temporal.Vertex
+}
+
+// Run executes R walks of length L from every vertex across the cluster in
+// bulk-synchronous rounds: each round, every partition advances the walkers
+// currently resident on it by one step and emits them to their next owner.
+func (c *Cluster) Run(cfg RunConfig) (*Result, error) {
+	if cfg.WalksPerVertex <= 0 {
+		cfg.WalksPerVertex = 1
+	}
+	if cfg.Length <= 0 {
+		cfg.Length = 80
+	}
+	start := time.Now()
+	numParts := len(c.parts)
+	totalWalks := c.numV * cfg.WalksPerVertex
+
+	res := &Result{}
+	if cfg.KeepPaths {
+		res.Paths = make([][]temporal.Vertex, totalWalks)
+	}
+
+	// Seed every walker at its source's owner.
+	inboxes := make([][]walker, numParts)
+	for wi := 0; wi < totalWalks; wi++ {
+		src := temporal.Vertex(wi / cfg.WalksPerVertex)
+		w := walker{
+			id:      uint64(wi),
+			current: src,
+			arrival: temporal.MinTime,
+		}
+		inboxes[c.owner(src)] = append(inboxes[c.owner(src)], w)
+		res.Cost.WalksStarted++
+		if cfg.KeepPaths {
+			res.Paths[wi] = append(res.Paths[wi], src)
+		}
+	}
+
+	rootSeed := cfg.Seed
+
+	inFlight := totalWalks
+	for inFlight > 0 {
+		res.Rounds++
+		outs := make([]stepOut, numParts)
+		var wg sync.WaitGroup
+		for pid := 0; pid < numParts; pid++ {
+			if len(inboxes[pid]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				outs[pid] = c.parts[pid].advance(c, inboxes[pid], cfg, rootSeed, numParts)
+			}(pid)
+		}
+		wg.Wait()
+
+		// Exchange: deterministic concatenation in partition order.
+		next := make([][]walker, numParts)
+		for pid := 0; pid < numParts; pid++ {
+			out := &outs[pid]
+			if out.outbox == nil {
+				continue
+			}
+			res.Cost.Add(out.cost)
+			for _, h := range out.hops {
+				if cfg.KeepPaths {
+					res.Paths[h.walkID] = append(res.Paths[h.walkID], h.to)
+				}
+			}
+			for dst := 0; dst < numParts; dst++ {
+				if len(out.outbox[dst]) == 0 {
+					continue
+				}
+				if dst == pid {
+					res.LocalMoves += int64(len(out.outbox[dst]))
+				} else {
+					res.Messages += int64(len(out.outbox[dst]))
+				}
+				next[dst] = append(next[dst], out.outbox[dst]...)
+			}
+		}
+		inFlight = 0
+		for _, box := range next {
+			inFlight += len(box)
+		}
+		inboxes = next
+	}
+	// Completed/dead-end accounting happened inside advance.
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+type hopRecord struct {
+	walkID uint64
+	to     temporal.Vertex
+}
+
+// stepOut is one partition's output for one superstep.
+type stepOut struct {
+	outbox [][]walker // destination partition -> walkers
+	cost   stats.Cost
+	hops   []hopRecord
+}
+
+// betaTrialCap bounds the node2vec rejection loop per step; with the
+// paper's p=0.5, q=2 acceptance is ≥ 1/4 per trial.
+const betaTrialCap = 4096
+
+// advance moves every inbox walker one step using the partition's local HPAT
+// and routes survivors to their next owner.
+func (p *partition) advance(c *Cluster, inbox []walker, cfg RunConfig, seed uint64, numParts int) (out stepOut) {
+	out.outbox = make([][]walker, numParts)
+	root := xrand.New(seed)
+	var maxBeta float64
+	if c.n2v != nil {
+		maxBeta = 1
+		if 1/c.n2v.P > maxBeta {
+			maxBeta = 1 / c.n2v.P
+		}
+		if 1/c.n2v.Q > maxBeta {
+			maxBeta = 1 / c.n2v.Q
+		}
+	}
+	for _, w := range inbox {
+		r := root.Split(w.id)
+		// Re-derive the walker's stream position: each step consumes a
+		// deterministic sub-stream so migration does not need to ship RNG
+		// state (an id + step counter is enough).
+		r = r.Split(uint64(w.steps))
+		k := p.g.CandidateCount(w.current, w.arrival)
+		if k == 0 {
+			out.cost.WalksDeadEnded++
+			continue
+		}
+		var (
+			idx int
+			ok  bool
+		)
+		accepted := false
+		for trial := 0; trial < betaTrialCap; trial++ {
+			var ev int64
+			idx, ev, ok = p.idx.Sample(w.current, k, r)
+			out.cost.EdgesEvaluated += ev
+			if !ok {
+				break
+			}
+			if c.n2v == nil || !w.hasPrev {
+				accepted = true
+				break
+			}
+			cand, _ := p.g.EdgeAt(w.current, idx)
+			var beta float64
+			switch {
+			case cand == w.prev:
+				beta = 1 / c.n2v.P
+			case c.bloom.has(w.prev, cand):
+				beta = 1
+			default:
+				beta = 1 / c.n2v.Q
+			}
+			out.cost.Trials++
+			if r.Range(maxBeta) <= beta {
+				accepted = true
+				break
+			}
+			out.cost.Rejected++
+		}
+		if !ok {
+			out.cost.WalksDeadEnded++
+			continue
+		}
+		_ = accepted // trial-cap exhaustion force-accepts the last proposal
+		dst, at := p.g.EdgeAt(w.current, idx)
+		out.cost.Steps++
+		out.hops = append(out.hops, hopRecord{walkID: w.id, to: dst})
+		w.prev, w.hasPrev = w.current, true
+		w.current = dst
+		w.arrival = at
+		w.steps++
+		if int(w.steps) >= cfg.Length {
+			out.cost.WalksCompleted++
+			continue
+		}
+		owner := int(dst) % numParts
+		out.outbox[owner] = append(out.outbox[owner], w)
+	}
+	return out
+}

@@ -1,0 +1,307 @@
+package dist
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/testutil"
+)
+
+func TestNewValidation(t *testing.T) {
+	g := temporal.CommuteGraph()
+	if _, err := New(g, sampling.WeightSpec{}, Config{Partitions: 0}); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+	spec := sampling.WeightSpec{Custom: func(temporal.Time) float64 { return 1 }}
+	if _, err := New(g, spec, Config{Partitions: 2}); err == nil {
+		t.Fatal("custom weight accepted")
+	}
+	c, err := New(g, sampling.WeightSpec{}, Config{Partitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Partitions() != 3 {
+		t.Fatalf("partitions = %d", c.Partitions())
+	}
+	if c.MemoryBytes() <= 0 {
+		t.Fatal("memory")
+	}
+}
+
+// The central property: results are identical regardless of the partition
+// count — walker randomness depends only on walk id and step, and every
+// partition samples the same per-vertex distributions.
+func TestPartitionCountInvariance(t *testing.T) {
+	g := testutil.RandomGraph(t, 150, 4000, 800, 31)
+	specs := []sampling.WeightSpec{
+		{Kind: sampling.WeightUniform},
+		{Kind: sampling.WeightLinearTime},
+		{Kind: sampling.WeightLinearRank},
+		sampling.Exponential(0.01),
+	}
+	for _, spec := range specs {
+		var ref *Result
+		for _, parts := range []int{1, 2, 5} {
+			c, err := New(g, spec, Config{Partitions: parts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.Run(RunConfig{Length: 15, Seed: 9, KeepPaths: true, WalksPerVertex: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if res.Cost.Steps != ref.Cost.Steps {
+				t.Fatalf("%v: steps %d (parts=%d) vs %d (parts=1)", spec.Kind, res.Cost.Steps, parts, ref.Cost.Steps)
+			}
+			if !reflect.DeepEqual(res.Paths, ref.Paths) {
+				t.Fatalf("%v: paths differ between 1 and %d partitions", spec.Kind, parts)
+			}
+		}
+	}
+}
+
+func TestWalksAreTemporalAndComplete(t *testing.T) {
+	g := testutil.RandomGraph(t, 100, 3000, 600, 33)
+	c, err := New(g, sampling.Exponential(0.01), Config{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(RunConfig{Length: 10, Seed: 3, KeepPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.WalksStarted != int64(g.NumVertices()) {
+		t.Fatalf("started %d", res.Cost.WalksStarted)
+	}
+	if res.Cost.WalksCompleted+res.Cost.WalksDeadEnded != res.Cost.WalksStarted {
+		t.Fatalf("accounting: %+v", res.Cost)
+	}
+	steps := int64(0)
+	for wi, p := range res.Paths {
+		if p[0] != temporal.Vertex(wi) {
+			t.Fatalf("walk %d starts at %d", wi, p[0])
+		}
+		// Edges must exist in the full graph.
+		for i := 0; i+1 < len(p); i++ {
+			if !g.HasNeighbor(p[i], p[i+1]) {
+				t.Fatalf("walk %d uses non-edge %d->%d", wi, p[i], p[i+1])
+			}
+		}
+		steps += int64(len(p) - 1)
+	}
+	if steps != res.Cost.Steps {
+		t.Fatalf("path steps %d vs cost %d", steps, res.Cost.Steps)
+	}
+	if res.Rounds <= 0 {
+		t.Fatal("no rounds recorded")
+	}
+}
+
+// Message accounting: with one partition everything is a local move; with
+// many partitions cross-worker traffic appears and approximates the
+// (parts-1)/parts share of moves under hash partitioning.
+func TestMessageAccounting(t *testing.T) {
+	g := testutil.RandomGraph(t, 200, 6000, 1200, 35)
+	single, err := New(g, sampling.WeightSpec{}, Config{Partitions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := single.Run(RunConfig{Length: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Messages != 0 {
+		t.Fatalf("single partition sent %d messages", sres.Messages)
+	}
+	multi, err := New(g, sampling.WeightSpec{}, Config{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := multi.Run(RunConfig{Length: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.Messages == 0 {
+		t.Fatal("no cross-partition traffic with 4 partitions")
+	}
+	moves := mres.Messages + mres.LocalMoves
+	if moves != sres.Messages+sres.LocalMoves {
+		t.Fatalf("total moves differ: %d vs %d", moves, sres.Messages+sres.LocalMoves)
+	}
+	frac := float64(mres.Messages) / float64(moves)
+	if frac < 0.5 || frac > 0.95 {
+		t.Fatalf("cross-partition share %.2f, want ≈ 3/4", frac)
+	}
+}
+
+// Distributed sampling must match the single-machine engine's transition
+// distribution: compare first-hop frequencies out of the commute hub.
+func TestMatchesEngineDistribution(t *testing.T) {
+	g := temporal.CommuteGraph()
+	c, err := New(g, sampling.WeightSpec{Kind: sampling.WeightLinearRank}, Config{Partitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(RunConfig{Length: 1, Seed: 5, KeepPaths: true, WalksPerVertex: 40000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, 8)
+	total := 0.0
+	for wi, p := range res.Paths {
+		if temporal.Vertex(wi/40000) != 7 || len(p) < 2 {
+			continue
+		}
+		counts[p[1]]++
+		total++
+	}
+	// Weights 7..1 toward vertices 6..0.
+	for dst := 0; dst <= 6; dst++ {
+		want := float64(dst+1) / 28
+		got := counts[dst] / total
+		if diff := got - want; diff > 0.01 || diff < -0.01 {
+			t.Fatalf("dst %d frequency %.4f, want %.4f", dst, got, want)
+		}
+	}
+}
+
+func TestEmptyPartitionGraph(t *testing.T) {
+	// A graph where one partition owns only edgeless vertices.
+	g := temporal.MustFromEdges([]temporal.Edge{{Src: 0, Dst: 1, Time: 1}}, temporal.WithNumVertices(4))
+	c, err := New(g, sampling.WeightSpec{}, Config{Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(RunConfig{Length: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Steps != 1 {
+		t.Fatalf("steps = %d, want 1", res.Cost.Steps)
+	}
+}
+
+func TestBloomBasics(t *testing.T) {
+	b := newEdgeBloom(1000, 16)
+	b.add(1, 2)
+	b.add(7, 4)
+	if !b.has(1, 2) || !b.has(7, 4) {
+		t.Fatal("false negative")
+	}
+	if b.has(2, 1) {
+		t.Fatal("directedness lost (or an unlucky false positive; re-seed)")
+	}
+	// False-positive rate at 16 bits/edge must be far below 1%.
+	fp := 0
+	for i := 0; i < 100000; i++ {
+		if b.has(temporal.Vertex(1000+i), temporal.Vertex(i)) {
+			fp++
+		}
+	}
+	if fp > 200 {
+		t.Fatalf("false positives: %d / 100000", fp)
+	}
+	if b.memoryBytes() <= 0 {
+		t.Fatal("memory")
+	}
+}
+
+func TestBloomDegenerateSizes(t *testing.T) {
+	b := newEdgeBloom(0, 0)
+	b.add(3, 4)
+	if !b.has(3, 4) {
+		t.Fatal("tiny filter lost an edge")
+	}
+}
+
+func TestDistNode2VecValidation(t *testing.T) {
+	g := temporal.CommuteGraph()
+	_, err := New(g, sampling.Exponential(0.5), Config{Partitions: 2, Node2Vec: &Node2VecParams{P: 0, Q: 2}})
+	if err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}
+
+// Distributed node2vec must match the single-machine engine's second-hop
+// distribution (the bloom's ~4e-4 false positives are far below the test's
+// statistical tolerance).
+func TestDistNode2VecMatchesEngine(t *testing.T) {
+	edges := []temporal.Edge{
+		{Src: 0, Dst: 1, Time: 1},
+		{Src: 0, Dst: 2, Time: 1},
+		{Src: 1, Dst: 0, Time: 2},
+		{Src: 1, Dst: 2, Time: 3},
+		{Src: 1, Dst: 3, Time: 4},
+	}
+	g := temporal.MustFromEdges(edges)
+	c, err := New(g, sampling.Exponential(0.5), Config{
+		Partitions: 3,
+		Node2Vec:   &Node2VecParams{P: 0.5, Q: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const walks = 60000
+	res, err := c.Run(RunConfig{Length: 2, Seed: 8, KeepPaths: true, WalksPerVertex: walks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Trials == 0 {
+		t.Fatal("β rejection never exercised")
+	}
+	counts := map[temporal.Vertex]float64{}
+	total := 0.0
+	for wi, p := range res.Paths {
+		if temporal.Vertex(wi/walks) != 0 || len(p) != 3 || p[1] != 1 {
+			continue
+		}
+		counts[p[2]]++
+		total++
+	}
+	// Exact weights (see core's TestNode2VecExactDistribution): δ·β for
+	// candidates 0, 2, 3 with δ = e^{0.5(t-4)} and β = 2, 1, 0.5.
+	w0 := 2.0 * math.Exp(-1)
+	w2 := 1.0 * math.Exp(-0.5)
+	w3 := 0.5
+	sumW := w0 + w2 + w3
+	for v, w := range map[temporal.Vertex]float64{0: w0, 2: w2, 3: w3} {
+		want := w / sumW
+		got := counts[v] / total
+		if math.Abs(got-want) > 0.012 {
+			t.Fatalf("second hop %d frequency %.4f, want %.4f", v, got, want)
+		}
+	}
+}
+
+// Node2vec partition invariance: the bloom and rng are partition-independent.
+func TestDistNode2VecPartitionInvariance(t *testing.T) {
+	g := testutil.RandomGraph(t, 100, 3000, 600, 41)
+	var ref *Result
+	for _, parts := range []int{1, 4} {
+		c, err := New(g, sampling.Exponential(0.01), Config{
+			Partitions: parts,
+			Node2Vec:   &Node2VecParams{P: 0.5, Q: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(RunConfig{Length: 10, Seed: 6, KeepPaths: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Paths, ref.Paths) {
+			t.Fatal("node2vec paths differ across partition counts")
+		}
+	}
+}

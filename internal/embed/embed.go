@@ -1,0 +1,230 @@
+// Package embed trains skip-gram-with-negative-sampling (SGNS) vertex
+// embeddings from a temporal walk corpus — the downstream half of the CTDNE
+// pipeline whose upstream (walk generation) is what TEA accelerates (§1, §6
+// of the paper). The trainer is dependency-free: a word2vec-style SGNS with
+// a unigram^0.75 negative table built on the engine's alias sampler.
+package embed
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+// ErrEmptyCorpus is returned when the corpus contains no usable pairs.
+var ErrEmptyCorpus = errors.New("embed: corpus contains no co-occurrence pairs")
+
+// Config parameterizes SGNS training.
+type Config struct {
+	// Dim is the embedding dimensionality; default 64.
+	Dim int
+	// Window is the skip-gram context radius; default 5.
+	Window int
+	// Negatives is the number of negative samples per positive; default 5.
+	Negatives int
+	// Epochs is the number of passes over the corpus; default 3.
+	Epochs int
+	// LearningRate is the initial SGD step, decayed linearly to 1e-4 of
+	// itself across training; default 0.025.
+	LearningRate float64
+	// Seed drives initialization and sampling.
+	Seed uint64
+}
+
+func (c *Config) normalize() {
+	if c.Dim <= 0 {
+		c.Dim = 64
+	}
+	if c.Window <= 0 {
+		c.Window = 5
+	}
+	if c.Negatives <= 0 {
+		c.Negatives = 5
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 3
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.025
+	}
+}
+
+// Model holds trained vertex embeddings.
+type Model struct {
+	dim int
+	in  []float32 // input (vertex) vectors, len numVertices*dim
+	out []float32 // context vectors
+}
+
+// Train fits SGNS embeddings to the walk corpus. Each walk is a vertex
+// sequence (typically Result.Paths from the engine with KeepPaths). Vertices
+// never appearing in the corpus keep their small random initialization.
+func Train(walks [][]temporal.Vertex, numVertices int, cfg Config) (*Model, error) {
+	cfg.normalize()
+	if numVertices <= 0 {
+		return nil, fmt.Errorf("embed: non-positive vertex count %d", numVertices)
+	}
+	// Unigram^0.75 negative-sampling distribution over corpus frequency.
+	freq := make([]float64, numVertices)
+	pairs := 0
+	for _, w := range walks {
+		for _, v := range w {
+			if int(v) >= numVertices {
+				return nil, fmt.Errorf("embed: corpus vertex %d outside space of %d", v, numVertices)
+			}
+			freq[v]++
+		}
+		if len(w) > 1 {
+			pairs += len(w) - 1
+		}
+	}
+	if pairs == 0 {
+		return nil, ErrEmptyCorpus
+	}
+	for v := range freq {
+		freq[v] = math.Pow(freq[v], 0.75)
+	}
+	negTable := sampling.NewAliasTable(freq)
+
+	r := xrand.New(cfg.Seed)
+	m := &Model{
+		dim: cfg.Dim,
+		in:  make([]float32, numVertices*cfg.Dim),
+		out: make([]float32, numVertices*cfg.Dim),
+	}
+	for i := range m.in {
+		m.in[i] = (float32(r.Float64()) - 0.5) / float32(cfg.Dim)
+	}
+
+	totalSteps := cfg.Epochs * len(walks)
+	step := 0
+	grad := make([]float32, cfg.Dim)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, walk := range walks {
+			lr := cfg.LearningRate * (1 - float64(step)/float64(totalSteps+1))
+			if lr < cfg.LearningRate*1e-4 {
+				lr = cfg.LearningRate * 1e-4
+			}
+			step++
+			for i, center := range walk {
+				lo := i - cfg.Window
+				if lo < 0 {
+					lo = 0
+				}
+				hi := i + cfg.Window
+				if hi >= len(walk) {
+					hi = len(walk) - 1
+				}
+				for j := lo; j <= hi; j++ {
+					if j == i {
+						continue
+					}
+					m.trainPair(center, walk[j], 1, float32(lr), grad)
+					for n := 0; n < cfg.Negatives; n++ {
+						neg, ok := negTable.Sample(r)
+						if !ok {
+							break
+						}
+						if temporal.Vertex(neg) == walk[j] {
+							continue
+						}
+						m.trainPair(center, temporal.Vertex(neg), 0, float32(lr), grad)
+					}
+					// Apply the accumulated input-vector gradient.
+					base := int(center) * m.dim
+					for d := 0; d < m.dim; d++ {
+						m.in[base+d] += grad[d]
+						grad[d] = 0
+					}
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// trainPair performs one SGNS update for (center, context, label) and
+// accumulates the center-vector gradient into grad.
+func (m *Model) trainPair(center, context temporal.Vertex, label float32, lr float32, grad []float32) {
+	cb := int(center) * m.dim
+	ob := int(context) * m.dim
+	dot := float32(0)
+	for d := 0; d < m.dim; d++ {
+		dot += m.in[cb+d] * m.out[ob+d]
+	}
+	g := (label - sigmoid(dot)) * lr
+	for d := 0; d < m.dim; d++ {
+		grad[d] += g * m.out[ob+d]
+		m.out[ob+d] += g * m.in[cb+d]
+	}
+}
+
+func sigmoid(x float32) float32 {
+	switch {
+	case x > 8:
+		return 1
+	case x < -8:
+		return 0
+	default:
+		return float32(1 / (1 + math.Exp(-float64(x))))
+	}
+}
+
+// Dim returns the embedding dimensionality.
+func (m *Model) Dim() int { return m.dim }
+
+// NumVertices returns the embedded vertex-space size.
+func (m *Model) NumVertices() int { return len(m.in) / m.dim }
+
+// Vector returns v's embedding as a read-only view.
+func (m *Model) Vector(v temporal.Vertex) []float32 {
+	return m.in[int(v)*m.dim : (int(v)+1)*m.dim]
+}
+
+// Similarity returns the cosine similarity of two vertex embeddings.
+func (m *Model) Similarity(a, b temporal.Vertex) float64 {
+	va, vb := m.Vector(a), m.Vector(b)
+	dot, na, nb := 0.0, 0.0, 0.0
+	for d := 0; d < m.dim; d++ {
+		dot += float64(va[d]) * float64(vb[d])
+		na += float64(va[d]) * float64(va[d])
+		nb += float64(vb[d]) * float64(vb[d])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// Neighbor is one nearest-neighbor result.
+type Neighbor struct {
+	Vertex temporal.Vertex
+	Cosine float64
+}
+
+// MostSimilar returns the k vertices most cosine-similar to v, descending
+// (ties by id), excluding v itself.
+func (m *Model) MostSimilar(v temporal.Vertex, k int) []Neighbor {
+	out := make([]Neighbor, 0, m.NumVertices()-1)
+	for u := 0; u < m.NumVertices(); u++ {
+		if temporal.Vertex(u) == v {
+			continue
+		}
+		out = append(out, Neighbor{Vertex: temporal.Vertex(u), Cosine: m.Similarity(v, temporal.Vertex(u))})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cosine != out[j].Cosine {
+			return out[i].Cosine > out[j].Cosine
+		}
+		return out[i].Vertex < out[j].Vertex
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

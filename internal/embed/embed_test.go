@@ -1,0 +1,178 @@
+package embed
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/tea-graph/tea/internal/core"
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, 0, Config{}); err == nil {
+		t.Fatal("zero vertices accepted")
+	}
+	if _, err := Train(nil, 10, Config{}); !errors.Is(err, ErrEmptyCorpus) {
+		t.Fatalf("empty corpus err = %v", err)
+	}
+	if _, err := Train([][]temporal.Vertex{{1}}, 10, Config{}); !errors.Is(err, ErrEmptyCorpus) {
+		t.Fatalf("singleton-walk corpus err = %v", err)
+	}
+	if _, err := Train([][]temporal.Vertex{{1, 99}}, 10, Config{}); err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	}
+}
+
+func TestModelShape(t *testing.T) {
+	corpus := [][]temporal.Vertex{{0, 1, 2}, {2, 1, 0}}
+	m, err := Train(corpus, 3, Config{Dim: 8, Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dim() != 8 || m.NumVertices() != 3 {
+		t.Fatalf("shape dim=%d V=%d", m.Dim(), m.NumVertices())
+	}
+	if len(m.Vector(1)) != 8 {
+		t.Fatalf("vector len %d", len(m.Vector(1)))
+	}
+	if s := m.Similarity(0, 0); math.Abs(s-1) > 1e-6 {
+		t.Fatalf("self-similarity %v", s)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	corpus := [][]temporal.Vertex{{0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0, 2}}
+	a, err := Train(corpus, 4, Config{Dim: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(corpus, 4, Config{Dim: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := temporal.Vertex(0); v < 4; v++ {
+		va, vb := a.Vector(v), b.Vector(v)
+		for d := range va {
+			if va[d] != vb[d] {
+				t.Fatalf("vertex %d dim %d differs", v, d)
+			}
+		}
+	}
+}
+
+// Community recovery: walks over two tight communities with a weak bridge
+// must embed same-community vertices closer than cross-community ones.
+func TestCommunityStructureRecovered(t *testing.T) {
+	const half = 10
+	r := xrand.New(11)
+	var edges []temporal.Edge
+	tm := temporal.Time(1)
+	addClique := func(base int) {
+		for i := 0; i < 600; i++ {
+			a := base + r.IntN(half)
+			b := base + r.IntN(half)
+			if a == b {
+				b = base + (a-base+1)%half
+			}
+			edges = append(edges, temporal.Edge{Src: temporal.Vertex(a), Dst: temporal.Vertex(b), Time: tm})
+			tm++
+		}
+	}
+	// Interleave the two communities in time so walks stay alive in both.
+	for round := 0; round < 4; round++ {
+		addClique(0)
+		addClique(half)
+	}
+	g, err := temporal.FromEdges(edges, temporal.WithNumVertices(2*half))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(g, core.Unbiased(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(core.WalkConfig{WalksPerVertex: 40, Length: 10, Seed: 7, KeepPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := make([][]temporal.Vertex, len(res.Paths))
+	for i, p := range res.Paths {
+		corpus[i] = p.Vertices
+	}
+	m, err := Train(corpus, 2*half, Config{Dim: 32, Epochs: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra, inter := 0.0, 0.0
+	nIntra, nInter := 0, 0
+	for a := 0; a < 2*half; a++ {
+		for b := a + 1; b < 2*half; b++ {
+			s := m.Similarity(temporal.Vertex(a), temporal.Vertex(b))
+			if (a < half) == (b < half) {
+				intra += s
+				nIntra++
+			} else {
+				inter += s
+				nInter++
+			}
+		}
+	}
+	intra /= float64(nIntra)
+	inter /= float64(nInter)
+	if intra <= inter+0.1 {
+		t.Fatalf("communities not separated: intra %.3f vs inter %.3f", intra, inter)
+	}
+}
+
+func TestMostSimilar(t *testing.T) {
+	corpus := [][]temporal.Vertex{}
+	// 0 and 1 always co-occur; 2 and 3 always co-occur.
+	for i := 0; i < 200; i++ {
+		corpus = append(corpus, []temporal.Vertex{0, 1}, []temporal.Vertex{2, 3})
+	}
+	m, err := Train(corpus, 4, Config{Dim: 16, Epochs: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := m.MostSimilar(0, 1)
+	if len(top) != 1 || top[0].Vertex != 1 {
+		t.Fatalf("MostSimilar(0) = %+v, want vertex 1", top)
+	}
+	all := m.MostSimilar(0, 100)
+	if len(all) != 3 {
+		t.Fatalf("MostSimilar cap: %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Cosine > all[i-1].Cosine {
+			t.Fatal("MostSimilar not sorted")
+		}
+	}
+}
+
+func TestConfigNormalize(t *testing.T) {
+	var c Config
+	c.normalize()
+	if c.Dim != 64 || c.Window != 5 || c.Negatives != 5 || c.Epochs != 3 || c.LearningRate != 0.025 {
+		t.Fatalf("defaults: %+v", c)
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	r := xrand.New(1)
+	corpus := make([][]temporal.Vertex, 500)
+	for i := range corpus {
+		w := make([]temporal.Vertex, 20)
+		for j := range w {
+			w[j] = temporal.Vertex(r.IntN(1000))
+		}
+		corpus[i] = w
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(corpus, 1000, Config{Dim: 32, Epochs: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

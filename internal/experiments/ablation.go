@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/tea-graph/tea/internal/core"
+	"github.com/tea-graph/tea/internal/hpat"
+	"github.com/tea-graph/tea/internal/pat"
+	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+// AblationDegreeRow is one point of the degree-scaling ablation: per-sample
+// latency of each sampling structure on a single hub of the given degree.
+// This backs the §4.3 complexity table — ITS grows with log D, PAT with
+// √D-ish trunk scans, HPAT stays near-flat — and explains where the Figure
+// 12 runtime ordering crosses over as degrees grow.
+type AblationDegreeRow struct {
+	Degree    int
+	ITS       time.Duration // per sample
+	PAT       time.Duration
+	HPAT      time.Duration // with auxiliary index
+	HPATNoIdx time.Duration
+}
+
+// AblationDegreeScaling measures per-sample cost on hub vertices of
+// increasing degree. degrees nil selects 2^10..2^20.
+func AblationDegreeScaling(cfg Config, degrees []int) ([]AblationDegreeRow, error) {
+	cfg = cfg.normalized()
+	if len(degrees) == 0 {
+		degrees = []int{1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20}
+	}
+	const samples = 200_000
+	var rows []AblationDegreeRow
+	for _, d := range degrees {
+		g, err := hubGraph(d)
+		if err != nil {
+			return nil, err
+		}
+		w, err := sampling.BuildGraphWeights(g, sampling.Exponential(10.0/float64(d)), cfg.Threads)
+		if err != nil {
+			return nil, err
+		}
+		row := AblationDegreeRow{Degree: d}
+
+		its := core.NewITSSampler(w)
+		row.ITS = perSample(its.Sample, d, samples)
+
+		p := pat.Build(w, pat.Config{Threads: cfg.Threads})
+		row.PAT = perSample(p.Sample, d, samples)
+
+		h := hpat.Build(w, hpat.Config{Threads: cfg.Threads})
+		row.HPAT = perSample(h.Sample, d, samples)
+
+		hn := hpat.Build(w, hpat.Config{Threads: cfg.Threads, DisableAuxIndex: true})
+		row.HPATNoIdx = perSample(hn.Sample, d, samples)
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// hubGraph builds a two-vertex graph whose vertex 0 has the requested
+// out-degree with distinct increasing timestamps.
+func hubGraph(degree int) (*temporal.Graph, error) {
+	edges := make([]temporal.Edge, degree)
+	for i := range edges {
+		edges[i] = temporal.Edge{Src: 0, Dst: 1, Time: temporal.Time(i + 1)}
+	}
+	return temporal.FromEdges(edges, temporal.WithNumVertices(2))
+}
+
+type sampleFn func(u temporal.Vertex, k int, r *xrand.Rand) (int, int64, bool)
+
+// perSample times draws over uniformly random candidate prefix lengths,
+// the access pattern of a walk workload.
+func perSample(fn sampleFn, degree, samples int) time.Duration {
+	r := xrand.New(7)
+	// Pre-draw prefix lengths so RNG cost inside/outside stays comparable.
+	ks := make([]int, 4096)
+	for i := range ks {
+		ks[i] = 1 + r.IntN(degree)
+	}
+	start := time.Now()
+	for i := 0; i < samples; i++ {
+		if _, _, ok := fn(0, ks[i&4095], r); !ok {
+			panic("experiments: ablation sample failed")
+		}
+	}
+	return time.Since(start) / time.Duration(samples)
+}
+
+// AblationTrunkRow is one point of the PAT trunk-size policy ablation.
+type AblationTrunkRow struct {
+	TrunkSize int // 0 = the ⌊√D⌋ policy
+	Label     string
+	PerSample time.Duration
+	Memory    int64
+}
+
+// AblationTrunkSize measures the PAT trunk-size trade-off of §3.2 on a hub
+// of the given degree: small trunks push cost into the trunk ITS, large
+// trunks into the in-trunk scan; ⌊√D⌋ balances them.
+func AblationTrunkSize(cfg Config, degree int, trunkSizes []int) ([]AblationTrunkRow, error) {
+	cfg = cfg.normalized()
+	if degree <= 0 {
+		degree = 1 << 16
+	}
+	if len(trunkSizes) == 0 {
+		trunkSizes = []int{0, 2, 8, 32, 128, 1024, 8192}
+	}
+	g, err := hubGraph(degree)
+	if err != nil {
+		return nil, err
+	}
+	w, err := sampling.BuildGraphWeights(g, sampling.Exponential(10.0/float64(degree)), cfg.Threads)
+	if err != nil {
+		return nil, err
+	}
+	const samples = 100_000
+	var rows []AblationTrunkRow
+	for _, ts := range trunkSizes {
+		idx := pat.Build(w, pat.Config{TrunkSize: ts, Threads: cfg.Threads})
+		label := "sqrt(D)"
+		if ts > 0 {
+			label = ""
+		}
+		rows = append(rows, AblationTrunkRow{
+			TrunkSize: idx.TrunkSizeOf(0),
+			Label:     label,
+			PerSample: perSample(idx.Sample, degree, samples),
+			Memory:    idx.MemoryBytes(),
+		})
+	}
+	return rows, nil
+}

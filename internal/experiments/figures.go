@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/tea-graph/tea/internal/baseline"
+	"github.com/tea-graph/tea/internal/core"
+)
+
+// Fig2Row is one dataset's average sampling cost (edges evaluated per step)
+// under the three sampling strategies — Figure 2.
+type Fig2Row struct {
+	Dataset     string
+	TEA         float64 // hybrid sampling
+	KnightKing  float64 // rejection sampling
+	GraphWalker float64 // full-scan sampling
+}
+
+// Fig2 reproduces Figure 2 on the exponential temporal weight walk, the
+// regime where rejection sampling collapses.
+func Fig2(cfg Config) ([]Fig2Row, error) {
+	cfg = cfg.normalized()
+	var rows []Fig2Row
+	for _, p := range cfg.Profiles {
+		g, err := p.Build()
+		if err != nil {
+			return nil, err
+		}
+		app := core.ExponentialWalk(p.Lambda(cfg.Contrast))
+		row := Fig2Row{Dataset: p.Name}
+		for _, sc := range []struct {
+			sys System
+			val *float64
+		}{
+			{SysTEA, &row.TEA}, {SysKnightKing, &row.KnightKing}, {SysGraphWalker, &row.GraphWalker},
+		} {
+			out, err := runSystem(g, app, sc.sys, cfg)
+			if err != nil {
+				return nil, err
+			}
+			*sc.val = out.cost.EdgesPerStep()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig9Row is one dataset's engine memory footprint — Figure 9.
+type Fig9Row struct {
+	Dataset     string
+	TEA         int64 // HPAT index + graph tables
+	GraphWalker int64
+	KnightKing  int64
+}
+
+// Fig9 reproduces Figure 9: resident index memory per system (TEA runs the
+// full HPAT under the in-memory mode; the baselines keep only the graph).
+func Fig9(cfg Config) ([]Fig9Row, error) {
+	cfg = cfg.normalized()
+	var rows []Fig9Row
+	for _, p := range cfg.Profiles {
+		g, err := p.Build()
+		if err != nil {
+			return nil, err
+		}
+		app := core.ExponentialWalk(p.Lambda(cfg.Contrast))
+		row := Fig9Row{Dataset: p.Name}
+		for _, sc := range []struct {
+			sys System
+			val *int64
+		}{
+			{SysTEA, &row.TEA}, {SysGraphWalker, &row.GraphWalker}, {SysKnightKing, &row.KnightKing},
+		} {
+			eng, err := buildEngine(g, app, sc.sys, cfg)
+			if err != nil {
+				return nil, err
+			}
+			*sc.val = eng.MemoryBytes()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig10Row compares TEA against single-node KnightKing and the CTDNE
+// reference on temporal node2vec — Figure 10.
+type Fig10Row struct {
+	Dataset    string
+	TEA        time.Duration
+	KnightKing time.Duration // "K-1-node"
+	CTDNE      time.Duration
+}
+
+// Fig10 reproduces Figure 10.
+func Fig10(cfg Config) ([]Fig10Row, error) {
+	cfg = cfg.normalized()
+	var rows []Fig10Row
+	for _, p := range cfg.Profiles {
+		g, err := p.Build()
+		if err != nil {
+			return nil, err
+		}
+		app := core.TemporalNode2Vec(cfg.P, cfg.Q, p.Lambda(cfg.Contrast))
+		row := Fig10Row{Dataset: p.Name}
+		for _, sc := range []struct {
+			sys System
+			val *time.Duration
+		}{
+			{SysTEA, &row.TEA}, {SysKnightKing, &row.KnightKing}, {SysCTDNE, &row.CTDNE},
+		} {
+			out, err := runSystem(g, app, sc.sys, cfg)
+			if err != nil {
+				return nil, err
+			}
+			*sc.val = out.total
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig11Row is the piecewise optimization breakdown of Figure 11.
+type Fig11Row struct {
+	Dataset     string
+	GraphWalker time.Duration // baseline
+	HPAT        time.Duration // HPAT sampling without the auxiliary index
+	HPATIndex   time.Duration // HPAT + auxiliary index (full TEA)
+}
+
+// Fig11 reproduces Figure 11 on temporal node2vec.
+func Fig11(cfg Config) ([]Fig11Row, error) {
+	cfg = cfg.normalized()
+	var rows []Fig11Row
+	for _, p := range cfg.Profiles {
+		g, err := p.Build()
+		if err != nil {
+			return nil, err
+		}
+		app := core.TemporalNode2Vec(cfg.P, cfg.Q, p.Lambda(cfg.Contrast))
+		row := Fig11Row{Dataset: p.Name}
+		for _, sc := range []struct {
+			sys System
+			val *time.Duration
+		}{
+			{SysGraphWalker, &row.GraphWalker}, {SysTEANoIndex, &row.HPAT}, {SysTEA, &row.HPATIndex},
+		} {
+			out, err := runSystem(g, app, sc.sys, cfg)
+			if err != nil {
+				return nil, err
+			}
+			*sc.val = out.total
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig12Row compares the sampling methods of §5.4 on one dataset: runtime
+// (12a) and memory (12b), with OOM recorded when the alias method exceeds
+// its budget.
+type Fig12Row struct {
+	Dataset  string
+	Method   string
+	Runtime  time.Duration
+	Memory   int64
+	OOM      bool
+	Estimate int64 // bytes the method would need when OOM
+}
+
+// Fig12 reproduces Figures 12a and 12b on temporal node2vec with the alias
+// method, HPAT, PAT, and ITS.
+func Fig12(cfg Config) ([]Fig12Row, error) {
+	cfg = cfg.normalized()
+	var rows []Fig12Row
+	for _, p := range cfg.Profiles {
+		g, err := p.Build()
+		if err != nil {
+			return nil, err
+		}
+		app := core.TemporalNode2Vec(cfg.P, cfg.Q, p.Lambda(cfg.Contrast))
+		for _, sys := range []System{SysTEAAlias, SysTEA, SysTEAPAT, SysTEAITS} {
+			name := sys.String()
+			if sys == SysTEA {
+				name = "HPAT"
+			}
+			out, err := runSystem(g, app, sys, cfg)
+			if errors.Is(err, baseline.ErrOutOfMemory) {
+				rows = append(rows, Fig12Row{
+					Dataset: p.Name, Method: name, OOM: true,
+					Estimate: baseline.EstimateAliasBytes(g),
+				})
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig12 %s/%s: %w", p.Name, name, err)
+			}
+			rows = append(rows, Fig12Row{
+				Dataset: p.Name, Method: name, Runtime: out.total, Memory: out.memory,
+			})
+		}
+	}
+	return rows, nil
+}

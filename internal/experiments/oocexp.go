@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/tea-graph/tea/internal/ooc"
+	"github.com/tea-graph/tea/internal/sampling"
+)
+
+// Fig14Row is one dataset's out-of-core comparison: wall-clock runtime,
+// measured I/O volume, and the simulated device time under the paper's SSD
+// model (Figures 14a and 14b).
+type Fig14Row struct {
+	Dataset string
+
+	TEARuntime time.Duration
+	TEABytes   int64
+	TEAPages   int64
+	TEAIOTime  time.Duration
+
+	GWRuntime time.Duration
+	GWBytes   int64
+	GWPages   int64
+	GWIOTime  time.Duration
+}
+
+// Fig14OutOfCore reproduces Figures 14a/14b: temporal walks with the PAT-on-
+// disk TEA engine versus the full-neighbor-load GraphWalker baseline, both
+// walking the same workload with walk output flushed in groups of 1024.
+func Fig14OutOfCore(cfg Config) ([]Fig14Row, error) {
+	cfg = cfg.normalized()
+	var rows []Fig14Row
+	for _, p := range cfg.Profiles {
+		g, err := p.Build()
+		if err != nil {
+			return nil, err
+		}
+		g.PrecomputeCandidates(cfg.Threads)
+		spec := sampling.Exponential(p.Lambda(cfg.Contrast))
+		w, err := sampling.BuildGraphWeights(g, spec, cfg.Threads)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig14Row{Dataset: p.Name}
+
+		// TEA out-of-core: DiskPAT with the small-trunk policy.
+		teaStore, err := ooc.NewTempStore()
+		if err != nil {
+			return nil, err
+		}
+		teaOut, err := ooc.NewTempStore()
+		if err != nil {
+			return nil, err
+		}
+		dp, err := ooc.BuildDiskPAT(w, teaStore, 0)
+		if err != nil {
+			return nil, err
+		}
+		teaStore.ResetCounters()
+		teaEng := ooc.NewEngine(g, dp, teaOut)
+		teaRes, err := teaEng.Run(cfg.WalksPerVertex, cfg.Length, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row.TEARuntime = teaRes.Duration
+		row.TEABytes, _, _, _ = teaStore.Counters()
+		row.TEAPages = teaStore.PagesRead()
+		row.TEAIOTime = ooc.DefaultSSD.ReadTime(row.TEABytes, row.TEAPages)
+		_ = teaStore.Close()
+		_ = teaOut.Close()
+
+		// GraphWalker out-of-core: full candidate block load per step.
+		gwStore, err := ooc.NewTempStore()
+		if err != nil {
+			return nil, err
+		}
+		gwOut, err := ooc.NewTempStore()
+		if err != nil {
+			return nil, err
+		}
+		dgw, err := ooc.BuildDiskGraphWalker(g, spec, gwStore)
+		if err != nil {
+			return nil, err
+		}
+		gwStore.ResetCounters()
+		gwEng := ooc.NewEngine(g, dgw, gwOut)
+		gwRes, err := gwEng.Run(cfg.WalksPerVertex, cfg.Length, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row.GWRuntime = gwRes.Duration
+		row.GWBytes, _, _, _ = gwStore.Counters()
+		row.GWPages = gwStore.PagesRead()
+		row.GWIOTime = ooc.DefaultSSD.ReadTime(row.GWBytes, row.GWPages)
+		_ = gwStore.Close()
+		_ = gwOut.Close()
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

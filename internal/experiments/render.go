@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// table renders rows of cells with aligned columns.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func dur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	}
+}
+
+func mib(b int64) string {
+	return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+}
+
+// RenderTable4 formats Table 4 rows.
+func RenderTable4(rows []Table4Row) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset, r.Algorithm,
+			fmt.Sprintf("%s (%.1fx)", dur(r.GraphWalker), r.SpeedupGW),
+			fmt.Sprintf("%s (%.1fx)", dur(r.KnightKing), r.SpeedupKK),
+			dur(r.TEA),
+		})
+	}
+	return table([]string{"dataset", "algorithm", "GraphWalker", "KnightKing", "TEA"}, out)
+}
+
+// RenderFig2 formats Figure 2 rows.
+func RenderFig2(rows []Fig2Row) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset,
+			fmt.Sprintf("%.2f", r.TEA),
+			fmt.Sprintf("%.1f", r.KnightKing),
+			fmt.Sprintf("%.1f", r.GraphWalker),
+		})
+	}
+	return table([]string{"dataset", "TEA (hybrid)", "KnightKing (rejection)", "GraphWalker (full-scan)"}, out)
+}
+
+// RenderFig9 formats Figure 9 rows.
+func RenderFig9(rows []Fig9Row) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{r.Dataset, mib(r.TEA), mib(r.GraphWalker), mib(r.KnightKing)})
+	}
+	return table([]string{"dataset", "TEA", "GraphWalker", "KnightKing"}, out)
+}
+
+// RenderFig10 formats Figure 10 rows.
+func RenderFig10(rows []Fig10Row) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset, dur(r.TEA),
+			fmt.Sprintf("%s (%.1fx)", dur(r.KnightKing), ratio(r.KnightKing, r.TEA)),
+			fmt.Sprintf("%s (%.1fx)", dur(r.CTDNE), ratio(r.CTDNE, r.TEA)),
+		})
+	}
+	return table([]string{"dataset", "TEA", "K-1-node", "CTDNE"}, out)
+}
+
+// RenderFig11 formats Figure 11 rows.
+func RenderFig11(rows []Fig11Row) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset, dur(r.GraphWalker),
+			fmt.Sprintf("%s (%.1fx)", dur(r.HPAT), ratio(r.GraphWalker, r.HPAT)),
+			fmt.Sprintf("%s (%.1fx)", dur(r.HPATIndex), ratio(r.GraphWalker, r.HPATIndex)),
+		})
+	}
+	return table([]string{"dataset", "GraphWalker", "HPAT", "HPAT+Index"}, out)
+}
+
+// RenderFig12 formats Figure 12 rows.
+func RenderFig12(rows []Fig12Row) string {
+	out := [][]string{}
+	for _, r := range rows {
+		if r.OOM {
+			out = append(out, []string{r.Dataset, r.Method, "OOM", fmt.Sprintf("needs %s", mib(r.Estimate))})
+			continue
+		}
+		out = append(out, []string{r.Dataset, r.Method, dur(r.Runtime), mib(r.Memory)})
+	}
+	return table([]string{"dataset", "method", "runtime", "memory"}, out)
+}
+
+// RenderFig13Scaling formats Figures 13a–c rows.
+func RenderFig13Scaling(rows []Fig13ScalingRow) string {
+	out := [][]string{}
+	for _, r := range rows {
+		speedup := 0.0
+		if r.MultiThread > 0 {
+			speedup = float64(r.SingleThread) / float64(r.MultiThread)
+		}
+		out = append(out, []string{
+			r.Dataset, dur(r.SingleThread),
+			fmt.Sprintf("%s (%dT)", dur(r.MultiThread), r.Threads),
+			fmt.Sprintf("%.1fx", speedup),
+		})
+	}
+	return table([]string{"dataset", "1 thread", "N threads", "speedup"}, out)
+}
+
+// RenderFig13d formats Figure 13d rows.
+func RenderFig13d(rows []Fig13dRow) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.Degree),
+			fmt.Sprintf("%d", r.BatchSize),
+			dur(r.Incremental), dur(r.Rebuild),
+			fmt.Sprintf("%.1fx", r.Speedup),
+		})
+	}
+	return table([]string{"degree", "batch", "incremental", "rebuild", "speedup"}, out)
+}
+
+// RenderFig13e formats Figure 13e rows.
+func RenderFig13e(rows []Fig13eRow) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{fmt.Sprintf("%d", r.Threads), dur(r.Total)})
+	}
+	return table([]string{"threads", "preprocessing"}, out)
+}
+
+// RenderFig14 formats Figure 14 rows.
+func RenderFig14(rows []Fig14Row) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset,
+			dur(r.TEARuntime), mib(r.TEABytes), dur(r.TEAIOTime),
+			dur(r.GWRuntime), mib(r.GWBytes), dur(r.GWIOTime),
+			fmt.Sprintf("%.1fx", safeDiv(float64(r.GWBytes), float64(r.TEABytes))),
+		})
+	}
+	return table([]string{"dataset", "TEA time", "TEA I/O", "TEA dev", "GW time", "GW I/O", "GW dev", "I/O ratio"}, out)
+}
+
+// RenderSens formats the parameter sensitivity rows.
+func RenderSens(rows []SensRow) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{r.Dataset, fmt.Sprintf("%d", r.R), fmt.Sprintf("%d", r.L), dur(r.Runtime)})
+	}
+	return table([]string{"dataset", "R", "L", "runtime"}, out)
+}
+
+// RenderAblationDegree formats the degree-scaling ablation rows.
+func RenderAblationDegree(rows []AblationDegreeRow) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.Degree),
+			fmt.Sprintf("%dns", r.ITS.Nanoseconds()),
+			fmt.Sprintf("%dns", r.PAT.Nanoseconds()),
+			fmt.Sprintf("%dns", r.HPAT.Nanoseconds()),
+			fmt.Sprintf("%dns", r.HPATNoIdx.Nanoseconds()),
+		})
+	}
+	return table([]string{"degree", "ITS/sample", "PAT/sample", "HPAT+Index/sample", "HPAT/sample"}, out)
+}
+
+// RenderAblationTrunk formats the PAT trunk-size ablation rows.
+func RenderAblationTrunk(rows []AblationTrunkRow) string {
+	out := [][]string{}
+	for _, r := range rows {
+		name := fmt.Sprintf("%d", r.TrunkSize)
+		if r.Label != "" {
+			name = fmt.Sprintf("%d (%s)", r.TrunkSize, r.Label)
+		}
+		out = append(out, []string{name, fmt.Sprintf("%dns", r.PerSample.Nanoseconds()), mib(r.Memory)})
+	}
+	return table([]string{"trunkSize", "per sample", "memory"}, out)
+}
+
+// RenderDist formats the distributed-execution scaling rows.
+func RenderDist(rows []DistRow) string {
+	out := [][]string{}
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.Partitions),
+			dur(r.Runtime),
+			fmt.Sprintf("%d", r.Rounds),
+			fmt.Sprintf("%d", r.Steps),
+			fmt.Sprintf("%d", r.Messages),
+			fmt.Sprintf("%.2f", r.MessagesPerStep),
+			mib(r.MemoryPerPart),
+		})
+	}
+	return table([]string{"partitions", "runtime", "rounds", "steps", "messages", "msgs/step", "mem/part"}, out)
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tea-graph/tea/internal/baseline"
+	"github.com/tea-graph/tea/internal/core"
+	"github.com/tea-graph/tea/internal/gen"
+	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/stats"
+	"github.com/tea-graph/tea/internal/temporal"
+)
+
+// System identifies one engine configuration under test.
+type System int
+
+const (
+	SysTEA         System = iota // HPAT + auxiliary index, candidate precompute
+	SysTEANoIndex                // HPAT without the auxiliary index (Figure 11)
+	SysTEAPAT                    // TEA with the flat PAT (Figure 12)
+	SysTEAITS                    // TEA with plain ITS (Figure 12)
+	SysTEAAlias                  // per-candidate-set alias method (Figure 12)
+	SysGraphWalker               // full-scan baseline
+	SysKnightKing                // rejection baseline
+	SysCTDNE                     // reference walker (Figure 10)
+)
+
+// String names the system as the paper's figures do.
+func (s System) String() string {
+	switch s {
+	case SysTEA:
+		return "TEA"
+	case SysTEANoIndex:
+		return "HPAT"
+	case SysTEAPAT:
+		return "PAT"
+	case SysTEAITS:
+		return "ITS"
+	case SysTEAAlias:
+		return "AliasMethod"
+	case SysGraphWalker:
+		return "GraphWalker"
+	case SysKnightKing:
+		return "KnightKing"
+	case SysCTDNE:
+		return "CTDNE"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// runOutcome is one timed engine execution.
+type runOutcome struct {
+	cost     stats.Cost
+	total    time.Duration // preprocessing + walking (the Table 4 metric)
+	walkOnly time.Duration
+	memory   int64
+	prep     core.PreprocessStats
+}
+
+// buildEngine assembles the engine for one system; TEA variants build their
+// indices (charged to the outcome's total), baselines skip the candidate
+// precompute the paper says they lack.
+func buildEngine(g *temporal.Graph, app core.App, sys System, cfg Config) (*core.Engine, error) {
+	switch sys {
+	case SysTEA:
+		return core.NewEngine(g, app, core.Options{Method: core.MethodHPAT, Threads: cfg.Threads})
+	case SysTEANoIndex:
+		return core.NewEngine(g, app, core.Options{Method: core.MethodHPATNoIndex, Threads: cfg.Threads})
+	case SysTEAPAT:
+		return core.NewEngine(g, app, core.Options{Method: core.MethodPAT, Threads: cfg.Threads})
+	case SysTEAITS:
+		return core.NewEngine(g, app, core.Options{Method: core.MethodITS, Threads: cfg.Threads})
+	case SysTEAAlias:
+		w, err := sampling.BuildGraphWeights(g, app.Weight, cfg.Threads)
+		if err != nil {
+			return nil, err
+		}
+		af, err := baseline.NewAliasFull(w, 0, cfg.Threads)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewEngine(g, app, core.Options{ExternalSampler: af, ExternalWeights: w, Threads: cfg.Threads})
+	case SysGraphWalker:
+		s, err := baseline.NewGraphWalker(g, app.Weight)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewEngine(g, app, core.Options{ExternalSampler: s, SkipCandidatePrecompute: true, Threads: cfg.Threads})
+	case SysKnightKing:
+		s, err := baseline.NewKnightKing(g, app.Weight)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewEngine(g, app, core.Options{ExternalSampler: s, SkipCandidatePrecompute: true, Threads: cfg.Threads})
+	case SysCTDNE:
+		s, err := baseline.NewCTDNE(g, app.Weight)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewEngine(g, app, core.Options{ExternalSampler: s, SkipCandidatePrecompute: true, Threads: cfg.Threads})
+	default:
+		return nil, fmt.Errorf("experiments: unknown system %v", sys)
+	}
+}
+
+// runSystem times one full execution: engine construction (preprocessing)
+// plus the walk, mirroring Table 4's "we include the preprocessing time of
+// TEA in the total random walk time".
+func runSystem(g *temporal.Graph, app core.App, sys System, cfg Config) (runOutcome, error) {
+	start := time.Now()
+	eng, err := buildEngine(g, app, sys, cfg)
+	if err != nil {
+		return runOutcome{}, err
+	}
+	walkStart := time.Now()
+	res, err := eng.Run(core.WalkConfig{
+		WalksPerVertex: cfg.WalksPerVertex,
+		Length:         cfg.Length,
+		Threads:        cfg.Threads,
+		Seed:           cfg.Seed,
+	})
+	if err != nil {
+		return runOutcome{}, err
+	}
+	return runOutcome{
+		cost:     res.Cost,
+		total:    time.Since(start),
+		walkOnly: time.Since(walkStart),
+		memory:   eng.MemoryBytes(),
+		prep:     eng.Preprocess(),
+	}, nil
+}
+
+// apps returns the three Table 4 applications for a profile.
+func apps(p gen.Profile, cfg Config) []core.App {
+	lambda := p.Lambda(cfg.Contrast)
+	return []core.App{
+		core.LinearTime(),
+		core.ExponentialWalk(lambda),
+		core.TemporalNode2Vec(cfg.P, cfg.Q, lambda),
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tea-graph/tea/internal/core"
+)
+
+// Table4Row is one (dataset, algorithm) cell group of Table 4: absolute
+// runtimes of the three systems plus TEA's speedup over each baseline.
+type Table4Row struct {
+	Dataset     string
+	Algorithm   string
+	GraphWalker time.Duration
+	KnightKing  time.Duration
+	TEA         time.Duration
+	SpeedupGW   float64
+	SpeedupKK   float64
+}
+
+// Table4 reproduces Table 4: linear temporal weight, exponential temporal
+// weight, and temporal node2vec walks on every profile under GraphWalker,
+// KnightKing, and TEA. TEA's time includes its preprocessing (the paper's
+// fairness rule).
+func Table4(cfg Config) ([]Table4Row, error) {
+	cfg = cfg.normalized()
+	var rows []Table4Row
+	for _, p := range cfg.Profiles {
+		g, err := p.Build()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building %s: %w", p.Name, err)
+		}
+		for _, app := range apps(p, cfg) {
+			var gw, kk, tea runOutcome
+			for _, sys := range []struct {
+				sys System
+				out *runOutcome
+			}{
+				{SysGraphWalker, &gw}, {SysKnightKing, &kk}, {SysTEA, &tea},
+			} {
+				out, err := runSystem(g, app, sys.sys, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s/%s/%s: %w", p.Name, app.Name, sys.sys, err)
+				}
+				*sys.out = out
+			}
+			rows = append(rows, Table4Row{
+				Dataset:     p.Name,
+				Algorithm:   app.Name,
+				GraphWalker: gw.total,
+				KnightKing:  kk.total,
+				TEA:         tea.total,
+				SpeedupGW:   ratio(gw.total, tea.total),
+				SpeedupKK:   ratio(kk.total, tea.total),
+			})
+		}
+	}
+	return rows, nil
+}
+
+func ratio(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// SensRow is one §5.2 parameter-sensitivity measurement.
+type SensRow struct {
+	Dataset string
+	R, L    int
+	Runtime time.Duration
+}
+
+// Sensitivity reproduces the §5.2 parameter study: runtime versus the walk
+// multiplicity R ∈ {1,2,3}× the configured volume and walk length
+// L ∈ {10, 40, 80}, on the first configured profile. Note the honest scale
+// caveat recorded in EXPERIMENTS.md: on synthetic unique-timestamp streams
+// temporal walks dead-end after ~a dozen steps, so unlike the paper's
+// datasets, L beyond that ceiling cannot increase runtime.
+func Sensitivity(cfg Config) ([]SensRow, error) {
+	cfg = cfg.normalized()
+	p := cfg.Profiles[0]
+	g, err := p.Build()
+	if err != nil {
+		return nil, err
+	}
+	app := core.ExponentialWalk(p.Lambda(cfg.Contrast))
+	eng, err := core.NewEngine(g, app, core.Options{Method: core.MethodHPAT, Threads: cfg.Threads})
+	if err != nil {
+		return nil, err
+	}
+	var rows []SensRow
+	for _, r := range []int{1, 2, 3} {
+		for _, l := range []int{10, 40, 80} {
+			walks := r * cfg.WalksPerVertex
+			start := time.Now()
+			if _, err := eng.Run(core.WalkConfig{
+				WalksPerVertex: walks, Length: l, Threads: cfg.Threads, Seed: cfg.Seed,
+			}); err != nil {
+				return nil, err
+			}
+			rows = append(rows, SensRow{Dataset: p.Name, R: r, L: l, Runtime: time.Since(start)})
+		}
+	}
+	return rows, nil
+}

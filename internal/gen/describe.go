@@ -1,0 +1,76 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/tea-graph/tea/internal/temporal"
+)
+
+// Description summarizes a temporal graph's shape: the quantities Table 3 of
+// the paper reports plus degree-distribution percentiles, so generated
+// workloads can be compared against their targets.
+type Description struct {
+	Vertices, Edges  int
+	MeanDegree       float64
+	MaxDegree        int
+	DegreeP50        int
+	DegreeP90        int
+	DegreeP99        int
+	Isolated         int // vertices with no out-edges
+	TimeLo, TimeHi   temporal.Time
+	DistinctVertices int // vertices appearing as source or destination
+}
+
+// Describe computes the summary for a graph.
+func Describe(g *temporal.Graph) Description {
+	numV := g.NumVertices()
+	d := Description{
+		Vertices:  numV,
+		Edges:     g.NumEdges(),
+		MaxDegree: g.MaxDegree(),
+	}
+	d.TimeLo, d.TimeHi = g.TimeRange()
+	degrees := make([]int, numV)
+	touched := make([]bool, numV)
+	for u := 0; u < numV; u++ {
+		deg := g.Degree(temporal.Vertex(u))
+		degrees[u] = deg
+		if deg == 0 {
+			d.Isolated++
+		} else {
+			touched[u] = true
+			for _, v := range g.OutDst(temporal.Vertex(u)) {
+				touched[v] = true
+			}
+		}
+	}
+	for _, t := range touched {
+		if t {
+			d.DistinctVertices++
+		}
+	}
+	if numV > 0 {
+		d.MeanDegree = float64(d.Edges) / float64(numV)
+		sort.Ints(degrees)
+		d.DegreeP50 = degrees[numV/2]
+		d.DegreeP90 = degrees[numV*9/10]
+		d.DegreeP99 = degrees[numV*99/100]
+	}
+	return d
+}
+
+// String renders the description as aligned key/value lines.
+func (d Description) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "vertices          %d\n", d.Vertices)
+	fmt.Fprintf(&b, "edges             %d\n", d.Edges)
+	fmt.Fprintf(&b, "mean out-degree   %.2f\n", d.MeanDegree)
+	fmt.Fprintf(&b, "degree p50/90/99  %d / %d / %d\n", d.DegreeP50, d.DegreeP90, d.DegreeP99)
+	fmt.Fprintf(&b, "max degree        %d\n", d.MaxDegree)
+	fmt.Fprintf(&b, "isolated sources  %d\n", d.Isolated)
+	fmt.Fprintf(&b, "touched vertices  %d\n", d.DistinctVertices)
+	fmt.Fprintf(&b, "time range        [%d, %d]\n", d.TimeLo, d.TimeHi)
+	return b.String()
+}

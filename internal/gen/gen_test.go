@@ -1,0 +1,171 @@
+package gen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/tea-graph/tea/internal/temporal"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Profile{Name: "t", Vertices: 100, Edges: 2000, Skew: 0.8, Seed: 7}
+	a := p.Generate()
+	b := p.Generate()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("generation not deterministic")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	p := Profile{Name: "t", Vertices: 500, Edges: 10000, Skew: 0.8, Seed: 9}
+	edges := p.Generate()
+	if len(edges) != p.Edges {
+		t.Fatalf("edges = %d, want %d", len(edges), p.Edges)
+	}
+	for i, e := range edges {
+		if e.Time != temporal.Time(i+1) {
+			t.Fatalf("edge %d time %d: stream must have increasing timestamps", i, e.Time)
+		}
+		if int(e.Src) >= p.Vertices || int(e.Dst) >= p.Vertices {
+			t.Fatalf("edge %v out of vertex range", e)
+		}
+		if e.Src == e.Dst {
+			t.Fatalf("self-loop at %d", i)
+		}
+	}
+}
+
+func TestGenerateSkewProducesHubs(t *testing.T) {
+	flat := Profile{Name: "flat", Vertices: 400, Edges: 20000, Skew: 0.0, Seed: 3}
+	skewed := Profile{Name: "skew", Vertices: 400, Edges: 20000, Skew: 0.9, Seed: 3}
+	gf, err := flat.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := skewed.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.MaxDegree() < 3*gf.MaxDegree() {
+		t.Fatalf("skewed max degree %d vs flat %d: no heavy tail", gs.MaxDegree(), gf.MaxDegree())
+	}
+}
+
+func TestGenerateDegenerate(t *testing.T) {
+	if (Profile{Vertices: 1, Edges: 10}).Generate() != nil {
+		t.Fatal("1-vertex graph generated")
+	}
+	if (Profile{Vertices: 10, Edges: 0}).Generate() != nil {
+		t.Fatal("0-edge graph generated")
+	}
+}
+
+func TestProfilesMatchTable3Shape(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 4 {
+		t.Fatalf("profiles = %d", len(ps))
+	}
+	names := []string{"growth", "edit", "delicious", "twitter"}
+	for i, p := range ps {
+		if p.Name != names[i] {
+			t.Fatalf("profile %d name %q", i, p.Name)
+		}
+		// The profiles are the Table 3 datasets at 1/1000 scale: |V| and |E|
+		// must match the originals' thousands columns.
+		wantV := []int{1_870, 21_504, 33_777, 41_652}[i]
+		wantE := []int{39_953, 266_769, 301_183, 1_468_365}[i]
+		if p.Vertices != wantV || p.Edges != wantE {
+			t.Fatalf("%s scaled size V=%d E=%d, want V=%d E=%d", p.Name, p.Vertices, p.Edges, wantV, wantE)
+		}
+	}
+}
+
+func TestGrowthBuildsWithHeavyTail(t *testing.T) {
+	g, err := Growth().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != Growth().Edges {
+		t.Fatalf("E = %d", g.NumEdges())
+	}
+	mean := float64(g.NumEdges()) / float64(g.NumVertices())
+	if float64(g.MaxDegree()) < 4*mean {
+		t.Fatalf("max degree %d vs mean %.1f: tail too light", g.MaxDegree(), mean)
+	}
+}
+
+func TestSmallProfiles(t *testing.T) {
+	for _, p := range SmallProfiles() {
+		g, err := p.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if g.NumEdges() == 0 {
+			t.Fatalf("%s empty", p.Name)
+		}
+	}
+}
+
+func TestLambdaCalibration(t *testing.T) {
+	p := Growth()
+	if l := p.Lambda(50); l*float64(p.TimeSpan()) != 50 {
+		t.Fatalf("lambda span = %v", l*float64(p.TimeSpan()))
+	}
+	if l := p.Lambda(0); l*float64(p.TimeSpan()) != 50 {
+		t.Fatal("default contrast wrong")
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	s := Growth().String()
+	if s == "" || s[:6] != "growth" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func BenchmarkGenerateGrowth(b *testing.B) {
+	p := Growth()
+	for i := 0; i < b.N; i++ {
+		p.Generate()
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	g := temporal.CommuteGraph()
+	d := Describe(g)
+	if d.Vertices != 10 || d.Edges != 10 || d.MaxDegree != 7 {
+		t.Fatalf("describe: %+v", d)
+	}
+	if d.MeanDegree != 1.0 {
+		t.Fatalf("mean = %v", d.MeanDegree)
+	}
+	// Sources: 0, 7, 8, 9 → 6 isolated-source vertices.
+	if d.Isolated != 6 {
+		t.Fatalf("isolated = %d", d.Isolated)
+	}
+	if d.DistinctVertices != 10 {
+		t.Fatalf("touched = %d", d.DistinctVertices)
+	}
+	if d.TimeLo != 0 || d.TimeHi != 7 {
+		t.Fatalf("time range [%d,%d]", d.TimeLo, d.TimeHi)
+	}
+	s := d.String()
+	if !strings.Contains(s, "max degree        7") {
+		t.Fatalf("String:\n%s", s)
+	}
+}
+
+func TestDescribeSkewPercentiles(t *testing.T) {
+	g, err := Growth().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Describe(g)
+	if !(d.DegreeP50 <= d.DegreeP90 && d.DegreeP90 <= d.DegreeP99 && d.DegreeP99 <= d.MaxDegree) {
+		t.Fatalf("percentiles not monotone: %+v", d)
+	}
+	if d.DegreeP99 <= d.DegreeP50 {
+		t.Fatalf("no skew visible: %+v", d)
+	}
+}

@@ -1,0 +1,51 @@
+package hpat
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// nanotime returns a monotonic nanosecond timestamp for build-phase timing.
+func nanotime() int64 { return time.Now().UnixNano() }
+
+// BuildAuxIndexParallel builds the §3.4 auxiliary index with the given number
+// of worker threads. Decompositions of different sizes are independent, so
+// the fill is embarrassingly parallel (§4.2 "auxiliary index generation").
+// threads < 1 selects GOMAXPROCS.
+func BuildAuxIndexParallel(maxSize, threads int) *AuxIndex {
+	if threads < 1 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if maxSize < 0 {
+		maxSize = 0
+	}
+	off := make([]int64, maxSize+2)
+	total := int64(0)
+	for m := 0; m <= maxSize; m++ {
+		total += int64(bits.OnesCount(uint(m)))
+		off[m+1] = total
+	}
+	entries := make([]DecompEntry, total)
+	var wg sync.WaitGroup
+	chunk := (maxSize + threads) / threads
+	if chunk == 0 {
+		chunk = 1
+	}
+	for lo := 1; lo <= maxSize; lo += chunk {
+		hi := lo + chunk
+		if hi > maxSize+1 {
+			hi = maxSize + 1
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for m := lo; m < hi; m++ {
+				fillDecomp(m, entries[off[m]:off[m+1]])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return &AuxIndex{off: off, entries: entries}
+}

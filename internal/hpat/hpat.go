@@ -1,0 +1,242 @@
+package hpat
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+// DefaultSmallDegreeCutoff is the degree below which the hierarchy is skipped
+// and candidates are sampled by a direct scan — the paper's second ad-hoc
+// optimization in §3.3 (low out-degree vertices get special-cased).
+const DefaultSmallDegreeCutoff = 8
+
+// Config controls HPAT index construction.
+type Config struct {
+	// Threads used for parallel construction; <1 means GOMAXPROCS.
+	Threads int
+	// DisableAuxIndex turns off the §3.4 auxiliary index so prefix
+	// decompositions are recomputed per sample. Used by the Figure 11
+	// ablation ("HPAT" vs "HPAT+Index").
+	DisableAuxIndex bool
+	// SmallDegreeCutoff overrides DefaultSmallDegreeCutoff; negative disables
+	// the small-degree fast path entirely.
+	SmallDegreeCutoff int
+}
+
+func (c Config) cutoff() int {
+	switch {
+	case c.SmallDegreeCutoff < 0:
+		return 0
+	case c.SmallDegreeCutoff == 0:
+		return DefaultSmallDegreeCutoff
+	default:
+		return c.SmallDegreeCutoff
+	}
+}
+
+// Index is the HPAT over a whole graph: per-edge prefix sums, packed alias
+// tables for every trunk of every level ≥ 1, per-vertex level offsets, and
+// (optionally) the global auxiliary index. All storage positions are computed
+// before construction so vertices build lock-free in parallel.
+type Index struct {
+	g       *temporal.Graph
+	weights *sampling.GraphWeights
+
+	cum     []float64 // per-vertex prefix sums, deg+1 entries each
+	cumOff  []int64
+	prob    []float64
+	alias   []int32
+	slotOff []int64
+	lvl     []int32 // per-vertex level bases, topLevel+1 entries each
+	lvlOff  []int64
+
+	aux     *AuxIndex
+	cutoff  int
+	buildNS buildTiming
+}
+
+// buildTiming records the wall-clock nanoseconds of each §4.2 preprocessing
+// phase, reported by the Figure 13 experiments.
+type buildTiming struct {
+	hpatNS int64
+	auxNS  int64
+}
+
+// Build constructs the HPAT index over the weighted graph.
+func Build(w *sampling.GraphWeights, cfg Config) *Index {
+	g := w.Graph()
+	threads := cfg.Threads
+	if threads < 1 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	numV := g.NumVertices()
+	idx := &Index{
+		g:       g,
+		weights: w,
+		cumOff:  make([]int64, numV+1),
+		slotOff: make([]int64, numV+1),
+		lvlOff:  make([]int64, numV+1),
+		cutoff:  cfg.cutoff(),
+	}
+	// Phase 1: layout. Every vertex's storage range is fixed up front.
+	for u := 0; u < numV; u++ {
+		deg := g.Degree(temporal.Vertex(u))
+		idx.cumOff[u+1] = idx.cumOff[u] + int64(deg) + 1
+		idx.lvlOff[u+1] = idx.lvlOff[u] + int64(topLevel(deg)) + 1
+		if deg > idx.cutoff {
+			idx.slotOff[u+1] = idx.slotOff[u] + slotCount(deg)
+		} else {
+			idx.slotOff[u+1] = idx.slotOff[u]
+		}
+	}
+	idx.cum = make([]float64, idx.cumOff[numV])
+	idx.prob = make([]float64, idx.slotOff[numV])
+	idx.alias = make([]int32, idx.slotOff[numV])
+	if lv := idx.lvlOff[numV]; lv > 0 {
+		idx.lvl = make([]int32, lv)
+	}
+
+	// Phase 2: lock-free parallel per-vertex construction.
+	start := nanotime()
+	var wg sync.WaitGroup
+	chunk := (numV + threads - 1) / threads
+	if chunk == 0 {
+		chunk = 1
+	}
+	for lo := 0; lo < numV; lo += chunk {
+		hi := lo + chunk
+		if hi > numV {
+			hi = numV
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var scratch []int32
+			for u := lo; u < hi; u++ {
+				scratch = idx.buildVertex(temporal.Vertex(u), scratch)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	idx.buildNS.hpatNS = nanotime() - start
+
+	// Phase 3: global auxiliary index (§3.4).
+	if !cfg.DisableAuxIndex {
+		start = nanotime()
+		idx.aux = BuildAuxIndexParallel(g.MaxDegree(), threads)
+		idx.buildNS.auxNS = nanotime() - start
+	}
+	return idx
+}
+
+func (idx *Index) buildVertex(u temporal.Vertex, scratch []int32) []int32 {
+	deg := idx.g.Degree(u)
+	if deg == 0 {
+		return scratch
+	}
+	w := idx.weights.Vertex(u)
+	cum := idx.cum[idx.cumOff[u]:idx.cumOff[u+1]]
+	base := idx.lvl[idx.lvlOff[u]:idx.lvlOff[u+1]]
+	if deg <= idx.cutoff {
+		// Small-degree fast path: only the prefix sums are needed.
+		sum := 0.0
+		cum[0] = 0
+		for i, x := range w {
+			sum += x
+			cum[i+1] = sum
+		}
+		levelBases(deg, base)
+		return scratch
+	}
+	need := 2 << uint(topLevel(deg))
+	if cap(scratch) < need {
+		scratch = make([]int32, need)
+	}
+	levelBases(deg, base)
+	prob := idx.prob[idx.slotOff[u]:idx.slotOff[u+1]]
+	alias := idx.alias[idx.slotOff[u]:idx.slotOff[u+1]]
+	buildBlock(w, cum, prob, alias, base, scratch[:need])
+	return scratch
+}
+
+// Name identifies the sampler; it reflects whether the auxiliary index is
+// active so experiment output distinguishes the Figure 11 configurations.
+func (idx *Index) Name() string {
+	if idx.aux == nil {
+		return "HPAT"
+	}
+	return "HPAT+Index"
+}
+
+// HasAuxIndex reports whether the §3.4 auxiliary index is attached.
+func (idx *Index) HasAuxIndex() bool { return idx.aux != nil }
+
+// BuildTimings returns the nanoseconds spent building the trunk tables and
+// the auxiliary index, for the Figure 13 preprocessing breakdown.
+func (idx *Index) BuildTimings() (hpatNS, auxNS int64) {
+	return idx.buildNS.hpatNS, idx.buildNS.auxNS
+}
+
+// Total returns the total weight of u's k newest out-edges.
+func (idx *Index) Total(u temporal.Vertex, k int) float64 {
+	return idx.cum[idx.cumOff[u]+int64(k)]
+}
+
+// Sample draws one edge index from the k newest out-edges of u with
+// probability proportional to edge weight. evaluated counts array slots
+// examined. ok is false when k <= 0 or the prefix carries no weight.
+func (idx *Index) Sample(u temporal.Vertex, k int, r *xrand.Rand) (edge int, evaluated int64, ok bool) {
+	if k <= 0 {
+		return 0, 0, false
+	}
+	deg := idx.g.Degree(u)
+	if deg == 0 {
+		return 0, 0, false
+	}
+	if k > deg {
+		k = deg
+	}
+	w := idx.weights.Vertex(u)
+	cum := idx.cum[idx.cumOff[u]:idx.cumOff[u+1]]
+	if deg <= idx.cutoff {
+		i, sok := sampling.LinearITS(w[:k], cum[k], r)
+		return i, int64(k), sok
+	}
+	base := idx.lvl[idx.lvlOff[u]:idx.lvlOff[u+1]]
+	prob := idx.prob[idx.slotOff[u]:idx.slotOff[u+1]]
+	alias := idx.alias[idx.slotOff[u]:idx.slotOff[u+1]]
+	var dec []DecompEntry
+	if idx.aux != nil {
+		dec = idx.aux.Decomp(k)
+	} else {
+		var buf [maxLevels]DecompEntry
+		dec = Decompose(k, buf[:0])
+	}
+	return sampleBlock(cum, w, prob, alias, base, dec, r)
+}
+
+// MemoryBytes reports the index footprint including the shared weight array
+// and the auxiliary index; the HPAT trunk tables dominate, matching the
+// paper's observation that the HPAT index is 82–91% of total memory.
+func (idx *Index) MemoryBytes() int64 {
+	n := int64(len(idx.cum))*8 +
+		int64(len(idx.prob))*8 +
+		int64(len(idx.alias))*4 +
+		int64(len(idx.lvl))*4 +
+		int64(len(idx.cumOff)+len(idx.slotOff)+len(idx.lvlOff))*8 +
+		idx.weights.MemoryBytes()
+	if idx.aux != nil {
+		n += idx.aux.MemoryBytes()
+	}
+	return n
+}
+
+// Graph returns the underlying temporal graph.
+func (idx *Index) Graph() *temporal.Graph { return idx.g }
+
+// Weights returns the shared per-edge weight array.
+func (idx *Index) Weights() *sampling.GraphWeights { return idx.weights }

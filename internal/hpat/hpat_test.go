@@ -1,0 +1,398 @@
+package hpat
+
+import (
+	"math/bits"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/testutil"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+func TestDecomposeKnownValues(t *testing.T) {
+	// The paper's example: 7 = 4+2+1 yields trunks {6,5,4,3}, {2,1}, {0} —
+	// levels 2,1,0 at positions 0,4,6 (Figure 6d).
+	got := Decompose(7, nil)
+	want := []DecompEntry{{Pos: 0, Level: 2}, {Pos: 4, Level: 1}, {Pos: 6, Level: 0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Decompose(7) = %v, want %v", got, want)
+	}
+	if got := Decompose(4, nil); !reflect.DeepEqual(got, []DecompEntry{{Pos: 0, Level: 2}}) {
+		t.Fatalf("Decompose(4) = %v", got)
+	}
+	if got := Decompose(0, nil); len(got) != 0 {
+		t.Fatalf("Decompose(0) = %v", got)
+	}
+}
+
+// Property: a decomposition tiles [0, m) with aligned power-of-two trunks in
+// strictly descending level order.
+func TestDecomposeProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		m := int(raw % 1_000_000)
+		dec := Decompose(m, nil)
+		if len(dec) != bits.OnesCount(uint(m)) {
+			return false
+		}
+		pos := 0
+		prevLevel := 255
+		for _, d := range dec {
+			if int(d.Pos) != pos {
+				return false
+			}
+			if int(d.Level) >= prevLevel {
+				return false // levels must strictly decrease
+			}
+			if pos%(1<<d.Level) != 0 {
+				return false // alignment: Pos multiple of size
+			}
+			prevLevel = int(d.Level)
+			pos += d.Size()
+		}
+		return pos == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuxIndexMatchesDecompose(t *testing.T) {
+	aux := BuildAuxIndex(300)
+	if aux.MaxSize() != 300 {
+		t.Fatalf("MaxSize = %d", aux.MaxSize())
+	}
+	if len(aux.Decomp(0)) != 0 {
+		t.Fatalf("Decomp(0) = %v", aux.Decomp(0))
+	}
+	for m := 1; m <= 300; m++ {
+		if !reflect.DeepEqual(aux.Decomp(m), Decompose(m, nil)) {
+			t.Fatalf("aux.Decomp(%d) = %v, want %v", m, aux.Decomp(m), Decompose(m, nil))
+		}
+	}
+}
+
+func TestAuxIndexParallelMatchesSerial(t *testing.T) {
+	a := BuildAuxIndex(5000)
+	b := BuildAuxIndexParallel(5000, 8)
+	if !reflect.DeepEqual(a.off, b.off) || !reflect.DeepEqual(a.entries, b.entries) {
+		t.Fatal("parallel auxiliary index differs from serial")
+	}
+}
+
+func TestAuxIndexPanicsOutOfRange(t *testing.T) {
+	aux := BuildAuxIndex(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range size")
+		}
+	}()
+	aux.Decomp(11)
+}
+
+func TestSlotCountAndLevelBases(t *testing.T) {
+	// n=7: levels 1 (3 trunks of 2 → 6 slots) and 2 (1 trunk of 4 → 4 slots).
+	if got := slotCount(7); got != 10 {
+		t.Fatalf("slotCount(7) = %d, want 10", got)
+	}
+	base := make([]int32, 3)
+	if k := levelBases(7, base); k != 2 {
+		t.Fatalf("topLevel = %d", k)
+	}
+	if base[1] != 0 || base[2] != 6 {
+		t.Fatalf("bases = %v, want [_,0,6]", base)
+	}
+	if slotCount(1) != 0 || slotCount(0) != 0 {
+		t.Fatal("degenerate slot counts")
+	}
+}
+
+func buildCommuteIndex(t *testing.T, cfg Config) *Index {
+	t.Helper()
+	g := temporal.CommuteGraph()
+	w := testutil.Weights(t, g, sampling.WeightSpec{Kind: sampling.WeightLinearRank})
+	if cfg.SmallDegreeCutoff == 0 {
+		cfg.SmallDegreeCutoff = -1 // exercise the full hierarchy on the toy graph
+	}
+	return Build(w, cfg)
+}
+
+// Figure 6 scenario: candidate set {6,5,4} (arrival from 9 at t=4) decomposes
+// into trunks {6,5} and {4}; sampled distribution must match weights 7,6,5.
+func TestFigure6Distribution(t *testing.T) {
+	idx := buildCommuteIndex(t, Config{Threads: 1})
+	r := xrand.New(1)
+	k := idx.Graph().CandidateCount(7, 4)
+	if k != 3 {
+		t.Fatalf("candidates = %d", k)
+	}
+	testutil.CheckDistribution(t, "fig6", []float64{7, 6, 5}, 40000, func() (int, bool) {
+		e, _, ok := idx.Sample(7, k, r)
+		return e, ok
+	})
+}
+
+func TestEveryPrefixEveryConfig(t *testing.T) {
+	for _, disableAux := range []bool{false, true} {
+		idx := buildCommuteIndex(t, Config{Threads: 1, DisableAuxIndex: disableAux})
+		r := xrand.New(2)
+		for k := 1; k <= 7; k++ {
+			want := make([]float64, k)
+			for i := range want {
+				want[i] = float64(7 - i)
+			}
+			testutil.CheckDistribution(t, "prefix", want, 20000, func() (int, bool) {
+				e, _, ok := idx.Sample(7, k, r)
+				return e, ok
+			})
+		}
+	}
+}
+
+func TestSmallDegreeCutoffPath(t *testing.T) {
+	g := temporal.CommuteGraph()
+	w := testutil.Weights(t, g, sampling.WeightSpec{Kind: sampling.WeightLinearRank})
+	idx := Build(w, Config{SmallDegreeCutoff: 16}) // degree 7 < 16 → scan path
+	if len(idx.prob) != 0 {
+		t.Fatalf("cutoff did not suppress alias slots: %d", len(idx.prob))
+	}
+	r := xrand.New(3)
+	testutil.CheckDistribution(t, "cutoff", []float64{7, 6, 5, 4}, 40000, func() (int, bool) {
+		e, _, ok := idx.Sample(7, 4, r)
+		return e, ok
+	})
+}
+
+func TestZeroAndDegenerate(t *testing.T) {
+	idx := buildCommuteIndex(t, Config{})
+	r := xrand.New(4)
+	if _, _, ok := idx.Sample(7, 0, r); ok {
+		t.Fatal("k=0 sampled")
+	}
+	if _, _, ok := idx.Sample(1, 3, r); ok {
+		t.Fatal("degree-0 vertex sampled")
+	}
+	if _, _, ok := idx.Sample(7, -2, r); ok {
+		t.Fatal("negative k sampled")
+	}
+}
+
+func TestKClamped(t *testing.T) {
+	idx := buildCommuteIndex(t, Config{})
+	r := xrand.New(5)
+	for i := 0; i < 2000; i++ {
+		e, _, ok := idx.Sample(7, 1000, r)
+		if !ok || e < 0 || e >= 7 {
+			t.Fatalf("clamped sample (%d,%v)", e, ok)
+		}
+	}
+}
+
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	g := testutil.RandomGraph(t, 300, 20000, 2000, 9)
+	w := testutil.Weights(t, g, sampling.Exponential(0.01))
+	a := Build(w, Config{Threads: 1})
+	b := Build(w, Config{Threads: 8})
+	if !reflect.DeepEqual(a.cum, b.cum) || !reflect.DeepEqual(a.prob, b.prob) ||
+		!reflect.DeepEqual(a.alias, b.alias) || !reflect.DeepEqual(a.lvl, b.lvl) {
+		t.Fatal("parallel HPAT build differs from serial")
+	}
+}
+
+func TestRandomGraphDistributionAllWeights(t *testing.T) {
+	g := testutil.RandomGraph(t, 40, 2500, 800, 10)
+	specs := []sampling.WeightSpec{
+		{Kind: sampling.WeightUniform},
+		{Kind: sampling.WeightLinearTime},
+		{Kind: sampling.WeightLinearRank},
+		sampling.Exponential(0.01),
+	}
+	best := temporal.Vertex(0)
+	for u := 0; u < g.NumVertices(); u++ {
+		if g.Degree(temporal.Vertex(u)) > g.Degree(best) {
+			best = temporal.Vertex(u)
+		}
+	}
+	deg := g.Degree(best)
+	for si, spec := range specs {
+		w := testutil.Weights(t, g, spec)
+		idx := Build(w, Config{})
+		r := xrand.New(uint64(20 + si))
+		for _, k := range []int{1, 3, deg / 2, deg} {
+			if k < 1 {
+				continue
+			}
+			want := append([]float64(nil), w.Vertex(best)[:k]...)
+			testutil.CheckDistribution(t, spec.Kind.String(), want, 25000, func() (int, bool) {
+				e, _, ok := idx.Sample(best, k, r)
+				return e, ok
+			})
+		}
+	}
+}
+
+// HPAT and PAT-level exactness: sampling cost must be O(log log D)-ish, far
+// below the degree, even on a 2^14-degree hub.
+func TestEvaluatedCostTiny(t *testing.T) {
+	g := testutil.SkewedGraph(t, 64, 1<<14)
+	w := testutil.Weights(t, g, sampling.Exponential(0.0005))
+	idx := Build(w, Config{})
+	r := xrand.New(11)
+	deg := g.Degree(0)
+	var maxEval int64
+	for i := 0; i < 5000; i++ {
+		k := 1 + r.IntN(deg)
+		_, ev, ok := idx.Sample(0, k, r)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		if ev > maxEval {
+			maxEval = ev
+		}
+	}
+	if maxEval > 24 {
+		t.Fatalf("HPAT evaluated %d slots on a degree-%d vertex", maxEval, deg)
+	}
+}
+
+func TestHPATNameReflectsAux(t *testing.T) {
+	with := buildCommuteIndex(t, Config{})
+	without := buildCommuteIndex(t, Config{DisableAuxIndex: true})
+	if with.Name() != "HPAT+Index" || !with.HasAuxIndex() {
+		t.Fatalf("with-aux name %q", with.Name())
+	}
+	if without.Name() != "HPAT" || without.HasAuxIndex() {
+		t.Fatalf("without-aux name %q", without.Name())
+	}
+}
+
+func TestMemoryLargerThanPATScale(t *testing.T) {
+	g := testutil.SkewedGraph(t, 64, 4096)
+	w := testutil.Weights(t, g, sampling.WeightSpec{})
+	idx := Build(w, Config{})
+	// O(D log D) slots: for the hub alone ≥ 11*2048 slots.
+	if idx.MemoryBytes() < 11*2048*12 {
+		t.Fatalf("suspiciously small HPAT: %d bytes", idx.MemoryBytes())
+	}
+	hp, ax := idx.BuildTimings()
+	if hp <= 0 || ax <= 0 {
+		t.Fatalf("build timings not recorded: hpat=%d aux=%d", hp, ax)
+	}
+}
+
+func TestTotalMatchesPrefixSum(t *testing.T) {
+	idx := buildCommuteIndex(t, Config{})
+	want := []float64{0, 7, 13, 18, 22, 25, 27, 28}
+	for k, v := range want {
+		if got := idx.Total(7, k); got != v {
+			t.Fatalf("Total(7,%d) = %v, want %v", k, got, v)
+		}
+	}
+}
+
+func TestTableMatchesIndexDistribution(t *testing.T) {
+	w := []float64{7, 6, 5, 4, 3, 2, 1}
+	tab := NewTable(w)
+	if tab.Len() != 7 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	aux := BuildAuxIndex(8)
+	r := xrand.New(12)
+	for _, useAux := range []bool{true, false} {
+		for k := 1; k <= 7; k++ {
+			want := w[:k]
+			a := aux
+			if !useAux {
+				a = nil
+			}
+			testutil.CheckDistribution(t, "table", want, 15000, func() (int, bool) {
+				e, _, ok := tab.Sample(k, a, r)
+				return e, ok
+			})
+		}
+	}
+}
+
+func TestTableSampleOffset(t *testing.T) {
+	w := []float64{5, 4, 3, 2, 1}
+	tab := NewTable(w)
+	r := xrand.New(13)
+	// Drawing x uniformly ourselves must reproduce the weighted distribution.
+	testutil.CheckDistribution(t, "table-offset", w, 40000, func() (int, bool) {
+		x := r.Range(tab.Total(5))
+		e, _, ok := tab.SampleOffset(5, x, r)
+		return e, ok
+	})
+}
+
+func TestTableDegenerate(t *testing.T) {
+	r := xrand.New(14)
+	empty := NewTable(nil)
+	if _, _, ok := empty.Sample(1, nil, r); ok {
+		t.Fatal("empty table sampled")
+	}
+	if empty.MemoryBytes() < 0 {
+		t.Fatal("negative memory")
+	}
+	single := NewTable([]float64{2})
+	e, _, ok := single.Sample(1, nil, r)
+	if !ok || e != 0 {
+		t.Fatalf("single-edge table sample (%d,%v)", e, ok)
+	}
+	zero := NewTable([]float64{0, 0})
+	if _, _, ok := zero.Sample(2, nil, r); ok {
+		t.Fatal("zero-weight table sampled")
+	}
+}
+
+func TestTableCopiesWeights(t *testing.T) {
+	w := []float64{3, 2, 1}
+	tab := NewTable(w)
+	w[0] = 999
+	if tab.Weights()[0] != 3 {
+		t.Fatal("table aliases caller weights")
+	}
+}
+
+func BenchmarkHPATSampleWithAux(b *testing.B) {
+	benchSample(b, Config{})
+}
+
+func BenchmarkHPATSampleNoAux(b *testing.B) {
+	benchSample(b, Config{DisableAuxIndex: true})
+}
+
+func benchSample(b *testing.B, cfg Config) {
+	g := testutil.SkewedGraph(b, 64, 1<<14)
+	w, err := sampling.BuildGraphWeights(g, sampling.Exponential(0.0005), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := Build(w, cfg)
+	r := xrand.New(1)
+	deg := g.Degree(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Sample(0, 1+r.IntN(deg), r)
+	}
+}
+
+func BenchmarkHPATBuild(b *testing.B) {
+	g := testutil.RandomGraph(b, 2000, 200000, 10000, 1)
+	w, err := sampling.BuildGraphWeights(g, sampling.Exponential(0.001), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(w, Config{})
+	}
+}
+
+func BenchmarkAuxIndexBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		BuildAuxIndexParallel(1<<20, 0)
+	}
+}

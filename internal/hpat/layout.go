@@ -1,0 +1,132 @@
+package hpat
+
+import (
+	"math/bits"
+
+	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+// maxLevels bounds the trunk hierarchy depth; degrees are < 2^40.
+const maxLevels = 40
+
+// topLevel returns K = ⌊log2 n⌋ for n ≥ 1, the deepest trunk level of a
+// vertex with n edges (Eq. 5).
+func topLevel(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	return bits.Len(uint(n)) - 1
+}
+
+// slotCount returns the total alias-table slots of levels 1..K for a vertex
+// with n edges: Σ_k ⌊n/2^k⌋·2^k, the O(D log D) space of §3.3. Level 0
+// trunks are single edges sampled directly and need no table.
+func slotCount(n int) int64 {
+	total := int64(0)
+	for k := 1; k <= topLevel(n); k++ {
+		total += int64(n>>k) << k
+	}
+	return total
+}
+
+// levelBases fills base[k] (for k = 1..K) with the slot offset of level k's
+// trunk tables within the vertex's slot block, and returns K. base must have
+// at least topLevel(n)+1 elements; base[0] is unused and set to 0.
+func levelBases(n int, base []int32) int {
+	kTop := topLevel(n)
+	off := int32(0)
+	if len(base) > 0 {
+		base[0] = 0
+	}
+	for k := 1; k <= kTop; k++ {
+		base[k] = off
+		off += int32(n>>k) << k
+	}
+	return kTop
+}
+
+// buildBlock constructs one vertex's HPAT storage in place:
+//
+//   - cum: per-edge prefix sums, len n+1 (the ITS array C of Figure 6),
+//   - prob/alias: packed alias tables of levels 1..K, len slotCount(n),
+//   - base: level offsets as produced by levelBases.
+//
+// scratch is FillAlias working space of at least 2^(K+1) int32s; pass nil to
+// allocate. The function touches only the provided slices, so disjoint
+// vertices build lock-free in parallel (§4.2).
+func buildBlock(w []float64, cum []float64, prob []float64, alias []int32, base []int32, scratch []int32) {
+	n := len(w)
+	sum := 0.0
+	cum[0] = 0
+	for i, x := range w {
+		sum += x
+		cum[i+1] = sum
+	}
+	kTop := topLevel(n)
+	if kTop < 1 {
+		return
+	}
+	if scratch == nil {
+		scratch = make([]int32, 2<<uint(kTop))
+	}
+	for k := 1; k <= kTop; k++ {
+		size := 1 << k
+		trunks := n >> k
+		lvl := int(base[k])
+		for i := 0; i < trunks; i++ {
+			lo := i * size
+			sampling.FillAlias(w[lo:lo+size], prob[lvl+lo:lvl+lo+size], alias[lvl+lo:lvl+lo+size], scratch[:2*size])
+		}
+	}
+}
+
+// sampleBlock draws an edge index from the k-element prefix of a vertex block
+// built by buildBlock. dec must be the decomposition of k (from the auxiliary
+// index or Decompose). evaluated counts array slots examined: the Figure 2
+// "edges per step" metric.
+func sampleBlock(cum, w, prob []float64, alias []int32, base []int32, dec []DecompEntry, r *xrand.Rand) (edge int, evaluated int64, ok bool) {
+	k := 0
+	for _, d := range dec {
+		k += d.Size()
+	}
+	total := cum[k]
+	if !(total > 0) {
+		return 0, 0, false
+	}
+	x := r.Range(total)
+	// ITS over the ≤ log2(k) trunk boundaries: O(log log D).
+	lo, hi := 0, len(dec)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		end := int(dec[mid].Pos) + dec[mid].Size()
+		evaluated++
+		if cum[end] > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	d := dec[lo]
+	if d.Level == 0 {
+		evaluated++
+		return int(d.Pos), evaluated, true
+	}
+	s := int(base[d.Level]) + int(d.Pos)
+	size := d.Size()
+	slot, sok := sampling.SampleAliasSlots(prob[s:s+size], alias[s:s+size], r)
+	evaluated += 2
+	if !sok {
+		// A trunk is selected only when it carries positive mass, so its
+		// alias table cannot be degenerate; guard for float round-off by
+		// falling back to a local scan.
+		start := int(d.Pos)
+		i, lok := sampling.LinearITS(w[start:start+size], cum[start+size]-cum[start], r)
+		evaluated += int64(size)
+		if !lok {
+			return 0, evaluated, false
+		}
+		return start + i, evaluated, true
+	}
+	return int(d.Pos) + slot, evaluated, true
+}

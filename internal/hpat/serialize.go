@@ -1,0 +1,262 @@
+package hpat
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/temporal"
+)
+
+// indexMagic identifies the serialized HPAT format ("TEAI" + version 1).
+var indexMagic = [8]byte{'T', 'E', 'A', 'I', 0, 0, 0, 1}
+
+// ErrIndexFormat is returned for malformed serialized indices.
+var ErrIndexFormat = errors.New("hpat: malformed serialized index")
+
+// ErrIndexMismatch is returned when a serialized index does not match the
+// graph it is being attached to.
+var ErrIndexMismatch = errors.New("hpat: serialized index does not match graph")
+
+// WriteTo serializes the index (including the per-edge weights it samples
+// from) so preprocessing can be done once and reused across runs. The
+// auxiliary index is not stored — it depends only on the maximum degree and
+// is rebuilt on load faster than it can be read from disk.
+func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<20)}
+	write := func(p []byte) error {
+		_, err := cw.Write(p)
+		return err
+	}
+	if err := write(indexMagic[:]); err != nil {
+		return cw.n, err
+	}
+	var hdr [40]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(idx.g.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(idx.g.NumEdges()))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(idx.prob)))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(len(idx.lvl)))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(idx.cutoff))
+	if err := write(hdr[:]); err != nil {
+		return cw.n, err
+	}
+	hasAux := byte(0)
+	if idx.aux != nil {
+		hasAux = 1
+	}
+	if err := write([]byte{hasAux}); err != nil {
+		return cw.n, err
+	}
+	for _, arr := range [][]float64{idx.weights.Flat, idx.cum, idx.prob} {
+		if err := writeF64s(cw, arr); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := writeI32s(cw, idx.alias); err != nil {
+		return cw.n, err
+	}
+	if err := writeI32s(cw, idx.lvl); err != nil {
+		return cw.n, err
+	}
+	if err := cw.w.(*bufio.Writer).Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadIndex deserializes an index produced by WriteTo and attaches it to g,
+// which must be the same graph (vertex and edge counts are verified; the
+// layout is then recomputed and must match the stored array sizes).
+func ReadIndex(r io.Reader, g *temporal.Graph) (*Index, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: magic: %v", ErrIndexFormat, err)
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("%w: bad magic %x", ErrIndexFormat, magic)
+	}
+	var hdr [40]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrIndexFormat, err)
+	}
+	numV := int(binary.LittleEndian.Uint64(hdr[0:]))
+	numE := int(binary.LittleEndian.Uint64(hdr[8:]))
+	slots := int(binary.LittleEndian.Uint64(hdr[16:]))
+	lvls := int(binary.LittleEndian.Uint64(hdr[24:]))
+	cutoff := int(binary.LittleEndian.Uint64(hdr[32:]))
+	if numV != g.NumVertices() || numE != g.NumEdges() {
+		return nil, fmt.Errorf("%w: stored V=%d E=%d, graph V=%d E=%d",
+			ErrIndexMismatch, numV, numE, g.NumVertices(), g.NumEdges())
+	}
+	var auxByte [1]byte
+	if _, err := io.ReadFull(br, auxByte[:]); err != nil {
+		return nil, fmt.Errorf("%w: aux flag: %v", ErrIndexFormat, err)
+	}
+
+	// Recompute the layout from the graph; it must agree with the stored
+	// array lengths or the cutoff/graph changed.
+	idx := &Index{
+		g:       g,
+		cumOff:  make([]int64, numV+1),
+		slotOff: make([]int64, numV+1),
+		lvlOff:  make([]int64, numV+1),
+		cutoff:  cutoff,
+	}
+	for u := 0; u < numV; u++ {
+		deg := g.Degree(temporal.Vertex(u))
+		idx.cumOff[u+1] = idx.cumOff[u] + int64(deg) + 1
+		idx.lvlOff[u+1] = idx.lvlOff[u] + int64(topLevel(deg)) + 1
+		if deg > cutoff {
+			idx.slotOff[u+1] = idx.slotOff[u] + slotCount(deg)
+		} else {
+			idx.slotOff[u+1] = idx.slotOff[u]
+		}
+	}
+	if int(idx.slotOff[numV]) != slots || int(idx.lvlOff[numV]) != lvls {
+		return nil, fmt.Errorf("%w: layout mismatch (slots %d vs %d, levels %d vs %d)",
+			ErrIndexMismatch, idx.slotOff[numV], slots, idx.lvlOff[numV], lvls)
+	}
+
+	flat := make([]float64, numE)
+	if err := readF64s(br, flat); err != nil {
+		return nil, err
+	}
+	idx.weights = sampling.WrapGraphWeights(g, flat)
+	idx.cum = make([]float64, idx.cumOff[numV])
+	if err := readF64s(br, idx.cum); err != nil {
+		return nil, err
+	}
+	idx.prob = make([]float64, slots)
+	if err := readF64s(br, idx.prob); err != nil {
+		return nil, err
+	}
+	idx.alias = make([]int32, slots)
+	if err := readI32s(br, idx.alias); err != nil {
+		return nil, err
+	}
+	idx.lvl = make([]int32, lvls)
+	if err := readI32s(br, idx.lvl); err != nil {
+		return nil, err
+	}
+	if auxByte[0] != 0 {
+		idx.aux = BuildAuxIndexParallel(g.MaxDegree(), 0)
+	}
+	return idx, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+// Write implements io.Writer, tracking the byte total.
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+const chunkElems = 8192
+
+func writeF64s(w io.Writer, arr []float64) error {
+	var lenHdr [8]byte
+	binary.LittleEndian.PutUint64(lenHdr[:], uint64(len(arr)))
+	if _, err := w.Write(lenHdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, chunkElems*8)
+	for off := 0; off < len(arr); off += chunkElems {
+		end := off + chunkElems
+		if end > len(arr) {
+			end = len(arr)
+		}
+		n := 0
+		for _, v := range arr[off:end] {
+			binary.LittleEndian.PutUint64(buf[n:], math.Float64bits(v))
+			n += 8
+		}
+		if _, err := w.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readF64s(r io.Reader, arr []float64) error {
+	var lenHdr [8]byte
+	if _, err := io.ReadFull(r, lenHdr[:]); err != nil {
+		return fmt.Errorf("%w: array header: %v", ErrIndexFormat, err)
+	}
+	if n := binary.LittleEndian.Uint64(lenHdr[:]); n != uint64(len(arr)) {
+		return fmt.Errorf("%w: array length %d, want %d", ErrIndexFormat, n, len(arr))
+	}
+	buf := make([]byte, chunkElems*8)
+	for off := 0; off < len(arr); off += chunkElems {
+		end := off + chunkElems
+		if end > len(arr) {
+			end = len(arr)
+		}
+		chunk := buf[:(end-off)*8]
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return fmt.Errorf("%w: array body: %v", ErrIndexFormat, err)
+		}
+		for i := off; i < end; i++ {
+			arr[i] = math.Float64frombits(binary.LittleEndian.Uint64(chunk[(i-off)*8:]))
+		}
+	}
+	return nil
+}
+
+func writeI32s(w io.Writer, arr []int32) error {
+	var lenHdr [8]byte
+	binary.LittleEndian.PutUint64(lenHdr[:], uint64(len(arr)))
+	if _, err := w.Write(lenHdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, chunkElems*4)
+	for off := 0; off < len(arr); off += chunkElems {
+		end := off + chunkElems
+		if end > len(arr) {
+			end = len(arr)
+		}
+		n := 0
+		for _, v := range arr[off:end] {
+			binary.LittleEndian.PutUint32(buf[n:], uint32(v))
+			n += 4
+		}
+		if _, err := w.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readI32s(r io.Reader, arr []int32) error {
+	var lenHdr [8]byte
+	if _, err := io.ReadFull(r, lenHdr[:]); err != nil {
+		return fmt.Errorf("%w: array header: %v", ErrIndexFormat, err)
+	}
+	if n := binary.LittleEndian.Uint64(lenHdr[:]); n != uint64(len(arr)) {
+		return fmt.Errorf("%w: array length %d, want %d", ErrIndexFormat, n, len(arr))
+	}
+	buf := make([]byte, chunkElems*4)
+	for off := 0; off < len(arr); off += chunkElems {
+		end := off + chunkElems
+		if end > len(arr) {
+			end = len(arr)
+		}
+		chunk := buf[:(end-off)*4]
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return fmt.Errorf("%w: array body: %v", ErrIndexFormat, err)
+		}
+		for i := off; i < end; i++ {
+			arr[i] = int32(binary.LittleEndian.Uint32(chunk[(i-off)*4:]))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package hpat
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/testutil"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	g := testutil.RandomGraph(t, 250, 12000, 2000, 21)
+	w := testutil.Weights(t, g, sampling.Exponential(0.005))
+	idx := Build(w, Config{})
+
+	var buf bytes.Buffer
+	n, err := idx.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	got, err := ReadIndex(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(idx.cum, got.cum) || !reflect.DeepEqual(idx.prob, got.prob) ||
+		!reflect.DeepEqual(idx.alias, got.alias) || !reflect.DeepEqual(idx.lvl, got.lvl) ||
+		!reflect.DeepEqual(idx.weights.Flat, got.weights.Flat) {
+		t.Fatal("round trip changed index contents")
+	}
+	if got.HasAuxIndex() != idx.HasAuxIndex() {
+		t.Fatal("aux index presence lost")
+	}
+
+	// Loaded index must sample identically to the original.
+	r1, r2 := xrand.New(3), xrand.New(3)
+	for i := 0; i < 5000; i++ {
+		u := 0
+		for g.Degree(0) == 0 {
+			u++
+		}
+		k := 1 + int(r1.Uint64N(uint64(g.Degree(0))))
+		_ = r2.Uint64N(uint64(g.Degree(0))) // keep streams aligned
+		e1, _, ok1 := idx.Sample(0, k, r1)
+		e2, _, ok2 := got.Sample(0, k, r2)
+		if e1 != e2 || ok1 != ok2 {
+			t.Fatalf("sample divergence at draw %d: (%d,%v) vs (%d,%v)", i, e1, ok1, e2, ok2)
+		}
+		_ = u
+	}
+}
+
+func TestSerializeNoAux(t *testing.T) {
+	g := testutil.RandomGraph(t, 100, 3000, 500, 23)
+	w := testutil.Weights(t, g, sampling.WeightSpec{Kind: sampling.WeightLinearRank})
+	idx := Build(w, Config{DisableAuxIndex: true})
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HasAuxIndex() {
+		t.Fatal("aux index appeared from nowhere")
+	}
+}
+
+func TestReadIndexRejectsWrongGraph(t *testing.T) {
+	g := testutil.RandomGraph(t, 100, 3000, 500, 25)
+	w := testutil.Weights(t, g, sampling.WeightSpec{})
+	idx := Build(w, Config{})
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := testutil.RandomGraph(t, 120, 3000, 500, 25)
+	if _, err := ReadIndex(bytes.NewReader(buf.Bytes()), other); !errors.Is(err, ErrIndexMismatch) {
+		t.Fatalf("wrong-graph err = %v", err)
+	}
+}
+
+func TestReadIndexRejectsGarbage(t *testing.T) {
+	g := testutil.RandomGraph(t, 10, 50, 50, 27)
+	if _, err := ReadIndex(bytes.NewReader([]byte("not an index")), g); !errors.Is(err, ErrIndexFormat) {
+		t.Fatalf("garbage err = %v", err)
+	}
+	// Truncated stream.
+	w := testutil.Weights(t, g, sampling.WeightSpec{})
+	idx := Build(w, Config{})
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadIndex(bytes.NewReader(trunc), g); err == nil {
+		t.Fatal("truncated index accepted")
+	}
+}
+
+func TestWrapGraphWeightsPanicsOnMismatch(t *testing.T) {
+	g := testutil.RandomGraph(t, 10, 50, 50, 29)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	sampling.WrapGraphWeights(g, make([]float64, 3))
+}

@@ -1,0 +1,163 @@
+package ooc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/tea-graph/tea/internal/stats"
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+// ErrCustomWeight mirrors the baseline restriction for the on-disk engines.
+var ErrCustomWeight = errors.New("ooc: custom weight functions are not supported out of core")
+
+// WalkFlushThreshold is the number of completed walks buffered before they
+// are flushed to disk, matching GraphWalker's policy that TEA adopts (§4.1:
+// "we flush the completed ones to disk when the number of them reaches
+// 1,024").
+const WalkFlushThreshold = 1024
+
+// Sampler is the sampling contract shared with the in-memory engine.
+type Sampler interface {
+	Name() string
+	Sample(u temporal.Vertex, k int, r *xrand.Rand) (int, int64, bool)
+	MemoryBytes() int64
+}
+
+// Engine drives temporal walks whose sampling structure lives on disk,
+// buffering completed walks and flushing them to the output store in groups
+// of WalkFlushThreshold.
+type Engine struct {
+	g       *temporal.Graph
+	sampler Sampler
+	out     *Store
+}
+
+// NewEngine wires a disk-backed sampler to a walk output store. out may be
+// nil, in which case completed walks are discarded (cost accounting only).
+func NewEngine(g *temporal.Graph, sampler Sampler, out *Store) *Engine {
+	return &Engine{g: g, sampler: sampler, out: out}
+}
+
+// Result reports an out-of-core run.
+type Result struct {
+	Cost     stats.Cost
+	Duration time.Duration
+	Flushes  int
+}
+
+// Run walks length steps from every vertex (walksPerVertex copies each) and
+// returns merged costs. Walks are executed sequentially per the out-of-core
+// model where the device, not the CPU, is the bottleneck; the sampler's store
+// accumulates the I/O counters.
+func (e *Engine) Run(walksPerVertex, length int, seed uint64) (*Result, error) {
+	if walksPerVertex <= 0 {
+		walksPerVertex = 1
+	}
+	if length <= 0 {
+		length = 80
+	}
+	root := xrand.New(seed)
+	res := &Result{}
+	start := time.Now()
+
+	buffer := make([]Path, 0, WalkFlushThreshold)
+	flush := func() error {
+		if len(buffer) == 0 || e.out == nil {
+			return nil
+		}
+		if err := writeWalks(e.out, buffer); err != nil {
+			return err
+		}
+		res.Flushes++
+		buffer = buffer[:0]
+		return nil
+	}
+
+	walkID := uint64(0)
+	for u := 0; u < e.g.NumVertices(); u++ {
+		for c := 0; c < walksPerVertex; c++ {
+			r := root.Split(walkID)
+			walkID++
+			p := e.walkOne(temporal.Vertex(u), length, r, &res.Cost)
+			buffer = append(buffer, p)
+			if len(buffer) >= WalkFlushThreshold {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if e.out != nil && len(buffer) > 0 {
+		if err := flush(); err != nil {
+			return nil, err
+		}
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// Path is one completed walk.
+type Path struct {
+	Vertices []temporal.Vertex
+	Times    []temporal.Time
+}
+
+func (e *Engine) walkOne(src temporal.Vertex, length int, r *xrand.Rand, cost *stats.Cost) Path {
+	cost.WalksStarted++
+	p := Path{Vertices: []temporal.Vertex{src}}
+	u := src
+	k := e.g.CandidateCount(u, temporal.MinTime)
+	steps := 0
+	for steps < length && k > 0 {
+		idx, ev, ok := e.sampler.Sample(u, k, r)
+		cost.EdgesEvaluated += ev
+		if !ok {
+			break
+		}
+		dst, at := e.g.EdgeAt(u, idx)
+		p.Vertices = append(p.Vertices, dst)
+		p.Times = append(p.Times, at)
+		cost.Steps++
+		k = e.g.CandidateCountAfterEdge(u, idx)
+		u = dst
+		steps++
+	}
+	if steps == length {
+		cost.WalksCompleted++
+	} else {
+		cost.WalksDeadEnded++
+	}
+	return p
+}
+
+// writeWalks serializes a flush batch: per walk, a length header followed by
+// (vertex, time) pairs.
+func writeWalks(out *Store, walks []Path) error {
+	size := 0
+	for _, w := range walks {
+		size += 4 + len(w.Vertices)*4 + len(w.Times)*8
+	}
+	buf := make([]byte, size)
+	pos := 0
+	for _, w := range walks {
+		binary.LittleEndian.PutUint32(buf[pos:], uint32(len(w.Vertices)))
+		pos += 4
+		for _, v := range w.Vertices {
+			binary.LittleEndian.PutUint32(buf[pos:], uint32(v))
+			pos += 4
+		}
+		for _, t := range w.Times {
+			binary.LittleEndian.PutUint64(buf[pos:], uint64(t))
+			pos += 8
+		}
+	}
+	if pos != size {
+		return fmt.Errorf("ooc: walk serialization mismatch: %d != %d", pos, size)
+	}
+	_, err := out.Append(buf)
+	return err
+}

@@ -1,0 +1,144 @@
+package ooc
+
+import (
+	"encoding/binary"
+	"math"
+
+	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+// edgeRecBytes is the on-disk footprint of one adjacency record: timestamp
+// (8) plus destination (4), the data a full-scan engine must load to rebuild
+// a candidate distribution.
+const edgeRecBytes = 12
+
+// DiskGraphWalker is the out-of-core baseline of §5.6: a GraphWalker-style
+// engine that, on every step, loads the walker's full candidate adjacency
+// block from disk (O(D) I/O) and rebuilds the transition distribution by a
+// sequential scan.
+type DiskGraphWalker struct {
+	g        *temporal.Graph
+	store    *Store
+	spec     sampling.WeightSpec
+	lambda   float64
+	minT     temporal.Time
+	edgeBase int64
+	edgeOff  []int64
+}
+
+// BuildDiskGraphWalker serializes the graph's adjacency onto the store in the
+// layout the baseline reads back during sampling.
+func BuildDiskGraphWalker(g *temporal.Graph, spec sampling.WeightSpec, store *Store) (*DiskGraphWalker, error) {
+	if spec.Custom != nil {
+		return nil, ErrCustomWeight
+	}
+	lambda := spec.Lambda
+	if lambda == 0 {
+		lambda = 1
+	}
+	minT, _ := g.TimeRange()
+	d := &DiskGraphWalker{
+		g:      g,
+		store:  store,
+		spec:   spec,
+		lambda: lambda,
+		minT:   minT,
+		edgeOff: func() []int64 {
+			off := make([]int64, g.NumVertices()+1)
+			for u := 0; u < g.NumVertices(); u++ {
+				off[u+1] = off[u] + int64(g.Degree(temporal.Vertex(u)))
+			}
+			return off
+		}(),
+	}
+	base, err := store.Append(nil)
+	if err != nil {
+		return nil, err
+	}
+	d.edgeBase = base
+	buf := make([]byte, 1<<16)
+	pos := 0
+	off := base
+	flush := func() error {
+		if pos == 0 {
+			return nil
+		}
+		if err := store.WriteAt(buf[:pos], off); err != nil {
+			return err
+		}
+		off += int64(pos)
+		pos = 0
+		return nil
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		times := g.OutTimes(temporal.Vertex(u))
+		dsts := g.OutDst(temporal.Vertex(u))
+		for i := range times {
+			if pos+edgeRecBytes > len(buf) {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+			binary.LittleEndian.PutUint64(buf[pos:], uint64(times[i]))
+			binary.LittleEndian.PutUint32(buf[pos+8:], uint32(dsts[i]))
+			pos += edgeRecBytes
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Name implements the engine's Sampler contract.
+func (d *DiskGraphWalker) Name() string { return "GraphWalker-OOC" }
+
+// Sample implements the Sampler contract. Per §5.6, GraphWalker "has to load
+// D neighbors in memory for sampling": the engine reads the vertex's entire
+// adjacency block (it has no time-ordered index to know where the candidates
+// stop), then filters to the k candidates and inverse-transform samples.
+func (d *DiskGraphWalker) Sample(u temporal.Vertex, k int, r *xrand.Rand) (int, int64, bool) {
+	if k <= 0 {
+		return 0, 0, false
+	}
+	deg := d.g.Degree(u)
+	if deg == 0 {
+		return 0, 0, false
+	}
+	if k > deg {
+		k = deg
+	}
+	buf := make([]byte, deg*edgeRecBytes)
+	if err := d.store.ReadAt(buf, d.edgeBase+d.edgeOff[u]*edgeRecBytes); err != nil {
+		return 0, 0, false
+	}
+	newest := temporal.Time(int64(binary.LittleEndian.Uint64(buf)))
+	w := make([]float64, k)
+	total := 0.0
+	for i := 0; i < k; i++ {
+		t := temporal.Time(int64(binary.LittleEndian.Uint64(buf[i*edgeRecBytes:])))
+		var x float64
+		switch d.spec.Kind {
+		case sampling.WeightUniform:
+			x = 1
+		case sampling.WeightLinearTime:
+			x = float64(t-d.minT) + 1
+		case sampling.WeightLinearRank:
+			x = float64(deg - i)
+		default:
+			x = math.Exp(d.lambda * float64(t-newest))
+		}
+		w[i] = x
+		total += x
+	}
+	idx, ok := sampling.LinearITS(w, total, r)
+	return idx, int64(deg + k), ok
+}
+
+// MemoryBytes implements the Sampler contract: only vertex offsets resident.
+func (d *DiskGraphWalker) MemoryBytes() int64 { return int64(len(d.edgeOff)) * 8 }
+
+// Store returns the backing block store.
+func (d *DiskGraphWalker) Store() *Store { return d.store }

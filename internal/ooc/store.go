@@ -1,0 +1,148 @@
+// Package ooc implements TEA's out-of-core execution mode (§4.1, §5.6): the
+// sampling indices live in a file-backed block store, only the trunk
+// prefix-sum arrays stay in memory, and every step fetches one trunk's
+// payload (O(trunkSize) I/O) — against a GraphWalker-style baseline that must
+// load all D candidate edges per step (O(D) I/O).
+//
+// The paper's testbed is a 1 TB SATA SSD. We substitute a real temp file plus
+// exact byte/operation accounting and a calibrated cost model, because the
+// experimental effect of Figure 14 is I/O *volume*, which we measure
+// precisely (see DESIGN.md, substitutions).
+package ooc
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// Store is a file-backed block store with read/write accounting. All methods
+// are safe for concurrent use.
+type Store struct {
+	f            *os.File
+	path         string
+	removeOnStop bool
+
+	bytesRead    atomic.Int64
+	readOps      atomic.Int64
+	pagesRead    atomic.Int64
+	bytesWritten atomic.Int64
+	writeOps     atomic.Int64
+}
+
+// PageSize is the device page granularity used for I/O-time modelling: a
+// read of n bytes touches ⌈n/PageSize⌉ pages.
+const PageSize = 4096
+
+// NewTempStore creates a store backed by a fresh temporary file that is
+// removed on Close.
+func NewTempStore() (*Store, error) {
+	f, err := os.CreateTemp("", "tea-ooc-*.dat")
+	if err != nil {
+		return nil, fmt.Errorf("ooc: creating temp store: %w", err)
+	}
+	return &Store{f: f, path: f.Name(), removeOnStop: true}, nil
+}
+
+// Open opens (or creates) a store at path; the file is kept on Close.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ooc: opening store: %w", err)
+	}
+	return &Store{f: f, path: path}, nil
+}
+
+// Path returns the backing file path.
+func (s *Store) Path() string { return s.path }
+
+// ReadAt reads len(p) bytes at off, accounting the transfer.
+func (s *Store) ReadAt(p []byte, off int64) error {
+	if _, err := s.f.ReadAt(p, off); err != nil {
+		return fmt.Errorf("ooc: read %d bytes at %d: %w", len(p), off, err)
+	}
+	s.bytesRead.Add(int64(len(p)))
+	s.readOps.Add(1)
+	s.pagesRead.Add(int64((len(p) + PageSize - 1) / PageSize))
+	return nil
+}
+
+// WriteAt writes p at off, accounting the transfer.
+func (s *Store) WriteAt(p []byte, off int64) error {
+	if _, err := s.f.WriteAt(p, off); err != nil {
+		return fmt.Errorf("ooc: write %d bytes at %d: %w", len(p), off, err)
+	}
+	s.bytesWritten.Add(int64(len(p)))
+	s.writeOps.Add(1)
+	return nil
+}
+
+// Append writes p at the current end of file and returns its offset.
+func (s *Store) Append(p []byte) (int64, error) {
+	off, err := s.f.Seek(0, 2)
+	if err != nil {
+		return 0, fmt.Errorf("ooc: seek end: %w", err)
+	}
+	if len(p) == 0 {
+		return off, nil
+	}
+	if err := s.WriteAt(p, off); err != nil {
+		return 0, err
+	}
+	return off, nil
+}
+
+// Counters reports accumulated I/O.
+func (s *Store) Counters() (bytesRead, readOps, bytesWritten, writeOps int64) {
+	return s.bytesRead.Load(), s.readOps.Load(), s.bytesWritten.Load(), s.writeOps.Load()
+}
+
+// PagesRead reports the device pages touched by reads: the latency unit of
+// the cost model (a large sequential read is charged per page, not per call).
+func (s *Store) PagesRead() int64 { return s.pagesRead.Load() }
+
+// ResetCounters zeroes the accounting, typically between experiment phases.
+func (s *Store) ResetCounters() {
+	s.bytesRead.Store(0)
+	s.readOps.Store(0)
+	s.pagesRead.Store(0)
+	s.bytesWritten.Store(0)
+	s.writeOps.Store(0)
+}
+
+// Close releases the backing file, deleting it for temp stores.
+func (s *Store) Close() error {
+	err := s.f.Close()
+	if s.removeOnStop {
+		if rmErr := os.Remove(s.path); err == nil {
+			err = rmErr
+		}
+	}
+	return err
+}
+
+// CostModel converts accounted I/O into simulated device time. The defaults
+// approximate the paper's SATA SSD (650 MB/s sequential reads; ~100 µs per
+// random operation).
+type CostModel struct {
+	// PerOp is the fixed latency charged per read/write operation.
+	PerOp time.Duration
+	// BytesPerSecond is the sustained transfer bandwidth.
+	BytesPerSecond float64
+}
+
+// DefaultSSD is the cost model of the paper's evaluation machine.
+var DefaultSSD = CostModel{PerOp: 100 * time.Microsecond, BytesPerSecond: 650e6}
+
+// ReadTime returns the simulated device time for reads that touched the
+// given byte volume and page count: per-page latency plus bandwidth-limited
+// transfer. Pass Store.PagesRead() as pages (or an op count for a pure
+// random-access model).
+func (m CostModel) ReadTime(bytes, pages int64) time.Duration {
+	if m.BytesPerSecond <= 0 {
+		return time.Duration(pages) * m.PerOp
+	}
+	transfer := time.Duration(float64(bytes) / m.BytesPerSecond * float64(time.Second))
+	return transfer + time.Duration(pages)*m.PerOp
+}

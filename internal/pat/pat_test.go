@@ -1,0 +1,278 @@
+package pat
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/testutil"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+func TestDefaultTrunkSize(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 1, 4: 2, 9: 3, 10: 3, 100: 10, 101: 10}
+	for deg, want := range cases {
+		if got := DefaultTrunkSize(deg); got != want {
+			t.Errorf("DefaultTrunkSize(%d) = %d, want %d", deg, got, want)
+		}
+	}
+}
+
+// Figure 5 scenario: vertex 7 of the commute graph with linear-rank weights
+// 7..1, trunk size 2 → trunks {6,5},{4,3},{2,1},{0} and trunk prefix sums
+// {0,13,22,27,28}.
+func TestFigure5TrunkPrefixSums(t *testing.T) {
+	g := temporal.CommuteGraph()
+	w := testutil.Weights(t, g, sampling.WeightSpec{Kind: sampling.WeightLinearRank})
+	idx := Build(w, Config{TrunkSize: 2, Threads: 1})
+	if idx.TrunkSizeOf(7) != 2 {
+		t.Fatalf("trunk size %d", idx.TrunkSizeOf(7))
+	}
+	cum := idx.trunkCum[idx.trunkOff[7]:idx.trunkOff[8]]
+	want := []float64{0, 13, 22, 27, 28}
+	if !reflect.DeepEqual([]float64(cum), want) {
+		t.Fatalf("trunk prefix sums = %v, want %v", cum, want)
+	}
+}
+
+// Case ① of Figure 5: arriving at 7 from 0 (t=3) leaves candidates {6,5,4,3}
+// — exactly two complete trunks. The sampled distribution must be
+// proportional to weights 7,6,5,4 over edge indices 0..3.
+func TestFigure5CompleteTrunkCase(t *testing.T) {
+	g := temporal.CommuteGraph()
+	w := testutil.Weights(t, g, sampling.WeightSpec{Kind: sampling.WeightLinearRank})
+	idx := Build(w, Config{TrunkSize: 2, Threads: 1})
+	r := xrand.New(1)
+	k := g.CandidateCount(7, 3)
+	if k != 4 {
+		t.Fatalf("candidates after t=3: %d", k)
+	}
+	testutil.CheckDistribution(t, "fig5-complete", []float64{7, 6, 5, 4}, 40000, func() (int, bool) {
+		e, _, ok := idx.Sample(7, k, r)
+		return e, ok
+	})
+}
+
+// Case ② of Figure 5: arriving at 7 from 9 (t=4) leaves candidates {6,5,4} —
+// one complete trunk plus an incomplete one handled by local ITS.
+func TestFigure5IncompleteTrunkCase(t *testing.T) {
+	g := temporal.CommuteGraph()
+	w := testutil.Weights(t, g, sampling.WeightSpec{Kind: sampling.WeightLinearRank})
+	idx := Build(w, Config{TrunkSize: 2, Threads: 1})
+	r := xrand.New(2)
+	k := g.CandidateCount(7, 4)
+	if k != 3 {
+		t.Fatalf("candidates after t=4: %d", k)
+	}
+	testutil.CheckDistribution(t, "fig5-incomplete", []float64{7, 6, 5}, 40000, func() (int, bool) {
+		e, _, ok := idx.Sample(7, k, r)
+		return e, ok
+	})
+}
+
+func TestFullDegreePromotesShortTrunk(t *testing.T) {
+	g := temporal.CommuteGraph()
+	w := testutil.Weights(t, g, sampling.WeightSpec{Kind: sampling.WeightLinearRank})
+	idx := Build(w, Config{TrunkSize: 2, Threads: 1})
+	r := xrand.New(3)
+	testutil.CheckDistribution(t, "full-degree", []float64{7, 6, 5, 4, 3, 2, 1}, 70000, func() (int, bool) {
+		e, _, ok := idx.Sample(7, 7, r)
+		return e, ok
+	})
+}
+
+func TestSampleEveryPrefixMatchesExact(t *testing.T) {
+	g := temporal.CommuteGraph()
+	w := testutil.Weights(t, g, sampling.WeightSpec{Kind: sampling.WeightLinearRank})
+	for _, ts := range []int{1, 2, 3, 7, 10} {
+		idx := Build(w, Config{TrunkSize: ts, Threads: 1})
+		r := xrand.New(int64ToU64(4 + int64(ts)))
+		for k := 1; k <= 7; k++ {
+			want := make([]float64, k)
+			for i := 0; i < k; i++ {
+				want[i] = float64(7 - i)
+			}
+			testutil.CheckDistribution(t, "prefix", want, 20000, func() (int, bool) {
+				e, _, ok := idx.Sample(7, k, r)
+				return e, ok
+			})
+		}
+	}
+}
+
+func TestSampleZeroCandidates(t *testing.T) {
+	g := temporal.CommuteGraph()
+	w := testutil.Weights(t, g, sampling.WeightSpec{Kind: sampling.WeightLinearRank})
+	idx := Build(w, Config{})
+	r := xrand.New(5)
+	if _, _, ok := idx.Sample(7, 0, r); ok {
+		t.Fatal("k=0 sampled")
+	}
+	if _, _, ok := idx.Sample(1, 1, r); ok {
+		t.Fatal("degree-0 vertex sampled") // vertex 1 has no out-edges
+	}
+}
+
+func TestSampleKAboveDegreeClamped(t *testing.T) {
+	g := temporal.CommuteGraph()
+	w := testutil.Weights(t, g, sampling.WeightSpec{Kind: sampling.WeightLinearRank})
+	idx := Build(w, Config{TrunkSize: 2})
+	r := xrand.New(6)
+	for i := 0; i < 1000; i++ {
+		e, _, ok := idx.Sample(7, 100, r)
+		if !ok || e < 0 || e >= 7 {
+			t.Fatalf("clamped sample = (%d, %v)", e, ok)
+		}
+	}
+}
+
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	g := testutil.RandomGraph(t, 400, 20000, 1000, 7)
+	w := testutil.Weights(t, g, sampling.Exponential(0.01))
+	a := Build(w, Config{Threads: 1})
+	b := Build(w, Config{Threads: 8})
+	if !reflect.DeepEqual(a.prob, b.prob) || !reflect.DeepEqual(a.alias, b.alias) ||
+		!reflect.DeepEqual(a.trunkCum, b.trunkCum) {
+		t.Fatal("parallel build differs from serial build")
+	}
+}
+
+func TestRandomGraphDistribution(t *testing.T) {
+	g := testutil.RandomGraph(t, 50, 2000, 500, 11)
+	w := testutil.Weights(t, g, sampling.WeightSpec{Kind: sampling.WeightLinearTime})
+	idx := Build(w, Config{})
+	r := xrand.New(12)
+	// Pick the highest-degree vertex and test three prefixes.
+	best := temporal.Vertex(0)
+	for u := 0; u < g.NumVertices(); u++ {
+		if g.Degree(temporal.Vertex(u)) > g.Degree(best) {
+			best = temporal.Vertex(u)
+		}
+	}
+	deg := g.Degree(best)
+	if deg < 8 {
+		t.Fatalf("test graph too sparse: max degree %d", deg)
+	}
+	for _, k := range []int{1, deg / 2, deg} {
+		want := append([]float64(nil), w.Vertex(best)[:k]...)
+		testutil.CheckDistribution(t, "random", want, 30000, func() (int, bool) {
+			e, _, ok := idx.Sample(best, k, r)
+			return e, ok
+		})
+	}
+}
+
+func TestHubVertexSkewedWeights(t *testing.T) {
+	g := testutil.SkewedGraph(t, 64, 4096)
+	w := testutil.Weights(t, g, sampling.Exponential(0.002))
+	idx := Build(w, Config{})
+	r := xrand.New(13)
+	deg := g.Degree(0)
+	counts := make([]int, deg)
+	for i := 0; i < 50000; i++ {
+		e, _, ok := idx.Sample(0, deg, r)
+		if !ok {
+			t.Fatal("hub sample failed")
+		}
+		counts[e]++
+	}
+	// Newest edges must dominate: first decile should out-sample last decile.
+	first, last := 0, 0
+	for i := 0; i < deg/10; i++ {
+		first += counts[i]
+		last += counts[deg-1-i]
+	}
+	if first <= last*2 {
+		t.Fatalf("exponential bias missing: first decile %d, last %d", first, last)
+	}
+}
+
+func TestEvaluatedCostBounded(t *testing.T) {
+	g := testutil.SkewedGraph(t, 64, 10000)
+	w := testutil.Weights(t, g, sampling.WeightSpec{Kind: sampling.WeightLinearRank})
+	idx := Build(w, Config{})
+	r := xrand.New(14)
+	deg := g.Degree(0)
+	ts := idx.TrunkSizeOf(0)
+	var maxEval int64
+	for i := 0; i < 5000; i++ {
+		k := 1 + r.IntN(deg)
+		_, ev, ok := idx.Sample(0, k, r)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		if ev > maxEval {
+			maxEval = ev
+		}
+	}
+	// Cost must stay O(trunkSize + log(D/trunkSize)), far below O(D).
+	bound := int64(2*ts + 64)
+	if maxEval > bound {
+		t.Fatalf("evaluated %d exceeds bound %d (trunkSize %d, degree %d)", maxEval, bound, ts, deg)
+	}
+}
+
+func TestTrunkLayout(t *testing.T) {
+	g := temporal.CommuteGraph()
+	w := testutil.Weights(t, g, sampling.WeightSpec{Kind: sampling.WeightLinearRank})
+	idx := Build(w, Config{TrunkSize: 2})
+	if got := idx.TrunkLayout(7); !reflect.DeepEqual(got, []int{0, 2, 4, 6, 7}) {
+		t.Fatalf("TrunkLayout(7) = %v", got)
+	}
+	if got := idx.TrunkLayout(1); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("TrunkLayout(1) = %v (degree 0)", got)
+	}
+}
+
+func TestMemoryBytesLinearInEdges(t *testing.T) {
+	small := testutil.RandomGraph(t, 100, 1000, 100, 15)
+	large := testutil.RandomGraph(t, 100, 4000, 100, 15)
+	ws := testutil.Weights(t, small, sampling.WeightSpec{})
+	wl := testutil.Weights(t, large, sampling.WeightSpec{})
+	ms := Build(ws, Config{}).MemoryBytes()
+	ml := Build(wl, Config{}).MemoryBytes()
+	if ms <= 0 || ml <= ms {
+		t.Fatalf("memory not increasing: %d -> %d", ms, ml)
+	}
+	if ratio := float64(ml) / float64(ms); ratio > 6 {
+		t.Fatalf("PAT memory superlinear: 4x edges -> %.1fx bytes", ratio)
+	}
+}
+
+func TestName(t *testing.T) {
+	g := temporal.CommuteGraph()
+	w := testutil.Weights(t, g, sampling.WeightSpec{})
+	if Build(w, Config{}).Name() != "PAT" {
+		t.Fatal("name mismatch")
+	}
+}
+
+func int64ToU64(v int64) uint64 { return uint64(v) }
+
+func BenchmarkPATSample(b *testing.B) {
+	g := testutil.SkewedGraph(b, 64, 1<<14)
+	w, err := sampling.BuildGraphWeights(g, sampling.Exponential(0.001), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := Build(w, Config{})
+	r := xrand.New(1)
+	deg := g.Degree(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Sample(0, 1+r.IntN(deg), r)
+	}
+}
+
+func BenchmarkPATBuild(b *testing.B) {
+	g := testutil.RandomGraph(b, 2000, 200000, 10000, 1)
+	w, err := sampling.BuildGraphWeights(g, sampling.Exponential(0.001), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(w, Config{})
+	}
+}

@@ -1,0 +1,129 @@
+package sampling
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+func randomTestGraph(t *testing.T, v, e int, seed int64) *temporal.Graph {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	edges := make([]temporal.Edge, e)
+	for i := range edges {
+		edges[i] = temporal.Edge{
+			Src:  temporal.Vertex(r.Intn(v)),
+			Dst:  temporal.Vertex(r.Intn(v)),
+			Time: temporal.Time(r.Intn(10000)),
+		}
+	}
+	g, err := temporal.FromEdges(edges, temporal.WithNumVertices(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildGraphWeightsParallelMatchesSerial(t *testing.T) {
+	g := randomTestGraph(t, 200, 8000, 3)
+	for _, spec := range []WeightSpec{
+		{Kind: WeightUniform}, {Kind: WeightLinearTime}, {Kind: WeightLinearRank}, Exponential(0.001),
+	} {
+		a, err := BuildGraphWeights(g, spec, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := BuildGraphWeights(g, spec, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Flat, b.Flat) {
+			t.Fatalf("%v: parallel weights differ from serial", spec.Kind)
+		}
+	}
+}
+
+func TestBuildGraphWeightsVertexViews(t *testing.T) {
+	g := temporal.CommuteGraph()
+	w, err := BuildGraphWeights(g, WeightSpec{Kind: WeightLinearRank}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Graph() != g {
+		t.Fatal("Graph accessor")
+	}
+	if len(w.Flat) != g.NumEdges() {
+		t.Fatalf("flat len %d", len(w.Flat))
+	}
+	v7 := w.Vertex(7)
+	if len(v7) != 7 || v7[0] != 7 || v7[6] != 1 {
+		t.Fatalf("Vertex(7) = %v", v7)
+	}
+	if w.MemoryBytes() != int64(g.NumEdges())*8 {
+		t.Fatalf("memory = %d", w.MemoryBytes())
+	}
+}
+
+func TestBuildGraphWeightsPropagatesError(t *testing.T) {
+	g := randomTestGraph(t, 50, 500, 5)
+	spec := WeightSpec{Custom: func(t temporal.Time) float64 {
+		if t > 5000 {
+			return -1 // invalid: triggers the error path mid-build
+		}
+		return 1
+	}}
+	if _, err := BuildGraphWeights(g, spec, 4); err == nil {
+		t.Fatal("invalid custom weight accepted")
+	}
+}
+
+func TestWrapGraphWeightsRoundTrip(t *testing.T) {
+	g := temporal.CommuteGraph()
+	flat := make([]float64, g.NumEdges())
+	for i := range flat {
+		flat[i] = float64(i + 1)
+	}
+	w := WrapGraphWeights(g, flat)
+	if &w.Flat[0] != &flat[0] {
+		t.Fatal("wrap copied the slice")
+	}
+	if len(w.Vertex(7)) != 7 {
+		t.Fatal("vertex view")
+	}
+}
+
+func TestMemoryBytesAccessors(t *testing.T) {
+	w := []float64{1, 2, 3}
+	if NewAliasTable(w).MemoryBytes() != 3*8+3*4 {
+		t.Fatal("alias memory")
+	}
+	if NewPrefixSum(w).MemoryBytes() != 4*8 {
+		t.Fatal("prefix-sum memory")
+	}
+	if NewPrefixMax(w).MemoryBytes() != 4*8 {
+		t.Fatal("prefix-max memory")
+	}
+}
+
+// Exercise the floating-point clamp fallbacks of the ITS samplers: with a
+// weight vector whose tail is zero, r.Range can land exactly on the total.
+func TestITSFloatEdgeFallbacks(t *testing.T) {
+	// Trailing zeros force the "x landed on total" clamp when x is maximal.
+	c := NewPrefixSum([]float64{1, 0, 0})
+	r := xrand.New(31)
+	for i := 0; i < 20000; i++ {
+		idx, ok := c.SampleITS(3, r)
+		if !ok || idx != 0 {
+			t.Fatalf("draw %d: (%d,%v)", i, idx, ok)
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		idx, ok := LinearITS([]float64{1, 0, 0}, 1, r)
+		if !ok || idx != 0 {
+			t.Fatalf("linear draw %d: (%d,%v)", i, idx, ok)
+		}
+	}
+}

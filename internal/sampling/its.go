@@ -1,0 +1,84 @@
+package sampling
+
+import (
+	"sort"
+
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+// PrefixSum is a cumulative distribution over an ordered weight array:
+// C[i] = Σ_{j<i} w_j, so C has one more element than the weights. Candidate
+// prefixes of length k have total weight C[k], which is what makes a single
+// prefix-sum array serve every temporal candidate set of a vertex (§3.3).
+type PrefixSum []float64
+
+// NewPrefixSum builds the cumulative array for weights.
+func NewPrefixSum(weights []float64) PrefixSum {
+	c := make(PrefixSum, len(weights)+1)
+	sum := 0.0
+	for i, w := range weights {
+		sum += w
+		c[i+1] = sum
+	}
+	return c
+}
+
+// Total returns the total weight of the k-element prefix.
+func (c PrefixSum) Total(k int) float64 { return c[k] }
+
+// RangeWeight returns the total weight of elements [lo, hi).
+func (c PrefixSum) RangeWeight(lo, hi int) float64 { return c[hi] - c[lo] }
+
+// SampleITS draws an index from the k-element prefix with probability
+// proportional to its weight, via inverse transform sampling: a binary search
+// over the cumulative array, O(log k). This is the classic ITS of §2.2 and
+// the baseline TEA improves upon.
+//
+// ok is false when the prefix has zero total weight (k == 0 or all-zero
+// weights).
+func (c PrefixSum) SampleITS(k int, r *xrand.Rand) (idx int, ok bool) {
+	total := c[k]
+	if !(total > 0) {
+		return 0, false
+	}
+	x := r.Range(total)
+	// Smallest i in [1, k] with c[i] > x; the sampled element is i-1.
+	i := sort.Search(k, func(j int) bool { return c[j+1] > x })
+	if i >= k {
+		// Floating-point edge: x landed on the total; clamp to the last
+		// positive-weight element.
+		i = k - 1
+		for i > 0 && c[i+1] == c[i] {
+			i--
+		}
+	}
+	return i, true
+}
+
+// MemoryBytes returns the footprint of the cumulative array.
+func (c PrefixSum) MemoryBytes() int64 { return int64(len(c)) * 8 }
+
+// LinearITS samples from weights[0:k] by a sequential scan, used for tiny
+// segments (the incomplete-trunk case of PAT, §3.2) where a scan beats a
+// binary search. The caller supplies the total; ok is false for a
+// non-positive total.
+func LinearITS(weights []float64, total float64, r *xrand.Rand) (idx int, ok bool) {
+	if !(total > 0) || len(weights) == 0 {
+		return 0, false
+	}
+	x := r.Range(total)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if x < acc {
+			return i, true
+		}
+	}
+	// Floating-point edge: fall back to the last positive weight.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,67 @@
+package sampling
+
+import (
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+// PrefixMax stores M[i] = max(w_0..w_{i-1}) over a newest-first weight array,
+// so a rejection sampler can bound the envelope of any candidate prefix in
+// O(1). KnightKing-style engines need this: their acceptance test scales the
+// second random number to the maximum candidate weight (§2.2, Fig. 3d).
+type PrefixMax []float64
+
+// NewPrefixMax builds the running-maximum array for weights.
+func NewPrefixMax(weights []float64) PrefixMax {
+	m := make(PrefixMax, len(weights)+1)
+	best := 0.0
+	for i, w := range weights {
+		if w > best {
+			best = w
+		}
+		m[i+1] = best
+	}
+	return m
+}
+
+// Max returns the maximum weight among the k-element prefix.
+func (m PrefixMax) Max(k int) float64 { return m[k] }
+
+// MemoryBytes returns the footprint of the array.
+func (m PrefixMax) MemoryBytes() int64 { return int64(len(m)) * 8 }
+
+// RejectionResult reports a rejection-sampling draw together with its cost.
+type RejectionResult struct {
+	Index  int  // sampled element, valid when OK
+	Trials int  // number of proposals evaluated, ≥ 1 when the prefix is non-empty
+	OK     bool // false when the prefix is empty or has zero envelope
+}
+
+// SampleRejection draws an index from weights[0:k] by von Neumann rejection:
+// propose a uniform index, accept with probability w/envelope, repeat. The
+// envelope must be ≥ every weight in the prefix (use PrefixMax). maxTrials
+// bounds the loop (0 means no bound beyond a safety cap); exceeding the bound
+// returns OK=false with the trial count, letting callers fall back to an
+// exact method the way KnightKing caps pathological vertices.
+//
+// Expected trials are k·envelope / Σw — the paper's ε⁻¹ (§4.3) — which is why
+// this method collapses on exponential temporal weights.
+func SampleRejection(weights []float64, k int, envelope float64, maxTrials int, r *xrand.Rand) RejectionResult {
+	if k <= 0 || !(envelope > 0) {
+		return RejectionResult{}
+	}
+	if maxTrials <= 0 {
+		// Safety cap: with the paper's weight functions the acceptance ratio
+		// is ≥ 1/k, so k·64 trials fail with probability < e⁻⁶⁴.
+		maxTrials = 64 * k
+		if maxTrials < 1024 {
+			maxTrials = 1024
+		}
+	}
+	for trial := 1; trial <= maxTrials; trial++ {
+		i := r.IntN(k)
+		if r.Range(envelope) < weights[i] {
+			return RejectionResult{Index: i, Trials: trial, OK: true}
+		}
+	}
+	return RejectionResult{Trials: maxTrials}
+}

@@ -1,0 +1,519 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+// checkDistribution draws n samples via draw and verifies the empirical
+// frequencies match want (unnormalized weights) with a chi-square test at a
+// generous threshold. Used across the package to validate samplers.
+func checkDistribution(t *testing.T, name string, want []float64, n int, draw func() (int, bool)) {
+	t.Helper()
+	total := 0.0
+	for _, w := range want {
+		total += w
+	}
+	counts := make([]int, len(want))
+	for i := 0; i < n; i++ {
+		idx, ok := draw()
+		if !ok {
+			t.Fatalf("%s: draw %d failed", name, i)
+		}
+		if idx < 0 || idx >= len(want) {
+			t.Fatalf("%s: index %d out of range %d", name, idx, len(want))
+		}
+		counts[idx]++
+	}
+	chi2 := 0.0
+	for i, w := range want {
+		expect := float64(n) * w / total
+		if expect == 0 {
+			if counts[i] != 0 {
+				t.Fatalf("%s: zero-weight element %d sampled %d times", name, i, counts[i])
+			}
+			continue
+		}
+		d := float64(counts[i]) - expect
+		chi2 += d * d / expect
+	}
+	// 99.9th percentile of chi-square is roughly df + 4.4*sqrt(df) + 10 for
+	// the df range used in these tests; be generous to avoid flakes while
+	// still catching systematic bias.
+	df := float64(len(want) - 1)
+	limit := df + 5*math.Sqrt(2*df) + 12
+	if chi2 > limit {
+		t.Fatalf("%s: chi-square %.1f exceeds %.1f (counts %v, weights %v)", name, chi2, limit, counts, want)
+	}
+}
+
+func TestPrefixSumBasics(t *testing.T) {
+	c := NewPrefixSum([]float64{5, 6, 7})
+	want := []float64{0, 5, 11, 18}
+	for i, v := range want {
+		if c[i] != v {
+			t.Fatalf("C[%d] = %v, want %v", i, c[i], v)
+		}
+	}
+	if c.Total(2) != 11 {
+		t.Fatalf("Total(2) = %v", c.Total(2))
+	}
+	if c.RangeWeight(1, 3) != 13 {
+		t.Fatalf("RangeWeight(1,3) = %v", c.RangeWeight(1, 3))
+	}
+}
+
+// The paper's Figure 3b: weights {5,6,7}, r=12 selects the third edge.
+// Reproduce the deterministic pick by checking boundaries directly.
+func TestITSSelectsByCumulative(t *testing.T) {
+	c := NewPrefixSum([]float64{5, 6, 7})
+	r := xrand.New(1)
+	checkDistribution(t, "its", []float64{5, 6, 7}, 60000, func() (int, bool) {
+		return c.SampleITS(3, r)
+	})
+}
+
+func TestITSPrefixRestriction(t *testing.T) {
+	// Sampling the 2-element prefix must never return index 2.
+	c := NewPrefixSum([]float64{5, 6, 7})
+	r := xrand.New(2)
+	checkDistribution(t, "its-prefix", []float64{5, 6}, 40000, func() (int, bool) {
+		return c.SampleITS(2, r)
+	})
+}
+
+func TestITSZeroPrefix(t *testing.T) {
+	c := NewPrefixSum([]float64{5, 6, 7})
+	r := xrand.New(3)
+	if _, ok := c.SampleITS(0, r); ok {
+		t.Fatal("SampleITS(0) reported ok")
+	}
+}
+
+func TestITSZeroWeights(t *testing.T) {
+	c := NewPrefixSum([]float64{0, 0})
+	r := xrand.New(4)
+	if _, ok := c.SampleITS(2, r); ok {
+		t.Fatal("all-zero prefix reported ok")
+	}
+}
+
+func TestITSSkipsZeroWeight(t *testing.T) {
+	c := NewPrefixSum([]float64{0, 3, 0, 5})
+	r := xrand.New(5)
+	checkDistribution(t, "its-zero", []float64{0, 3, 0, 5}, 40000, func() (int, bool) {
+		return c.SampleITS(4, r)
+	})
+}
+
+func TestLinearITSMatchesITS(t *testing.T) {
+	w := []float64{2, 0, 7, 1}
+	r := xrand.New(6)
+	checkDistribution(t, "linear-its", w, 40000, func() (int, bool) {
+		return LinearITS(w, 10, r)
+	})
+}
+
+func TestLinearITSDegenerate(t *testing.T) {
+	r := xrand.New(7)
+	if _, ok := LinearITS(nil, 0, r); ok {
+		t.Fatal("empty LinearITS ok")
+	}
+	if _, ok := LinearITS([]float64{0}, 0, r); ok {
+		t.Fatal("zero-total LinearITS ok")
+	}
+}
+
+func TestAliasDistribution(t *testing.T) {
+	w := []float64{7, 6, 5, 4, 3, 2, 1}
+	at := NewAliasTable(w)
+	if at.Len() != len(w) {
+		t.Fatalf("Len = %d", at.Len())
+	}
+	r := xrand.New(8)
+	checkDistribution(t, "alias", w, 70000, func() (int, bool) { return at.Sample(r) })
+}
+
+func TestAliasSingleElement(t *testing.T) {
+	at := NewAliasTable([]float64{3.5})
+	r := xrand.New(9)
+	for i := 0; i < 100; i++ {
+		idx, ok := at.Sample(r)
+		if !ok || idx != 0 {
+			t.Fatalf("single-element alias returned (%d, %v)", idx, ok)
+		}
+	}
+}
+
+func TestAliasEmptyAndZero(t *testing.T) {
+	r := xrand.New(10)
+	if _, ok := NewAliasTable(nil).Sample(r); ok {
+		t.Fatal("empty alias table ok")
+	}
+	if _, ok := NewAliasTable([]float64{0, 0}).Sample(r); ok {
+		t.Fatal("zero alias table ok")
+	}
+}
+
+func TestAliasZeroWeightNeverSampled(t *testing.T) {
+	at := NewAliasTable([]float64{0, 1, 0, 1})
+	r := xrand.New(11)
+	for i := 0; i < 20000; i++ {
+		idx, ok := at.Sample(r)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		if idx == 0 || idx == 2 {
+			t.Fatalf("zero-weight slot %d sampled", idx)
+		}
+	}
+}
+
+func TestAliasSkewedDistribution(t *testing.T) {
+	// Exponential-style skew, the regime that breaks rejection sampling.
+	w := make([]float64, 12)
+	for i := range w {
+		w[i] = math.Exp(float64(i) - 11)
+	}
+	at := NewAliasTable(w)
+	r := xrand.New(12)
+	checkDistribution(t, "alias-skew", w, 120000, func() (int, bool) { return at.Sample(r) })
+}
+
+func TestFillAliasMatchesNewAliasTable(t *testing.T) {
+	w := []float64{7, 6, 5, 4}
+	prob := make([]float64, len(w))
+	alias := make([]int32, len(w))
+	FillAlias(w, prob, alias, nil)
+	r := xrand.New(13)
+	checkDistribution(t, "fill-alias", w, 40000, func() (int, bool) {
+		return SampleAliasSlots(prob, alias, r)
+	})
+}
+
+func TestFillAliasDegenerate(t *testing.T) {
+	prob := make([]float64, 2)
+	alias := make([]int32, 2)
+	FillAlias([]float64{0, 0}, prob, alias, nil)
+	r := xrand.New(14)
+	if _, ok := SampleAliasSlots(prob, alias, r); ok {
+		t.Fatal("degenerate packed alias ok")
+	}
+}
+
+func TestFillAliasPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on storage mismatch")
+		}
+	}()
+	FillAlias([]float64{1, 2}, make([]float64, 1), make([]int32, 2), nil)
+}
+
+// Property: alias table acceptance mass equals input distribution, tested by
+// construction invariants (every slot threshold in [0,1] or -1).
+func TestAliasConstructionInvariant(t *testing.T) {
+	f := func(raw []uint8) bool {
+		w := make([]float64, len(raw))
+		for i, v := range raw {
+			w[i] = float64(v)
+		}
+		at := NewAliasTable(w)
+		for i, p := range at.prob {
+			if p == -1 {
+				continue
+			}
+			if p < 0 || p > 1+1e-9 {
+				return false
+			}
+			if int(at.alias[i]) < 0 || int(at.alias[i]) >= len(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixMax(t *testing.T) {
+	m := NewPrefixMax([]float64{3, 1, 7, 2})
+	want := []float64{0, 3, 3, 7, 7}
+	for i, v := range want {
+		if m[i] != v {
+			t.Fatalf("M[%d] = %v, want %v", i, m[i], v)
+		}
+	}
+	if m.Max(3) != 7 {
+		t.Fatalf("Max(3) = %v", m.Max(3))
+	}
+}
+
+func TestRejectionDistribution(t *testing.T) {
+	w := []float64{7, 6, 5, 4, 3, 2, 1}
+	m := NewPrefixMax(w)
+	r := xrand.New(15)
+	checkDistribution(t, "rejection", w, 70000, func() (int, bool) {
+		res := SampleRejection(w, len(w), m.Max(len(w)), 0, r)
+		return res.Index, res.OK
+	})
+}
+
+func TestRejectionPrefix(t *testing.T) {
+	w := []float64{1, 2, 100}
+	m := NewPrefixMax(w)
+	r := xrand.New(16)
+	// Restricting to the first two elements must use envelope max(1,2)=2 and
+	// never return index 2.
+	checkDistribution(t, "rejection-prefix", []float64{1, 2}, 30000, func() (int, bool) {
+		res := SampleRejection(w, 2, m.Max(2), 0, r)
+		return res.Index, res.OK
+	})
+}
+
+func TestRejectionEmpty(t *testing.T) {
+	r := xrand.New(17)
+	if res := SampleRejection(nil, 0, 1, 0, r); res.OK {
+		t.Fatal("empty rejection ok")
+	}
+	if res := SampleRejection([]float64{1}, 1, 0, 0, r); res.OK {
+		t.Fatal("zero envelope ok")
+	}
+}
+
+func TestRejectionTrialBound(t *testing.T) {
+	// An absurd envelope forces rejections; the bounded sampler must give up.
+	w := []float64{1e-12}
+	r := xrand.New(18)
+	res := SampleRejection(w, 1, 1.0, 10, r)
+	if res.OK {
+		t.Skip("improbably lucky draw") // ~1e-11 chance
+	}
+	if res.Trials != 10 {
+		t.Fatalf("Trials = %d, want 10", res.Trials)
+	}
+}
+
+// The paper's observation: exponential weights inflate rejection trial counts
+// toward D while ITS/alias stay exact. Verify the trial blow-up empirically.
+func TestRejectionTrialBlowupOnExponentialWeights(t *testing.T) {
+	const d = 64
+	w := make([]float64, d)
+	for i := range w {
+		w[i] = math.Exp(float64(d - i - 1 - (d - 1))) // newest-first exp weights
+	}
+	m := NewPrefixMax(w)
+	r := xrand.New(19)
+	totalTrials := 0
+	const draws = 2000
+	for i := 0; i < draws; i++ {
+		res := SampleRejection(w, d, m.Max(d), 0, r)
+		if !res.OK {
+			t.Fatal("rejection failed")
+		}
+		totalTrials += res.Trials
+	}
+	avg := float64(totalTrials) / draws
+	// ε = Σw/(D·max) ≈ 1.58/64 → expected trials ≈ 40.
+	if avg < 20 {
+		t.Fatalf("expected heavy rejection on exponential weights, got avg %.1f trials", avg)
+	}
+}
+
+func TestWeightSpecUniform(t *testing.T) {
+	g := temporal.CommuteGraph()
+	w, err := WeightSpec{Kind: WeightUniform}.VertexWeights(g, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range w {
+		if v != 1 {
+			t.Fatalf("uniform weight %v", v)
+		}
+	}
+}
+
+func TestWeightSpecLinearTime(t *testing.T) {
+	g := temporal.CommuteGraph()
+	w, err := WeightSpec{Kind: WeightLinearTime}.VertexWeights(g, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 7 out-times newest-first 7..1, graph min time 0 → weights 8..2.
+	want := []float64{8, 7, 6, 5, 4, 3, 2}
+	for i, v := range want {
+		if w[i] != v {
+			t.Fatalf("linear-time weights = %v, want %v", w, want)
+		}
+	}
+}
+
+func TestWeightSpecLinearRank(t *testing.T) {
+	g := temporal.CommuteGraph()
+	w, err := WeightSpec{Kind: WeightLinearRank}.VertexWeights(g, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{7, 6, 5, 4, 3, 2, 1} // Figure 5's temporal weights
+	for i, v := range want {
+		if w[i] != v {
+			t.Fatalf("linear-rank weights = %v, want %v", w, want)
+		}
+	}
+}
+
+func TestWeightSpecExponentialNormalized(t *testing.T) {
+	g := temporal.CommuteGraph()
+	w, err := Exponential(1).VertexWeights(g, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != 1 {
+		t.Fatalf("newest edge weight = %v, want 1 (shifted)", w[0])
+	}
+	for i := 1; i < len(w); i++ {
+		if !(w[i] < w[i-1]) {
+			t.Fatalf("exp weights not decreasing: %v", w)
+		}
+		ratio := w[i] / w[i-1]
+		if math.Abs(ratio-math.Exp(-1)) > 1e-12 {
+			t.Fatalf("consecutive ratio %v, want e^-1", ratio)
+		}
+	}
+}
+
+func TestWeightSpecExponentialLambda(t *testing.T) {
+	g := temporal.CommuteGraph()
+	w, err := Exponential(0.5).VertexWeights(g, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := w[1] / w[0]
+	if math.Abs(ratio-math.Exp(-0.5)) > 1e-12 {
+		t.Fatalf("lambda=0.5 ratio %v", ratio)
+	}
+}
+
+func TestWeightSpecCustom(t *testing.T) {
+	g := temporal.CommuteGraph()
+	spec := WeightSpec{Custom: func(t temporal.Time) float64 { return float64(t) + 100 }}
+	w, err := spec.VertexWeights(g, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != 107 || w[6] != 101 {
+		t.Fatalf("custom weights = %v", w)
+	}
+	if spec.MonotoneNonIncreasing() {
+		t.Fatal("custom spec claimed monotone")
+	}
+}
+
+func TestWeightSpecCustomRejectsBadWeights(t *testing.T) {
+	g := temporal.CommuteGraph()
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		spec := WeightSpec{Custom: func(temporal.Time) float64 { return bad }}
+		if _, err := spec.VertexWeights(g, 7, nil); err == nil {
+			t.Fatalf("weight %v accepted", bad)
+		}
+	}
+}
+
+func TestWeightSpecMonotone(t *testing.T) {
+	g := temporal.CommuteGraph()
+	for _, k := range []WeightKind{WeightUniform, WeightLinearTime, WeightLinearRank, WeightExponential} {
+		spec := WeightSpec{Kind: k}
+		if !spec.MonotoneNonIncreasing() {
+			t.Fatalf("%v not monotone", k)
+		}
+		w, err := spec.VertexWeights(g, 7, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(w); i++ {
+			if w[i] > w[i-1] {
+				t.Fatalf("%v weights increase along newest-first list: %v", k, w)
+			}
+		}
+	}
+}
+
+func TestWeightKindString(t *testing.T) {
+	names := map[WeightKind]string{
+		WeightUniform:     "uniform",
+		WeightLinearTime:  "linear-time",
+		WeightLinearRank:  "linear-rank",
+		WeightExponential: "exponential",
+		WeightKind(99):    "WeightKind(99)",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("String(%d) = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+// Property: ITS and alias sampling agree on totals — both must report ok on
+// any positive-total weight vector and fail on zero totals.
+func TestSamplerAgreementProperty(t *testing.T) {
+	r := xrand.New(20)
+	f := func(raw []uint8) bool {
+		w := make([]float64, len(raw))
+		total := 0.0
+		for i, v := range raw {
+			w[i] = float64(v)
+			total += w[i]
+		}
+		c := NewPrefixSum(w)
+		_, okITS := c.SampleITS(len(w), r)
+		_, okAlias := NewAliasTable(w).Sample(r)
+		return okITS == (total > 0) && okAlias == (total > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkITS(b *testing.B) {
+	w := make([]float64, 1024)
+	for i := range w {
+		w[i] = float64(i + 1)
+	}
+	c := NewPrefixSum(w)
+	r := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SampleITS(len(w), r)
+	}
+}
+
+func BenchmarkAlias(b *testing.B) {
+	w := make([]float64, 1024)
+	for i := range w {
+		w[i] = float64(i + 1)
+	}
+	at := NewAliasTable(w)
+	r := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at.Sample(r)
+	}
+}
+
+func BenchmarkRejectionLinearWeights(b *testing.B) {
+	w := make([]float64, 1024)
+	for i := range w {
+		w[i] = float64(len(w) - i)
+	}
+	m := NewPrefixMax(w)
+	r := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SampleRejection(w, len(w), m.Max(len(w)), 0, r)
+	}
+}

@@ -1,0 +1,128 @@
+// Package sampling provides the Monte Carlo sampling primitives that TEA
+// composes (§2.2 of the paper): inverse transform sampling over prefix sums,
+// Vose alias tables, and rejection sampling, plus the temporal edge-weight
+// functions of §2.3 (uniform, linear, exponential, and user-defined).
+//
+// All primitives operate on a single vertex's out-edge list in
+// newest-first order, so a candidate edge set is always a prefix of the
+// weight array. This prefix property is what the higher-level PAT/HPAT
+// structures exploit.
+package sampling
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/tea-graph/tea/internal/temporal"
+)
+
+// WeightKind enumerates the built-in temporal weight functions of §2.3.
+type WeightKind int
+
+const (
+	// WeightUniform assigns every candidate the same weight: the unbiased
+	// temporal walk.
+	WeightUniform WeightKind = iota
+	// WeightLinearTime sets δ((u,v,t)) = t − t_min(G) + 1: the "weight is the
+	// time instance" variant of the linear temporal weight walk (the offset
+	// keeps weights strictly positive without changing ratios meaningfully
+	// for epoch-like clocks).
+	WeightLinearTime
+	// WeightLinearRank sets δ = rank of the edge among the vertex's edges in
+	// increasing time order (oldest edge has rank 1), the rank() variant of
+	// the linear temporal weight walk.
+	WeightLinearRank
+	// WeightExponential sets δ = exp(λ·(t − t_max(u))): the CTDNE exponential
+	// temporal weight (Eq. 3). The per-vertex shift by the newest out-edge
+	// time keeps exp() in range and cancels in the normalization, because
+	// sampling always happens within one vertex's candidate set.
+	WeightExponential
+)
+
+// String names the weight kind.
+func (k WeightKind) String() string {
+	switch k {
+	case WeightUniform:
+		return "uniform"
+	case WeightLinearTime:
+		return "linear-time"
+	case WeightLinearRank:
+		return "linear-rank"
+	case WeightExponential:
+		return "exponential"
+	default:
+		return fmt.Sprintf("WeightKind(%d)", int(k))
+	}
+}
+
+// WeightSpec selects how edge weights are derived from temporal information.
+// It is the engine-level form of the paper's Dynamic_weight() API: Custom, if
+// non-nil, overrides Kind.
+type WeightSpec struct {
+	Kind WeightKind
+	// Lambda scales the exponent of WeightExponential; 0 means 1.0.
+	Lambda float64
+	// Custom is a user Dynamic_weight function mapping an edge timestamp to a
+	// positive weight. When set, it takes precedence over Kind. Custom
+	// functions must be safe for concurrent use.
+	Custom func(temporal.Time) float64
+}
+
+// Exponential returns the CTDNE exponential weight spec with decay λ.
+func Exponential(lambda float64) WeightSpec {
+	return WeightSpec{Kind: WeightExponential, Lambda: lambda}
+}
+
+// VertexWeights computes the weight of every out-edge of u, newest first,
+// appending to buf. Weights are guaranteed positive; non-finite or
+// non-positive custom weights are reported as an error.
+func (s WeightSpec) VertexWeights(g *temporal.Graph, u temporal.Vertex, buf []float64) ([]float64, error) {
+	times := g.OutTimes(u)
+	switch {
+	case s.Custom != nil:
+		for _, t := range times {
+			w := s.Custom(t)
+			if !(w > 0) || math.IsInf(w, 1) {
+				return nil, fmt.Errorf("sampling: custom weight %v for time %d is not a positive finite number", w, t)
+			}
+			buf = append(buf, w)
+		}
+	case s.Kind == WeightUniform:
+		for range times {
+			buf = append(buf, 1)
+		}
+	case s.Kind == WeightLinearTime:
+		minT, _ := g.TimeRange()
+		for _, t := range times {
+			buf = append(buf, float64(t-minT)+1)
+		}
+	case s.Kind == WeightLinearRank:
+		n := len(times)
+		for i := range times {
+			// Newest edge has the highest rank n, oldest has rank 1.
+			buf = append(buf, float64(n-i))
+		}
+	case s.Kind == WeightExponential:
+		lambda := s.Lambda
+		if lambda == 0 {
+			lambda = 1
+		}
+		if len(times) > 0 {
+			newest := times[0]
+			for _, t := range times {
+				buf = append(buf, math.Exp(lambda*float64(t-newest)))
+			}
+		}
+	default:
+		return nil, fmt.Errorf("sampling: unknown weight kind %v", s.Kind)
+	}
+	return buf, nil
+}
+
+// MonotoneNonIncreasing reports whether weights produced by the spec are
+// non-increasing along a newest-first adjacency list. All built-in temporal
+// weights are (weights grow with time), which lets rejection samplers find
+// the candidate-set maximum in O(1) at index 0.
+func (s WeightSpec) MonotoneNonIncreasing() bool {
+	return s.Custom == nil
+}

@@ -1,0 +1,251 @@
+// Package server exposes a walk engine over HTTP: walk sampling, temporal
+// personalized PageRank, and temporal reachability queries as JSON
+// endpoints. cmd/teaserve wires it to a listening socket; the handler is
+// usable under any http.Server (or httptest) directly.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/tea-graph/tea/internal/apps"
+	"github.com/tea-graph/tea/internal/core"
+	"github.com/tea-graph/tea/internal/temporal"
+)
+
+// maxWalksPerRequest bounds one /walk request.
+const maxWalksPerRequest = 10000
+
+// maxPPRWalks bounds one /ppr request.
+const maxPPRWalks = 1_000_000
+
+// Server answers walk queries for one engine. Engines are safe for
+// concurrent Run calls, so the handler needs no locking.
+type Server struct {
+	eng *core.Engine
+	mux *http.ServeMux
+}
+
+// New builds a server around a preprocessed engine.
+func New(eng *core.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /walk", s.handleWalk)
+	s.mux.HandleFunc("GET /ppr", s.handlePPR)
+	s.mux.HandleFunc("GET /reach", s.handleReach)
+	return s
+}
+
+// Handler returns the routable HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type statsResponse struct {
+	Vertices    int    `json:"vertices"`
+	Edges       int    `json:"edges"`
+	MaxDegree   int    `json:"max_degree"`
+	TimeLo      int64  `json:"time_min"`
+	TimeHi      int64  `json:"time_max"`
+	Application string `json:"application"`
+	Sampler     string `json:"sampler"`
+	IndexBytes  int64  `json:"index_bytes"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	g := s.eng.Graph()
+	lo, hi := g.TimeRange()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Vertices:    g.NumVertices(),
+		Edges:       g.NumEdges(),
+		MaxDegree:   g.MaxDegree(),
+		TimeLo:      int64(lo),
+		TimeHi:      int64(hi),
+		Application: s.eng.App().Name,
+		Sampler:     s.eng.Sampler().Name(),
+		IndexBytes:  s.eng.MemoryBytes(),
+	})
+}
+
+type walkResponse struct {
+	From  temporal.Vertex   `json:"from"`
+	Walks [][]walkHop       `json:"walks"`
+	Cost  map[string]string `json:"cost"`
+}
+
+type walkHop struct {
+	Vertex temporal.Vertex `json:"v"`
+	Time   *int64          `json:"t,omitempty"` // nil for the start vertex
+}
+
+func (s *Server) handleWalk(w http.ResponseWriter, r *http.Request) {
+	from, err := vertexParam(r, "from", s.eng.Graph().NumVertices())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	length := intParam(r, "length", 80)
+	count := intParam(r, "count", 1)
+	seed := uint64(intParam(r, "seed", 1))
+	if length <= 0 || count <= 0 {
+		writeErr(w, fmt.Errorf("length and count must be positive"))
+		return
+	}
+	if count > maxWalksPerRequest {
+		writeErr(w, fmt.Errorf("count %d exceeds per-request limit %d", count, maxWalksPerRequest))
+		return
+	}
+	res, err := s.eng.Run(core.WalkConfig{
+		WalksPerVertex: count,
+		Length:         length,
+		StartVertices:  []temporal.Vertex{from},
+		Seed:           seed,
+		KeepPaths:      true,
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := walkResponse{From: from, Cost: map[string]string{
+		"steps":          strconv.FormatInt(res.Cost.Steps, 10),
+		"edges_per_step": fmt.Sprintf("%.2f", res.Cost.EdgesPerStep()),
+		"duration":       res.Duration.String(),
+	}}
+	for _, p := range res.Paths {
+		hops := make([]walkHop, len(p.Vertices))
+		for i, v := range p.Vertices {
+			hops[i] = walkHop{Vertex: v}
+			if i > 0 {
+				t := int64(p.Times[i-1])
+				hops[i].Time = &t
+			}
+		}
+		out.Walks = append(out.Walks, hops)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type pprResponse struct {
+	From   temporal.Vertex `json:"from"`
+	Alpha  float64         `json:"alpha"`
+	Scores []apps.PPRScore `json:"scores"`
+}
+
+func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
+	from, err := vertexParam(r, "from", s.eng.Graph().NumVertices())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	walks := intParam(r, "walks", 10000)
+	if walks <= 0 || walks > maxPPRWalks {
+		writeErr(w, fmt.Errorf("walks must be in (0, %d]", maxPPRWalks))
+		return
+	}
+	alpha := floatParam(r, "alpha", 0.15)
+	topK := intParam(r, "topk", 20)
+	scores, err := apps.TemporalPPR(s.eng, from, apps.PPRConfig{
+		Alpha: alpha,
+		Walks: walks,
+		Seed:  uint64(intParam(r, "seed", 1)),
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if len(scores) > topK {
+		scores = scores[:topK]
+	}
+	writeJSON(w, http.StatusOK, pprResponse{From: from, Alpha: alpha, Scores: scores})
+}
+
+type reachResponse struct {
+	From      temporal.Vertex   `json:"from"`
+	After     int64             `json:"after"`
+	Count     int               `json:"count"`
+	Reachable []temporal.Vertex `json:"reachable"`
+	Truncated bool              `json:"truncated,omitempty"`
+}
+
+func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
+	from, err := vertexParam(r, "from", s.eng.Graph().NumVertices())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	after := int64Param(r, "after", int64(temporal.MinTime))
+	set := apps.ReachableSet(s.eng.Graph(), from, temporal.Time(after))
+	out := reachResponse{From: from, After: after, Count: len(set), Reachable: set}
+	const cap = 10000
+	if len(out.Reachable) > cap {
+		out.Reachable = out.Reachable[:cap]
+		out.Truncated = true
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func vertexParam(r *http.Request, name string, numVertices int) (temporal.Vertex, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing required parameter %q", name)
+	}
+	id, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	if int(id) >= numVertices {
+		return 0, fmt.Errorf("vertex %d outside graph with %d vertices", id, numVertices)
+	}
+	return temporal.Vertex(id), nil
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+func int64Param(r *http.Request, name string, def int64) int64 {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+func floatParam(r *http.Request, name string, def float64) float64 {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+}

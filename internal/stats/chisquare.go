@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChiSquare computes Pearson's χ² statistic for observed counts against an
+// unnormalized expected-weight vector, together with the degrees of freedom.
+// Zero-weight categories must have zero observations (they contribute an
+// immediate +Inf otherwise, which is the correct verdict for a sampler that
+// emitted an impossible value).
+func ChiSquare(observed []int64, weights []float64) (stat float64, df int, err error) {
+	if len(observed) != len(weights) {
+		return 0, 0, fmt.Errorf("stats: %d observations vs %d weights", len(observed), len(weights))
+	}
+	totalW := 0.0
+	var totalN int64
+	for i, w := range weights {
+		if w < 0 {
+			return 0, 0, fmt.Errorf("stats: negative weight %v at %d", w, i)
+		}
+		totalW += w
+		totalN += observed[i]
+	}
+	if !(totalW > 0) || totalN == 0 {
+		return 0, 0, fmt.Errorf("stats: degenerate chi-square input")
+	}
+	df = -1
+	for i, w := range weights {
+		if w == 0 {
+			if observed[i] != 0 {
+				return math.Inf(1), len(weights) - 1, nil
+			}
+			continue
+		}
+		df++
+		expect := float64(totalN) * w / totalW
+		d := float64(observed[i]) - expect
+		stat += d * d / expect
+	}
+	if df < 1 {
+		df = 1
+	}
+	return stat, df, nil
+}
+
+// ChiSquareGenerousLimit returns a rejection threshold far out in the tail
+// (beyond the 99.99th percentile for the df ranges used in sampler tests):
+// statistical noise passes, systematic bias fails. Useful for randomized
+// test suites where strict p-values would flake.
+func ChiSquareGenerousLimit(df int) float64 {
+	d := float64(df)
+	return d + 5*math.Sqrt(2*d) + 12
+}

@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCostAddAndRates(t *testing.T) {
+	var c Cost
+	c.Add(Cost{Steps: 10, EdgesEvaluated: 55, Trials: 20, BytesRead: 4096})
+	c.Add(Cost{Steps: 10, EdgesEvaluated: 45, Rejected: 5, ReadOps: 3})
+	if c.Steps != 20 || c.EdgesEvaluated != 100 || c.Trials != 20 {
+		t.Fatalf("merge wrong: %+v", c)
+	}
+	if c.EdgesPerStep() != 5 {
+		t.Fatalf("EdgesPerStep = %v", c.EdgesPerStep())
+	}
+	if c.TrialsPerStep() != 1 {
+		t.Fatalf("TrialsPerStep = %v", c.TrialsPerStep())
+	}
+}
+
+func TestCostZeroSteps(t *testing.T) {
+	var c Cost
+	if c.EdgesPerStep() != 0 || c.TrialsPerStep() != 0 {
+		t.Fatal("zero-step rates should be 0")
+	}
+}
+
+func TestCostString(t *testing.T) {
+	c := Cost{Steps: 2, EdgesEvaluated: 11}
+	if !strings.Contains(c.String(), "edges/step=5.50") {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestWelfordKnown(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Observe(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v", w.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if math.Abs(w.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("Variance = %v", w.Variance())
+	}
+	if math.Abs(w.StdDev()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("StdDev = %v", w.StdDev())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 {
+		t.Fatal("empty accumulator not zero")
+	}
+	w.Observe(42)
+	if w.Mean() != 42 || w.Variance() != 0 {
+		t.Fatal("single observation wrong")
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var all, a, b Welford
+	for i := 0; i < 1000; i++ {
+		x := r.NormFloat64()*3 + 7
+		all.Observe(x)
+		if i%2 == 0 {
+			a.Observe(x)
+		} else {
+			b.Observe(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-9 {
+		t.Fatalf("merged mean %v vs %v", a.Mean(), all.Mean())
+	}
+	if math.Abs(a.Variance()-all.Variance()) > 1e-9 {
+		t.Fatalf("merged variance %v vs %v", a.Variance(), all.Variance())
+	}
+}
+
+func TestWelfordMergeEmptyCases(t *testing.T) {
+	var a, b Welford
+	a.Merge(b) // both empty
+	if a.N() != 0 {
+		t.Fatal("empty merge corrupted state")
+	}
+	b.Observe(3)
+	a.Merge(b)
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(5)
+	for _, v := range []int{0, 1, 1, 4, 9, -1} {
+		h.Observe(v)
+	}
+	if h.Count(1) != 2 || h.Count(0) != 1 || h.Count(4) != 1 {
+		t.Fatalf("counts wrong: %+v", h)
+	}
+	if h.Count(9) != 0 {
+		t.Fatal("out-of-range Count should be 0")
+	}
+	if h.Overflow() != 2 {
+		t.Fatalf("Overflow = %d", h.Overflow())
+	}
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(3), NewHistogram(3)
+	a.Observe(1)
+	b.Observe(1)
+	b.Observe(5)
+	a.Merge(b)
+	if a.Count(1) != 2 || a.Overflow() != 1 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+}
+
+func TestHistogramMergePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHistogram(3).Merge(NewHistogram(4))
+}
+
+func TestChiSquareExact(t *testing.T) {
+	// Perfect proportions give statistic 0.
+	stat, df, err := ChiSquare([]int64{10, 20, 30}, []float64{1, 2, 3})
+	if err != nil || stat != 0 || df != 2 {
+		t.Fatalf("stat=%v df=%d err=%v", stat, df, err)
+	}
+}
+
+func TestChiSquareZeroWeightViolation(t *testing.T) {
+	stat, _, err := ChiSquare([]int64{5, 1}, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(stat, 1) {
+		t.Fatalf("impossible observation gave stat %v", stat)
+	}
+}
+
+func TestChiSquareZeroWeightOK(t *testing.T) {
+	stat, df, err := ChiSquare([]int64{5, 0}, []float64{1, 0})
+	if err != nil || stat != 0 || df != 1 {
+		t.Fatalf("stat=%v df=%d err=%v", stat, df, err)
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, _, err := ChiSquare([]int64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, _, err := ChiSquare([]int64{1}, []float64{-1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, _, err := ChiSquare([]int64{0}, []float64{1}); err == nil {
+		t.Fatal("zero observations accepted")
+	}
+	if _, _, err := ChiSquare([]int64{1}, []float64{0}); err == nil {
+		t.Fatal("zero total weight accepted")
+	}
+}
+
+func TestChiSquareDetectsBias(t *testing.T) {
+	// Heavily skewed observations against uniform weights must exceed the
+	// generous limit.
+	obs := []int64{1000, 100, 100, 100}
+	stat, df, err := ChiSquare(obs, []float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat <= ChiSquareGenerousLimit(df) {
+		t.Fatalf("biased sample passed: stat %.1f", stat)
+	}
+}

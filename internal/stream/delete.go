@@ -1,0 +1,190 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/tea-graph/tea/internal/temporal"
+)
+
+// Edge deletion is the extension §4.4 of the paper lists as future work
+// ("deleting or changing vertices or edges are not supported. We plan to add
+// support for these features"). The design keeps the HPAT segments intact:
+//
+//   - a deleted edge is tombstoned in its segment (bitmap + counter);
+//   - sampling proposes from the unchanged segment tables and re-proposes
+//     when it hits a tombstone — classic rejection against the live
+//     sub-distribution, so live edges keep exactly their relative
+//     probabilities;
+//   - when tombstones accumulate past CompactionThreshold of a vertex's
+//     edges, the vertex is compacted: segments are rebuilt without the dead
+//     edges (amortized, like the LSM merges).
+//
+// A bounded retry loop plus an exact fallback scan keeps sampling correct
+// even when almost everything is deleted.
+//
+// One documented approximation: rank-based weights (WeightLinearRank) are
+// assigned when an edge is ingested and are not re-derived when an *older*
+// edge is deleted, so surviving ranks may be off by the number of deleted
+// elders until the vertex compacts (compaction recomputes ranks over the
+// live set). Time-based and uniform weights are unaffected — they depend
+// only on the edge itself.
+
+// ErrEdgeNotFound is returned when a deletion cannot locate a live matching
+// edge.
+var ErrEdgeNotFound = errors.New("stream: edge not found (or already deleted)")
+
+// CompactionThreshold is the tombstone fraction above which a vertex is
+// rebuilt without its deleted edges.
+const CompactionThreshold = 0.25
+
+// deleteRetryCap bounds tombstone rejection before the exact fallback scan.
+const deleteRetryCap = 64
+
+// DeleteEdges tombstones the given edges (matched by exact src, dst, and
+// time; one occurrence per request entry). All-or-nothing per edge: the
+// first unmatched edge aborts with ErrEdgeNotFound, with prior deletions of
+// this call already applied (deletions are idempotent to retry after fixing
+// the batch).
+func (g *Graph) DeleteEdges(edges []temporal.Edge) error {
+	for _, e := range edges {
+		if err := g.deleteOne(e); err != nil {
+			return fmt.Errorf("%w: %v", err, e)
+		}
+	}
+	return nil
+}
+
+func (g *Graph) deleteOne(e temporal.Edge) error {
+	if int(e.Src) >= len(g.verts) {
+		return ErrEdgeNotFound
+	}
+	vs := &g.verts[e.Src]
+	for si := range vs.segs {
+		s := &vs.segs[si]
+		if s.len() == 0 || e.Time > s.newestTime() || e.Time < s.oldestTime() {
+			continue
+		}
+		// Times are newest-first within a segment: find the run with this
+		// timestamp, then match the destination among live slots.
+		lo := sort.Search(s.len(), func(i int) bool { return s.ts[i] <= e.Time })
+		for i := lo; i < s.len() && s.ts[i] == e.Time; i++ {
+			if s.dst[i] != e.Dst || s.isDeleted(i) {
+				continue
+			}
+			s.tombstone(i)
+			vs.deleted++
+			g.numDeleted++
+			g.numEdges-- // NumEdges reports live edges
+			g.maybeCompact(e.Src)
+			return nil
+		}
+	}
+	return ErrEdgeNotFound
+}
+
+// isDeleted reports whether slot i is tombstoned.
+func (s *segment) isDeleted(i int) bool {
+	return s.dead != nil && s.dead[i]
+}
+
+// tombstone marks slot i deleted.
+func (s *segment) tombstone(i int) {
+	if s.dead == nil {
+		s.dead = make([]bool, s.len())
+	}
+	s.dead[i] = true
+	s.deadCount++
+}
+
+// liveWithin counts live edges among the k newest slots of the segment.
+func (s *segment) liveWithin(k int) int {
+	if s.deadCount == 0 {
+		return k
+	}
+	live := k
+	for i := 0; i < k; i++ {
+		if s.dead[i] {
+			live--
+		}
+	}
+	return live
+}
+
+// maybeCompact rebuilds the vertex without tombstones once they pass the
+// threshold.
+func (g *Graph) maybeCompact(u temporal.Vertex) {
+	vs := &g.verts[u]
+	if vs.degree == 0 || float64(vs.deleted) < CompactionThreshold*float64(vs.degree) {
+		return
+	}
+	g.CompactVertex(u)
+}
+
+// CompactVertex eagerly rebuilds u's segments without tombstoned edges.
+// Usually invoked automatically; exposed for tests and maintenance tooling.
+func (g *Graph) CompactVertex(u temporal.Vertex) {
+	if int(u) >= len(g.verts) {
+		return
+	}
+	vs := &g.verts[u]
+	if vs.deleted == 0 {
+		return
+	}
+	dst := make([]temporal.Vertex, 0, vs.degree-vs.deleted)
+	ts := make([]temporal.Time, 0, vs.degree-vs.deleted)
+	for i := len(vs.segs) - 1; i >= 0; i-- {
+		s := &vs.segs[i]
+		for j := 0; j < s.len(); j++ {
+			if !s.isDeleted(j) {
+				dst = append(dst, s.dst[j])
+				ts = append(ts, s.ts[j])
+			}
+		}
+	}
+	g.numDeleted -= vs.deleted
+	vs.deleted = 0
+	vs.degree = len(dst)
+	if len(dst) == 0 {
+		vs.segs = nil
+		return
+	}
+	vs.segs = []segment{g.buildSegment(dst, ts, 0)}
+	g.rescale(vs)
+	if vs.degree > g.maxSeg {
+		g.maxSeg = vs.degree
+	}
+	g.maybeGrowAux()
+}
+
+// NumDeleted returns the live tombstone count across the graph.
+func (g *Graph) NumDeleted() int { return g.numDeleted }
+
+// LiveDegree returns u's out-degree excluding tombstoned edges.
+func (g *Graph) LiveDegree(u temporal.Vertex) int {
+	if int(u) >= len(g.verts) {
+		return 0
+	}
+	return g.verts[u].degree - g.verts[u].deleted
+}
+
+// LiveCandidateCount returns |Γ_after(u)| counting only live edges.
+func (g *Graph) LiveCandidateCount(u temporal.Vertex, after temporal.Time) int {
+	if int(u) >= len(g.verts) {
+		return 0
+	}
+	vs := &g.verts[u]
+	count := 0
+	for i := len(vs.segs) - 1; i >= 0; i-- {
+		s := &vs.segs[i]
+		if s.oldestTime() > after {
+			count += s.len() - s.deadCount
+			continue
+		}
+		k := sort.Search(s.len(), func(j int) bool { return s.ts[j] <= after })
+		count += s.liveWithin(k)
+		break
+	}
+	return count
+}

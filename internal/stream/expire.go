@@ -1,0 +1,79 @@
+package stream
+
+import (
+	"github.com/tea-graph/tea/internal/temporal"
+)
+
+// Sliding-window support: real event-stream deployments bound the graph to
+// a recency window (e.g. "the last 90 days"). ExpireBefore drops every edge
+// older than a horizon. Because segments are time-ordered runs, whole
+// segments older than the horizon are dropped in O(1) per segment and only
+// one boundary segment per vertex needs filtering — no tombstones, no
+// rejection cost afterward.
+
+// ExpireBefore removes every edge with time < horizon from the stream and
+// returns the number of edges dropped. Weights of the surviving edges keep
+// their original values (rank weights keep their ingestion ranks until the
+// vertex is next rebuilt, matching DeleteEdges' documented approximation).
+func (g *Graph) ExpireBefore(horizon temporal.Time) int {
+	dropped := 0
+	for u := range g.verts {
+		dropped += g.expireVertex(temporal.Vertex(u), horizon)
+	}
+	g.numEdges -= dropped
+	return dropped
+}
+
+func (g *Graph) expireVertex(u temporal.Vertex, horizon temporal.Time) int {
+	vs := &g.verts[u]
+	if len(vs.segs) == 0 {
+		return 0
+	}
+	kept := vs.segs[:0]
+	droppedEdges := 0
+	droppedTombstones := 0
+	for si := range vs.segs {
+		s := &vs.segs[si]
+		switch {
+		case s.oldestTime() >= horizon:
+			kept = append(kept, *s) // entirely inside the window
+		case s.newestTime() < horizon:
+			// Entirely expired: account and drop.
+			droppedEdges += s.len() - s.deadCount
+			droppedTombstones += s.deadCount
+		default:
+			// Boundary segment: keep the newest-first prefix with
+			// time >= horizon, filtering tombstones along the way.
+			dst := make([]temporal.Vertex, 0, s.len())
+			ts := make([]temporal.Time, 0, s.len())
+			for i := 0; i < s.len(); i++ {
+				if s.ts[i] < horizon {
+					// Everything from here on is older (newest-first order).
+					for j := i; j < s.len(); j++ {
+						if s.isDeleted(j) {
+							droppedTombstones++
+						} else {
+							droppedEdges++
+						}
+					}
+					break
+				}
+				if s.isDeleted(i) {
+					droppedTombstones++
+					continue
+				}
+				dst = append(dst, s.dst[i])
+				ts = append(ts, s.ts[i])
+			}
+			if len(dst) > 0 {
+				kept = append(kept, g.buildSegment(dst, ts, 0))
+			}
+		}
+	}
+	vs.segs = append([]segment(nil), kept...)
+	vs.degree -= droppedEdges + droppedTombstones
+	vs.deleted -= droppedTombstones
+	g.numDeleted -= droppedTombstones
+	g.rescale(vs)
+	return droppedEdges
+}

@@ -1,0 +1,128 @@
+package stream
+
+import (
+	"testing"
+
+	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+func TestExpireBeforeBasics(t *testing.T) {
+	g := mustNew(t, Config{Weight: sampling.WeightSpec{Kind: sampling.WeightUniform}})
+	for i := 1; i <= 10; i++ {
+		if err := g.AppendBatch([]temporal.Edge{{Src: 0, Dst: temporal.Vertex(i), Time: temporal.Time(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dropped := g.ExpireBefore(6)
+	if dropped != 5 {
+		t.Fatalf("dropped = %d, want 5", dropped)
+	}
+	if g.NumEdges() != 5 || g.Degree(0) != 5 || g.LiveDegree(0) != 5 {
+		t.Fatalf("after expire: E=%d deg=%d live=%d", g.NumEdges(), g.Degree(0), g.LiveDegree(0))
+	}
+	if g.CandidateCount(0, temporal.MinTime) != 5 {
+		t.Fatalf("candidates = %d", g.CandidateCount(0, temporal.MinTime))
+	}
+	// Sampling must only reach surviving destinations (6..10).
+	r := xrand.New(1)
+	for i := 0; i < 5000; i++ {
+		dst, at, _, ok := g.SampleStep(0, temporal.MinTime, r)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		if at < 6 || dst < 6 {
+			t.Fatalf("expired edge sampled: dst=%d t=%d", dst, at)
+		}
+	}
+}
+
+func TestExpireEverything(t *testing.T) {
+	g := mustNew(t, Config{})
+	if err := g.AppendBatch([]temporal.Edge{{Src: 0, Dst: 1, Time: 1}, {Src: 1, Dst: 2, Time: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if dropped := g.ExpireBefore(100); dropped != 2 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+	if g.NumEdges() != 0 || g.Degree(0) != 0 || g.Degree(1) != 0 {
+		t.Fatal("edges survived total expiration")
+	}
+	r := xrand.New(2)
+	if _, _, _, ok := g.SampleStep(0, temporal.MinTime, r); ok {
+		t.Fatal("sampled from an expired vertex")
+	}
+	// The stream remains usable: newer batches append normally.
+	if err := g.AppendBatch([]temporal.Edge{{Src: 0, Dst: 1, Time: 101}}); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("post-expiry append: E=%d", g.NumEdges())
+	}
+}
+
+func TestExpireNoOp(t *testing.T) {
+	g := mustNew(t, Config{})
+	if err := g.AppendBatch([]temporal.Edge{{Src: 0, Dst: 1, Time: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if dropped := g.ExpireBefore(5); dropped != 0 {
+		t.Fatalf("dropped = %d on a window covering everything", dropped)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatal("no-op expiration changed state")
+	}
+}
+
+func TestExpireInteractsWithDeletions(t *testing.T) {
+	g := mustNew(t, Config{Weight: sampling.WeightSpec{Kind: sampling.WeightUniform}})
+	edges := make([]temporal.Edge, 12)
+	for i := range edges {
+		edges[i] = temporal.Edge{Src: 0, Dst: temporal.Vertex(i + 1), Time: temporal.Time(i + 1)}
+	}
+	for _, e := range edges {
+		if err := g.AppendBatch([]temporal.Edge{e}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tombstone two edges, one on each side of the horizon: the older one is
+	// swept out with its segment, the newer one is filtered while rebuilding
+	// the boundary segment — neither may resurface.
+	if err := g.DeleteEdges([]temporal.Edge{
+		{Src: 0, Dst: 2, Time: 2},
+		{Src: 0, Dst: 10, Time: 10},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	liveBefore := g.NumEdges()
+	if liveBefore != 10 {
+		t.Fatalf("live before = %d", liveBefore)
+	}
+	dropped := g.ExpireBefore(7)
+	// Live edges with time < 7: times 1,3,4,5,6 (2 was already deleted) = 5.
+	if dropped != 5 {
+		t.Fatalf("dropped = %d, want 5", dropped)
+	}
+	// Live survivors: times 7,8,9,11,12 (10 deleted) = 5.
+	if g.NumEdges() != 5 || g.LiveDegree(0) != 5 {
+		t.Fatalf("after expire: E=%d live=%d", g.NumEdges(), g.LiveDegree(0))
+	}
+	r := xrand.New(3)
+	for i := 0; i < 3000; i++ {
+		dst, at, _, ok := g.SampleStep(0, temporal.MinTime, r)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		if at < 7 || dst == 10 {
+			t.Fatalf("invalid sample dst=%d t=%d", dst, at)
+		}
+	}
+	snap, err := g.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumEdges() != 5 {
+		t.Fatalf("snapshot E=%d", snap.NumEdges())
+	}
+}

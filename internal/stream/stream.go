@@ -1,0 +1,520 @@
+// Package stream implements TEA's streaming graph support (§3.5): batched
+// addition of strictly newer edges and vertices with incremental HPAT
+// maintenance.
+//
+// Each appended batch becomes a new per-vertex HPAT segment. Because arriving
+// edges always carry later timestamps, a temporal candidate set spans a run
+// of newest segments (fully) plus at most one partially-covered older
+// segment — so sampling composes an ITS across segment totals with the
+// per-segment HPAT draw. Segments are merged LSM-style (a segment absorbs its
+// elder when it reaches the elder's size), realizing Figure 7's "grow the
+// hierarchy" with amortized O(log) rebuild work instead of the naive
+// rebuild-from-scratch the paper's Figure 13d compares against.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/tea-graph/tea/internal/hpat"
+	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+// ErrStaleBatch is returned when a batch contains an edge not newer than the
+// stream's current frontier; §3.5 supports additions only.
+var ErrStaleBatch = errors.New("stream: batch edge is not newer than the current frontier")
+
+// ErrCustomWeight mirrors the baseline restriction: streaming needs to
+// re-derive weights on merges, which the built-in kinds support.
+var ErrCustomWeight = errors.New("stream: custom weight functions are not supported in streaming mode")
+
+// segment is one contiguous run of a vertex's out-edges, newest first, with
+// its own HPAT. scale converts the segment-relative weight total into the
+// vertex-global scale (exponential weights are normalized per segment to
+// stay in floating-point range; the per-segment factor exp(λ·Δt) restores
+// comparability).
+type segment struct {
+	dst   []temporal.Vertex
+	ts    []temporal.Time
+	tab   *hpat.Table
+	scale float64
+	// dead tombstones deleted edges (see delete.go); nil until a deletion
+	// touches the segment.
+	dead      []bool
+	deadCount int
+}
+
+func (s *segment) len() int { return len(s.dst) }
+
+// newestTime returns the segment's latest timestamp.
+func (s *segment) newestTime() temporal.Time { return s.ts[0] }
+
+// oldestTime returns the segment's earliest timestamp.
+func (s *segment) oldestTime() temporal.Time { return s.ts[len(s.ts)-1] }
+
+type vertexState struct {
+	segs    []segment // oldest first
+	degree  int       // slots including tombstones
+	deleted int       // tombstoned slots
+}
+
+// Graph is a streaming temporal graph: an initial (possibly empty) edge set
+// plus batches of strictly newer edges. It supports temporal-walk sampling
+// directly, with per-vertex incremental HPAT segments.
+type Graph struct {
+	spec       sampling.WeightSpec
+	lambda     float64
+	verts      []vertexState
+	numEdges   int
+	frontier   temporal.Time // latest time seen; batches must exceed it
+	hasEdges   bool
+	minTime    temporal.Time // reference for linear-time weights
+	aux        *hpat.AuxIndex
+	maxSeg     int // largest segment length, tracked for the shared aux index
+	numDeleted int // live tombstones across all vertices
+}
+
+// Config parameterizes a streaming graph.
+type Config struct {
+	// Weight selects the temporal weight; custom functions are rejected.
+	Weight sampling.WeightSpec
+	// NumVertices pre-sizes the vertex space; batches may still grow it.
+	NumVertices int
+	// MinTime anchors linear-time weights; defaults to the first batch's
+	// earliest timestamp.
+	MinTime *temporal.Time
+}
+
+// New creates an empty streaming graph.
+func New(cfg Config) (*Graph, error) {
+	if cfg.Weight.Custom != nil {
+		return nil, ErrCustomWeight
+	}
+	lambda := cfg.Weight.Lambda
+	if lambda == 0 {
+		lambda = 1
+	}
+	g := &Graph{
+		spec:     cfg.Weight,
+		lambda:   lambda,
+		verts:    make([]vertexState, cfg.NumVertices),
+		frontier: temporal.MinTime,
+	}
+	if cfg.MinTime != nil {
+		g.minTime = *cfg.MinTime
+		g.hasEdges = true // minTime is pinned; batches won't move it
+	}
+	return g, nil
+}
+
+// NumVertices returns the current vertex-space size.
+func (g *Graph) NumVertices() int { return len(g.verts) }
+
+// NumEdges returns the number of live edges: appended, minus deleted, minus
+// expired.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// Frontier returns the latest timestamp in the stream.
+func (g *Graph) Frontier() temporal.Time { return g.frontier }
+
+// Degree returns the current out-degree of u (0 for unseen vertices).
+func (g *Graph) Degree(u temporal.Vertex) int {
+	if int(u) >= len(g.verts) {
+		return 0
+	}
+	return g.verts[u].degree
+}
+
+// Segments returns the current segment count of u; exposed for tests and the
+// Figure 13d experiment.
+func (g *Graph) Segments(u temporal.Vertex) int {
+	if int(u) >= len(g.verts) {
+		return 0
+	}
+	return len(g.verts[u].segs)
+}
+
+// AppendBatch ingests a batch of edges, all strictly newer than every edge
+// already in the stream (the edge-stream model of §2.1/§3.5). The batch may
+// reference vertices beyond the current space; the space grows. Within the
+// batch, edges may arrive in any order.
+func (g *Graph) AppendBatch(edges []temporal.Edge) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	batchMin := edges[0].Time
+	maxV := temporal.Vertex(0)
+	for _, e := range edges {
+		if e.Time <= g.frontier {
+			return fmt.Errorf("%w: edge %v vs frontier %d", ErrStaleBatch, e, g.frontier)
+		}
+		if e.Time < batchMin {
+			batchMin = e.Time
+		}
+		if e.Src > maxV {
+			maxV = e.Src
+		}
+		if e.Dst > maxV {
+			maxV = e.Dst
+		}
+	}
+	if int(maxV) >= len(g.verts) {
+		grown := make([]vertexState, int(maxV)+1)
+		copy(grown, g.verts)
+		g.verts = grown
+	}
+	if !g.hasEdges {
+		g.minTime = batchMin
+		g.hasEdges = true
+	}
+
+	// Group the batch by source, newest-first within each source.
+	bySrc := map[temporal.Vertex][]temporal.Edge{}
+	for _, e := range edges {
+		bySrc[e.Src] = append(bySrc[e.Src], e)
+	}
+	for src, es := range bySrc {
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].Time != es[j].Time {
+				return es[i].Time > es[j].Time
+			}
+			return es[i].Dst < es[j].Dst
+		})
+		g.appendVertexRun(src, es)
+	}
+	for _, e := range edges {
+		if e.Time > g.frontier {
+			g.frontier = e.Time
+		}
+	}
+	g.numEdges += len(edges)
+	g.maybeGrowAux()
+	return nil
+}
+
+// appendVertexRun adds one vertex's newest-first run as a fresh segment and
+// applies the LSM merge policy.
+func (g *Graph) appendVertexRun(src temporal.Vertex, es []temporal.Edge) {
+	vs := &g.verts[src]
+	dst := make([]temporal.Vertex, len(es))
+	ts := make([]temporal.Time, len(es))
+	for i, e := range es {
+		dst[i] = e.Dst
+		ts[i] = e.Time
+	}
+	seg := g.buildSegment(dst, ts, vs.degree)
+	vs.segs = append(vs.segs, seg)
+	vs.degree += len(es)
+	// LSM policy: a newer segment at least as large as its elder absorbs it.
+	for len(vs.segs) > 1 {
+		n := len(vs.segs)
+		if vs.segs[n-1].len() < vs.segs[n-2].len() {
+			break
+		}
+		merged, dropped := g.mergeSegments(&vs.segs[n-2], &vs.segs[n-1], vs.degree-vs.segs[n-1].len()-vs.segs[n-2].len())
+		vs.segs = vs.segs[:n-2]
+		vs.segs = append(vs.segs, merged)
+		vs.degree -= dropped
+		vs.deleted -= dropped
+		g.numDeleted -= dropped
+	}
+	g.rescale(vs)
+	if top := vs.segs[len(vs.segs)-1].len(); top > g.maxSeg {
+		g.maxSeg = top
+	}
+}
+
+// buildSegment constructs a segment whose edges (newest first) sit above
+// olderCount existing edges of the vertex (needed for rank weights).
+func (g *Graph) buildSegment(dst []temporal.Vertex, ts []temporal.Time, olderCount int) segment {
+	n := len(dst)
+	w := make([]float64, n)
+	switch g.spec.Kind {
+	case sampling.WeightUniform:
+		for i := range w {
+			w[i] = 1
+		}
+	case sampling.WeightLinearTime:
+		for i := range w {
+			w[i] = float64(ts[i]-g.minTime) + 1
+		}
+	case sampling.WeightLinearRank:
+		// Rank counted from the oldest edge of the vertex: stable as newer
+		// edges arrive. Newest-first position i has rank olderCount + n - i.
+		for i := range w {
+			w[i] = float64(olderCount + n - i)
+		}
+	case sampling.WeightExponential:
+		newest := ts[0]
+		for i := range w {
+			w[i] = math.Exp(g.lambda * float64(ts[i]-newest))
+		}
+	}
+	return segment{dst: dst, ts: ts, tab: hpat.NewTable(w), scale: 1}
+}
+
+// mergeSegments rebuilds older+newer into one segment (Figure 7's hierarchy
+// growth), dropping any tombstoned slots so deletions are never resurrected.
+// olderCount is the number of vertex edge slots older than both; dropped
+// returns how many tombstones were compacted away.
+func (g *Graph) mergeSegments(older, newer *segment, olderCount int) (segment, int) {
+	dst := make([]temporal.Vertex, 0, older.len()+newer.len())
+	ts := make([]temporal.Time, 0, older.len()+newer.len())
+	dropped := 0
+	for _, s := range []*segment{newer, older} {
+		for i := 0; i < s.len(); i++ {
+			if s.isDeleted(i) {
+				dropped++
+				continue
+			}
+			dst = append(dst, s.dst[i])
+			ts = append(ts, s.ts[i])
+		}
+	}
+	return g.buildSegment(dst, ts, olderCount), dropped
+}
+
+// rescale refreshes every segment's cross-segment scale factor after the
+// frontier moved. Only exponential weights need scaling; the factor is
+// exp(λ·(segNewest − vertexNewest)) so that scale·Total reproduces Eq. 3's
+// ratios across segments.
+func (g *Graph) rescale(vs *vertexState) {
+	if g.spec.Kind != sampling.WeightExponential || len(vs.segs) == 0 {
+		return
+	}
+	vertexNewest := vs.segs[len(vs.segs)-1].newestTime()
+	for i := range vs.segs {
+		vs.segs[i].scale = math.Exp(g.lambda * float64(vs.segs[i].newestTime()-vertexNewest))
+	}
+}
+
+// maybeGrowAux keeps a shared auxiliary index that covers the largest
+// segment; grown geometrically so amortized cost stays negligible.
+func (g *Graph) maybeGrowAux() {
+	if g.aux == nil || g.aux.MaxSize() < g.maxSeg {
+		size := 1
+		for size < g.maxSeg {
+			size *= 2
+		}
+		g.aux = hpat.BuildAuxIndex(size)
+	}
+}
+
+// CandidateCount returns |Γ_after(u)|, spanning segments.
+func (g *Graph) CandidateCount(u temporal.Vertex, after temporal.Time) int {
+	if int(u) >= len(g.verts) {
+		return 0
+	}
+	vs := &g.verts[u]
+	count := 0
+	for i := len(vs.segs) - 1; i >= 0; i-- {
+		s := &vs.segs[i]
+		if s.oldestTime() > after {
+			count += s.len()
+			continue
+		}
+		// Partial segment: binary search within its newest-first times.
+		k := sort.Search(s.len(), func(j int) bool { return s.ts[j] <= after })
+		count += k
+		break
+	}
+	return count
+}
+
+// SampleStep draws the next edge for a walker at u with arrival time after.
+// evaluated counts slots examined. ok is false at temporal dead ends.
+func (g *Graph) SampleStep(u temporal.Vertex, after temporal.Time, r *xrand.Rand) (dst temporal.Vertex, at temporal.Time, evaluated int64, ok bool) {
+	if int(u) >= len(g.verts) {
+		return 0, 0, 0, false
+	}
+	vs := &g.verts[u]
+	// Collect per-segment candidate counts and scaled totals, newest first.
+	type segPick struct {
+		seg   *segment
+		k     int
+		total float64
+	}
+	var picks [64]segPick
+	n := 0
+	grand := 0.0
+	for i := len(vs.segs) - 1; i >= 0; i-- {
+		s := &vs.segs[i]
+		k := s.len()
+		partial := false
+		if !(s.oldestTime() > after) {
+			k = sort.Search(s.len(), func(j int) bool { return s.ts[j] <= after })
+			partial = true
+		}
+		if k > 0 {
+			total := s.scale * s.tab.Total(k)
+			picks[n] = segPick{seg: s, k: k, total: total}
+			n++
+			grand += total
+			evaluated++
+		}
+		if partial {
+			break
+		}
+		if n == len(picks) {
+			break // pathological segment count; bounded defensively
+		}
+	}
+	if !(grand > 0) {
+		return 0, 0, evaluated, false
+	}
+	// Tombstone rejection (delete.go): segment totals still include deleted
+	// edges, so a draw that lands on one is re-proposed from scratch — live
+	// edges keep their exact relative probabilities. Vertices without
+	// tombstones accept on the first draw.
+	for trial := 0; trial < deleteRetryCap; trial++ {
+		x := r.Range(grand)
+		acc := 0.0
+		chosen := picks[n-1]
+		for i := 0; i < n; i++ {
+			acc += picks[i].total
+			if x < acc {
+				chosen = picks[i]
+				break
+			}
+		}
+		idx, ev, sok := chosen.seg.tab.Sample(chosen.k, g.aux, r)
+		evaluated += ev
+		if !sok {
+			return 0, 0, evaluated, false
+		}
+		if chosen.seg.isDeleted(idx) {
+			continue
+		}
+		return chosen.seg.dst[idx], chosen.seg.ts[idx], evaluated, true
+	}
+	// Nearly everything in range is tombstoned: exact scan over the live
+	// candidates of every overlapping segment.
+	liveTotal := 0.0
+	for i := 0; i < n; i++ {
+		p := picks[i]
+		w := p.seg.tab.Weights()
+		for j := 0; j < p.k; j++ {
+			if !p.seg.isDeleted(j) {
+				liveTotal += p.seg.scale * w[j]
+			}
+			evaluated++
+		}
+	}
+	if !(liveTotal > 0) {
+		return 0, 0, evaluated, false
+	}
+	x := r.Range(liveTotal)
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		p := picks[i]
+		w := p.seg.tab.Weights()
+		for j := 0; j < p.k; j++ {
+			if p.seg.isDeleted(j) {
+				continue
+			}
+			acc += p.seg.scale * w[j]
+			if x < acc {
+				return p.seg.dst[j], p.seg.ts[j], evaluated, true
+			}
+		}
+	}
+	// Floating-point edge: return the last live candidate.
+	for i := n - 1; i >= 0; i-- {
+		p := picks[i]
+		for j := p.k - 1; j >= 0; j-- {
+			if !p.seg.isDeleted(j) {
+				return p.seg.dst[j], p.seg.ts[j], evaluated, true
+			}
+		}
+	}
+	return 0, 0, evaluated, false
+}
+
+// Walk runs one temporal walk of at most length steps from src starting with
+// arrival time start (use temporal.MinTime for "all out-edges eligible").
+func (g *Graph) Walk(src temporal.Vertex, start temporal.Time, length int, r *xrand.Rand) ([]temporal.Vertex, []temporal.Time) {
+	verts := []temporal.Vertex{src}
+	var times []temporal.Time
+	u, t := src, start
+	for step := 0; step < length; step++ {
+		dst, at, _, ok := g.SampleStep(u, t, r)
+		if !ok {
+			break
+		}
+		verts = append(verts, dst)
+		times = append(times, at)
+		u, t = dst, at
+	}
+	return verts, times
+}
+
+// WalkSeeded is Walk with a self-contained deterministic random stream,
+// usable without constructing an engine RNG (the public-API entry point).
+func (g *Graph) WalkSeeded(src temporal.Vertex, start temporal.Time, length int, seed uint64) ([]temporal.Vertex, []temporal.Time) {
+	return g.Walk(src, start, length, xrand.New(seed))
+}
+
+// Snapshot materializes the current stream as an immutable temporal.Graph.
+func (g *Graph) Snapshot() (*temporal.Graph, error) {
+	edges := make([]temporal.Edge, 0, g.numEdges)
+	for u := range g.verts {
+		for si := range g.verts[u].segs {
+			s := &g.verts[u].segs[si]
+			for i := range s.dst {
+				if s.isDeleted(i) {
+					continue
+				}
+				edges = append(edges, temporal.Edge{Src: temporal.Vertex(u), Dst: s.dst[i], Time: s.ts[i]})
+			}
+		}
+	}
+	return temporal.FromEdges(edges, temporal.WithNumVertices(len(g.verts)))
+}
+
+// MemoryBytes reports the footprint of all segments plus the shared
+// auxiliary index.
+func (g *Graph) MemoryBytes() int64 {
+	total := int64(0)
+	for i := range g.verts {
+		for si := range g.verts[i].segs {
+			s := &g.verts[i].segs[si]
+			total += int64(s.len())*(4+8) + s.tab.MemoryBytes() + 8
+			if s.dead != nil {
+				total += int64(len(s.dead))
+			}
+		}
+	}
+	if g.aux != nil {
+		total += g.aux.MemoryBytes()
+	}
+	return total
+}
+
+// RebuildVertex rebuilds u's entire adjacency into a single segment, the
+// naive "rebuild HPAT from scratch" strategy Figure 13d compares the
+// incremental update against. Exposed so experiments can time it.
+func (g *Graph) RebuildVertex(u temporal.Vertex) {
+	if int(u) >= len(g.verts) {
+		return
+	}
+	vs := &g.verts[u]
+	if len(vs.segs) == 0 {
+		return
+	}
+	dst := make([]temporal.Vertex, 0, vs.degree)
+	ts := make([]temporal.Time, 0, vs.degree)
+	for i := len(vs.segs) - 1; i >= 0; i-- {
+		dst = append(dst, vs.segs[i].dst...)
+		ts = append(ts, vs.segs[i].ts...)
+	}
+	vs.segs = []segment{g.buildSegment(dst, ts, 0)}
+	g.rescale(vs)
+	if vs.degree > g.maxSeg {
+		g.maxSeg = vs.degree
+	}
+	g.maybeGrowAux()
+}

@@ -1,0 +1,330 @@
+package temporal
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEdgesEmpty(t *testing.T) {
+	if _, err := FromEdges(nil); err != ErrNoEdges {
+		t.Fatalf("FromEdges(nil) err = %v, want ErrNoEdges", err)
+	}
+	g, err := FromEdges(nil, WithNumVertices(5))
+	if err != nil {
+		t.Fatalf("FromEdges(nil, 5 vertices): %v", err)
+	}
+	if g.NumVertices() != 5 || g.NumEdges() != 0 {
+		t.Fatalf("got V=%d E=%d, want 5, 0", g.NumVertices(), g.NumEdges())
+	}
+	for u := Vertex(0); u < 5; u++ {
+		if g.Degree(u) != 0 {
+			t.Fatalf("vertex %d degree %d, want 0", u, g.Degree(u))
+		}
+	}
+}
+
+func TestVertexRangeError(t *testing.T) {
+	_, err := FromEdges([]Edge{{Src: 0, Dst: 9, Time: 1}}, WithNumVertices(5))
+	if err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestCommuteGraphShape(t *testing.T) {
+	g := CommuteGraph()
+	if g.NumVertices() != 10 {
+		t.Fatalf("V = %d, want 10", g.NumVertices())
+	}
+	if g.NumEdges() != 10 {
+		t.Fatalf("E = %d, want 10", g.NumEdges())
+	}
+	if g.Degree(7) != 7 {
+		t.Fatalf("deg(7) = %d, want 7", g.Degree(7))
+	}
+	if g.MaxDegree() != 7 {
+		t.Fatalf("MaxDegree = %d, want 7", g.MaxDegree())
+	}
+	wantDst := []Vertex{6, 5, 4, 3, 2, 1, 0}
+	wantTs := []Time{7, 6, 5, 4, 3, 2, 1}
+	if !reflect.DeepEqual(g.OutDst(7), wantDst) {
+		t.Fatalf("OutDst(7) = %v, want %v", g.OutDst(7), wantDst)
+	}
+	if !reflect.DeepEqual(g.OutTimes(7), wantTs) {
+		t.Fatalf("OutTimes(7) = %v, want %v", g.OutTimes(7), wantTs)
+	}
+}
+
+// The paper's running example: arriving at 7 from 9 (t=4) leaves candidates
+// {6,5,4}; from 0 (t=3) leaves {6,5,4,3}; from 8 (t=0) leaves all 7.
+func TestCommuteCandidates(t *testing.T) {
+	g := CommuteGraph()
+	cases := []struct {
+		after Time
+		want  int
+	}{
+		{4, 3}, {3, 4}, {0, 7}, {7, 0}, {6, 1}, {-100, 7}, {100, 0},
+	}
+	for _, c := range cases {
+		if got := g.CandidateCount(7, c.after); got != c.want {
+			t.Errorf("CandidateCount(7, %d) = %d, want %d", c.after, got, c.want)
+		}
+	}
+}
+
+func TestCandidateStrictInequality(t *testing.T) {
+	// An out-edge at exactly the arrival time is NOT a candidate (t_i > t).
+	g := MustFromEdges([]Edge{
+		{0, 1, 5}, {0, 2, 5}, {0, 3, 6},
+	})
+	if got := g.CandidateCount(0, 5); got != 1 {
+		t.Fatalf("CandidateCount(0,5) = %d, want 1 (strict >)", got)
+	}
+}
+
+func TestTimesDescendingInvariant(t *testing.T) {
+	g := randomGraph(t, 500, 8000, 12345)
+	for u := 0; u < g.NumVertices(); u++ {
+		times := g.OutTimes(Vertex(u))
+		for i := 1; i < len(times); i++ {
+			if times[i] > times[i-1] {
+				t.Fatalf("vertex %d times not descending at %d: %v > %v", u, i, times[i], times[i-1])
+			}
+		}
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	edges := []Edge{{0, 5, 7}, {0, 2, 7}, {0, 9, 7}, {0, 1, 8}}
+	g := MustFromEdges(edges)
+	want := []Vertex{1, 2, 5, 9} // time 8 first, then time-7 ties by dst asc
+	if !reflect.DeepEqual(g.OutDst(0), want) {
+		t.Fatalf("OutDst(0) = %v, want %v", g.OutDst(0), want)
+	}
+	// Build again from a shuffled stream; result must be identical.
+	shuffled := []Edge{{0, 9, 7}, {0, 1, 8}, {0, 2, 7}, {0, 5, 7}}
+	g2 := MustFromEdges(shuffled)
+	if !reflect.DeepEqual(g2.OutDst(0), want) {
+		t.Fatalf("shuffled build OutDst(0) = %v, want %v", g2.OutDst(0), want)
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := randomGraph(t, 200, 3000, 42)
+	edges := g.Edges(nil)
+	g2 := MustFromEdges(edges, WithNumVertices(g.NumVertices()))
+	if !reflect.DeepEqual(g.offsets, g2.offsets) ||
+		!reflect.DeepEqual(g.dst, g2.dst) ||
+		!reflect.DeepEqual(g.ts, g2.ts) {
+		t.Fatal("Edges -> FromEdges round trip changed the graph")
+	}
+}
+
+func TestPrecomputeCandidatesMatchesSearch(t *testing.T) {
+	g := randomGraph(t, 300, 5000, 7)
+	g.PrecomputeCandidates(4)
+	if !g.HasCandidatePrecompute() {
+		t.Fatal("precompute flag not set")
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		for i := 0; i < g.Degree(Vertex(u)); i++ {
+			dst, at := g.EdgeAt(Vertex(u), i)
+			want := g.CandidateCount(dst, at)
+			got := g.CandidateCountAfterEdge(Vertex(u), i)
+			if got != want {
+				t.Fatalf("edge (%d,%d,%d): precomputed %d, search %d", u, dst, at, got, want)
+			}
+		}
+	}
+}
+
+func TestPrecomputeSingleThreadMatchesParallel(t *testing.T) {
+	g1 := randomGraph(t, 300, 5000, 99)
+	g2 := randomGraph(t, 300, 5000, 99)
+	g1.PrecomputeCandidates(1)
+	g2.PrecomputeCandidates(16)
+	if !reflect.DeepEqual(g1.candAtDst, g2.candAtDst) {
+		t.Fatal("thread count changed candidate precompute results")
+	}
+}
+
+func TestEdgesInterval(t *testing.T) {
+	g := CommuteGraph()
+	sub := g.EdgesInterval(3, 5)
+	if sub.NumVertices() != g.NumVertices() {
+		t.Fatalf("interval changed vertex space: %d", sub.NumVertices())
+	}
+	// Edges with 3 <= t <= 5: (0,7,3), (9,7,4), (7,2,3), (7,3,4), (7,4,5).
+	if sub.NumEdges() != 5 {
+		t.Fatalf("interval edges = %d, want 5", sub.NumEdges())
+	}
+	if sub.Degree(7) != 3 {
+		t.Fatalf("interval deg(7) = %d, want 3", sub.Degree(7))
+	}
+	lo, hi := sub.TimeRange()
+	if lo < 3 || hi > 5 {
+		t.Fatalf("interval time range [%d,%d] outside [3,5]", lo, hi)
+	}
+}
+
+func TestEdgesIntervalEmpty(t *testing.T) {
+	g := CommuteGraph()
+	sub := g.EdgesInterval(100, 200)
+	if sub.NumEdges() != 0 || sub.NumVertices() != 10 {
+		t.Fatalf("empty interval: E=%d V=%d", sub.NumEdges(), sub.NumVertices())
+	}
+}
+
+func TestHasNeighbor(t *testing.T) {
+	g := CommuteGraph()
+	for _, withIndex := range []bool{false, true} {
+		if withIndex {
+			g.BuildNeighborIndex()
+			if !g.HasNeighborIndex() {
+				t.Fatal("neighbor index flag not set")
+			}
+		}
+		if !g.HasNeighbor(7, 4) {
+			t.Errorf("withIndex=%v: HasNeighbor(7,4) = false", withIndex)
+		}
+		if g.HasNeighbor(7, 8) {
+			t.Errorf("withIndex=%v: HasNeighbor(7,8) = true", withIndex)
+		}
+		if g.HasNeighbor(1, 7) {
+			t.Errorf("withIndex=%v: HasNeighbor(1,7) = true (1 has no out-edges)", withIndex)
+		}
+	}
+}
+
+func TestNeighborIndexDedup(t *testing.T) {
+	// Parallel temporal edges to the same neighbor must appear once.
+	g := MustFromEdges([]Edge{{0, 1, 1}, {0, 1, 2}, {0, 1, 3}, {0, 2, 1}})
+	g.BuildNeighborIndex()
+	ids := g.nbr.ids[g.nbr.offsets[0]:g.nbr.offsets[1]]
+	if !reflect.DeepEqual(ids, []Vertex{1, 2}) {
+		t.Fatalf("deduped neighbors = %v, want [1 2]", ids)
+	}
+}
+
+func TestTimeRange(t *testing.T) {
+	g := CommuteGraph()
+	lo, hi := g.TimeRange()
+	if lo != 0 || hi != 7 {
+		t.Fatalf("TimeRange = [%d,%d], want [0,7]", lo, hi)
+	}
+}
+
+func TestMemoryBytesGrowsWithIndices(t *testing.T) {
+	g := CommuteGraph()
+	base := g.MemoryBytes()
+	if base <= 0 {
+		t.Fatal("non-positive memory estimate")
+	}
+	g.PrecomputeCandidates(1)
+	withCand := g.MemoryBytes()
+	if withCand <= base {
+		t.Fatal("candidate table did not increase memory estimate")
+	}
+	g.BuildNeighborIndex()
+	if g.MemoryBytes() <= withCand {
+		t.Fatal("neighbor index did not increase memory estimate")
+	}
+}
+
+// Property: CandidateCount agrees with a naive scan for arbitrary times.
+func TestCandidateCountProperty(t *testing.T) {
+	g := randomGraph(t, 100, 2000, 2024)
+	f := func(uRaw uint32, after int64) bool {
+		u := Vertex(uRaw % uint32(g.NumVertices()))
+		at := Time(after % 1000)
+		naive := 0
+		for _, ts := range g.OutTimes(u) {
+			if ts > at {
+				naive++
+			}
+		}
+		return g.CandidateCount(u, at) == naive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: radix sort by time matches sort.SliceStable results.
+func TestRadixTimeDescMatchesStdSort(t *testing.T) {
+	f := func(raw []int64) bool {
+		edges := make([]Edge, len(raw))
+		for i, v := range raw {
+			edges[i] = Edge{Src: 0, Dst: Vertex(i), Time: Time(v)}
+		}
+		scratch := make([]Edge, len(edges))
+		got := make([]Edge, len(edges))
+		copy(got, edges)
+		radixByTimeDesc(got, scratch)
+		want := make([]Edge, len(edges))
+		copy(want, edges)
+		sort.SliceStable(want, func(i, j int) bool { return want[i].Time > want[j].Time })
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadixHandlesNegativeTimes(t *testing.T) {
+	edges := []Edge{{0, 1, -5}, {0, 2, 10}, {0, 3, -1}, {0, 4, 0}}
+	g := MustFromEdges(edges)
+	want := []Time{10, 0, -1, -5}
+	if !reflect.DeepEqual(g.OutTimes(0), want) {
+		t.Fatalf("OutTimes(0) = %v, want %v", g.OutTimes(0), want)
+	}
+}
+
+func TestEdgeString(t *testing.T) {
+	e := Edge{Src: 7, Dst: 6, Time: 7}
+	if e.String() != "(7, 6, 7)" {
+		t.Fatalf("Edge.String() = %q", e.String())
+	}
+}
+
+// randomGraph builds a reproducible random temporal graph for tests.
+func randomGraph(t testing.TB, v, e int, seed int64) *Graph {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, e)
+	for i := range edges {
+		edges[i] = Edge{
+			Src:  Vertex(r.Intn(v)),
+			Dst:  Vertex(r.Intn(v)),
+			Time: Time(r.Intn(1000)),
+		}
+	}
+	g, err := FromEdges(edges, WithNumVertices(v))
+	if err != nil {
+		t.Fatalf("randomGraph: %v", err)
+	}
+	return g
+}
+
+func BenchmarkCandidateCount(b *testing.B) {
+	g := randomGraph(b, 1000, 100000, 1)
+	for i := 0; i < b.N; i++ {
+		_ = g.CandidateCount(Vertex(i%1000), Time(i%1000))
+	}
+}
+
+func BenchmarkFromEdges(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	edges := make([]Edge, 100000)
+	for i := range edges {
+		edges[i] = Edge{Src: Vertex(r.Intn(5000)), Dst: Vertex(r.Intn(5000)), Time: Time(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromEdges(edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package temporal
+
+// Radix sorts used by graph construction. The paper (§4.2) sorts out-edges by
+// time with a radix sort to get O(|E|) preprocessing; we use stable LSD
+// counting passes so that multi-key ordering falls out of pass composition.
+
+// timeKeyDesc maps a signed Time onto a uint64 whose ascending order equals
+// descending Time order. Flipping the sign bit converts two's-complement
+// order to unsigned order, and complementing reverses it.
+func timeKeyDesc(t Time) uint64 {
+	return ^(uint64(t) ^ (1 << 63))
+}
+
+// radixByTimeDesc stably sorts edges so timestamps are descending.
+// scratch must have the same length as edges.
+func radixByTimeDesc(edges, scratch []Edge) {
+	const passes = 8
+	var counts [passes][257]int
+	for _, e := range edges {
+		k := timeKeyDesc(e.Time)
+		for p := 0; p < passes; p++ {
+			counts[p][int(byte(k>>(8*p)))+1]++
+		}
+	}
+	src, dst := edges, scratch
+	for p := 0; p < passes; p++ {
+		c := &counts[p]
+		// Skip passes where all keys share the byte value.
+		if skipPass(c, len(edges)) {
+			continue
+		}
+		for i := 1; i < 257; i++ {
+			c[i] += c[i-1]
+		}
+		for _, e := range src {
+			b := byte(timeKeyDesc(e.Time) >> (8 * p))
+			dst[c[b]] = e
+			c[b]++
+		}
+		src, dst = dst, src
+	}
+	if len(edges) > 0 && &src[0] != &edges[0] {
+		copy(edges, src)
+	}
+}
+
+// radixByDstAsc stably sorts edges by ascending destination vertex.
+func radixByDstAsc(edges, scratch []Edge) {
+	const passes = 4
+	var counts [passes][257]int
+	for _, e := range edges {
+		k := uint32(e.Dst)
+		for p := 0; p < passes; p++ {
+			counts[p][int(byte(k>>(8*p)))+1]++
+		}
+	}
+	src, dst := edges, scratch
+	for p := 0; p < passes; p++ {
+		c := &counts[p]
+		if skipPass(c, len(edges)) {
+			continue
+		}
+		for i := 1; i < 257; i++ {
+			c[i] += c[i-1]
+		}
+		for _, e := range src {
+			b := byte(uint32(e.Dst) >> (8 * p))
+			dst[c[b]] = e
+			c[b]++
+		}
+		src, dst = dst, src
+	}
+	if len(edges) > 0 && &src[0] != &edges[0] {
+		copy(edges, src)
+	}
+}
+
+// skipPass reports whether one bucket holds every element, i.e. the pass
+// would be an identity permutation.
+func skipPass(c *[257]int, n int) bool {
+	if n == 0 {
+		return true
+	}
+	for i := 1; i < 257; i++ {
+		if c[i] == n {
+			return true
+		}
+		if c[i] != 0 {
+			return false
+		}
+	}
+	return false
+}

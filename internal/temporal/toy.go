@@ -1,0 +1,29 @@
+package temporal
+
+// CommuteEdges returns the edge stream of the commuting network of Figure 1
+// in the paper, the running example used across the manuscript. Edge labels
+// are departure times.
+//
+// Vertex 7's in-edges arrive from 0 (t=3), 8 (t=0), and 9 (t=4); its
+// out-edges, newest first, have times 7,6,5,4,3,2,1 toward vertices
+// 6,5,4,3,2,1,0 respectively — the trunk layouts of Figures 5 and 6 are built
+// from exactly this adjacency list.
+func CommuteEdges() []Edge {
+	return []Edge{
+		{Src: 0, Dst: 7, Time: 3},
+		{Src: 8, Dst: 7, Time: 0},
+		{Src: 9, Dst: 7, Time: 4},
+		{Src: 7, Dst: 0, Time: 1},
+		{Src: 7, Dst: 1, Time: 2},
+		{Src: 7, Dst: 2, Time: 3},
+		{Src: 7, Dst: 3, Time: 4},
+		{Src: 7, Dst: 4, Time: 5},
+		{Src: 7, Dst: 5, Time: 6},
+		{Src: 7, Dst: 6, Time: 7},
+	}
+}
+
+// CommuteGraph builds the Figure 1 commuting network.
+func CommuteGraph() *Graph {
+	return MustFromEdges(CommuteEdges(), WithNumVertices(10))
+}

@@ -1,0 +1,98 @@
+// Package testutil provides shared helpers for the engine's test suites:
+// chi-square distribution checks for samplers and reproducible random
+// temporal graphs.
+package testutil
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/stats"
+	"github.com/tea-graph/tea/internal/temporal"
+)
+
+// CheckDistribution draws n samples and verifies the empirical distribution
+// matches the unnormalized weights via a chi-square test with a generous
+// threshold (systematic bias fails; statistical noise passes).
+func CheckDistribution(t testing.TB, name string, want []float64, n int, draw func() (int, bool)) {
+	t.Helper()
+	total := 0.0
+	for _, w := range want {
+		total += w
+	}
+	if !(total > 0) {
+		t.Fatalf("%s: degenerate expected weights %v", name, want)
+	}
+	counts := make([]int64, len(want))
+	for i := 0; i < n; i++ {
+		idx, ok := draw()
+		if !ok {
+			t.Fatalf("%s: draw %d failed", name, i)
+		}
+		if idx < 0 || idx >= len(want) {
+			t.Fatalf("%s: index %d out of range %d", name, idx, len(want))
+		}
+		counts[idx]++
+	}
+	chi2, df, err := stats.ChiSquare(counts, want)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if limit := stats.ChiSquareGenerousLimit(df); chi2 > limit {
+		t.Fatalf("%s: chi-square %.1f exceeds %.1f (counts %v, weights %v)", name, chi2, limit, counts, want)
+	}
+}
+
+// RandomGraph builds a reproducible random temporal multigraph with v
+// vertices, e edges, and timestamps in [0, tmax).
+func RandomGraph(t testing.TB, v, e int, tmax int64, seed int64) *temporal.Graph {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	edges := make([]temporal.Edge, e)
+	for i := range edges {
+		edges[i] = temporal.Edge{
+			Src:  temporal.Vertex(r.Intn(v)),
+			Dst:  temporal.Vertex(r.Intn(v)),
+			Time: temporal.Time(r.Int63n(tmax)),
+		}
+	}
+	g, err := temporal.FromEdges(edges, temporal.WithNumVertices(v))
+	if err != nil {
+		t.Fatalf("RandomGraph: %v", err)
+	}
+	return g
+}
+
+// SkewedGraph builds a graph where vertex 0 is a hub with degree hubDeg (one
+// edge per timestamp 1..hubDeg) and the rest form a sparse ring, exercising
+// high-degree sampling paths.
+func SkewedGraph(t testing.TB, v, hubDeg int) *temporal.Graph {
+	t.Helper()
+	edges := make([]temporal.Edge, 0, hubDeg+v)
+	for i := 0; i < hubDeg; i++ {
+		edges = append(edges, temporal.Edge{
+			Src: 0, Dst: temporal.Vertex(1 + i%(v-1)), Time: temporal.Time(i + 1),
+		})
+	}
+	for u := 1; u < v; u++ {
+		edges = append(edges, temporal.Edge{
+			Src: temporal.Vertex(u), Dst: temporal.Vertex((u + 1) % v), Time: temporal.Time(u),
+		})
+	}
+	g, err := temporal.FromEdges(edges, temporal.WithNumVertices(v))
+	if err != nil {
+		t.Fatalf("SkewedGraph: %v", err)
+	}
+	return g
+}
+
+// Weights builds graph weights for tests, failing the test on error.
+func Weights(t testing.TB, g *temporal.Graph, spec sampling.WeightSpec) *sampling.GraphWeights {
+	t.Helper()
+	w, err := sampling.BuildGraphWeights(g, spec, 0)
+	if err != nil {
+		t.Fatalf("BuildGraphWeights: %v", err)
+	}
+	return w
+}

@@ -1,0 +1,111 @@
+// Package xrand provides a small, fast, deterministic pseudo-random number
+// generator used throughout the engine.
+//
+// Random walks are embarrassingly parallel, but Go's global math/rand source
+// is mutex-guarded and its per-goroutine sources are awkward to seed
+// reproducibly. xrand implements xoshiro256++ seeded through splitmix64,
+// which gives:
+//
+//   - deterministic streams from a single root seed,
+//   - cheap "splitting" so every walker gets an independent stream,
+//   - no locking in the sampling hot path.
+//
+// The generator is NOT cryptographically secure; it is a simulation RNG.
+package xrand
+
+import "math/bits"
+
+// Rand is a xoshiro256++ pseudo-random generator. The zero value is invalid;
+// construct with New or Split.
+type Rand struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitmix64 advances the given state and returns the next output. It is used
+// only to expand seeds into full xoshiro state vectors.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator deterministically derived from seed. Any seed,
+// including zero, yields a valid generator.
+func New(seed uint64) *Rand {
+	var r Rand
+	r.Reseed(seed)
+	return &r
+}
+
+// Reseed resets the generator to the stream identified by seed.
+func (r *Rand) Reseed(seed uint64) {
+	state := seed
+	r.s0 = splitmix64(&state)
+	r.s1 = splitmix64(&state)
+	r.s2 = splitmix64(&state)
+	r.s3 = splitmix64(&state)
+}
+
+// Split returns a new generator whose stream is deterministically derived
+// from the receiver's current state and the provided stream id. The receiver
+// is not advanced, so Split(i) is stable for a given parent seed.
+func (r *Rand) Split(stream uint64) *Rand {
+	// Mix the parent state with the stream id through splitmix64 so that
+	// nearby stream ids yield uncorrelated children.
+	state := r.s0 ^ bits.RotateLeft64(r.s2, 17) ^ (stream * 0xd6e8feb86659fd93)
+	var c Rand
+	c.s0 = splitmix64(&state)
+	c.s1 = splitmix64(&state)
+	c.s2 = splitmix64(&state)
+	c.s3 = splitmix64(&state)
+	return &c
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s0+r.s3, 23) + r.s0
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// IntN returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) IntN(n int) int {
+	if n <= 0 {
+		panic("xrand: IntN called with non-positive n")
+	}
+	return int(r.Uint64N(uint64(n)))
+}
+
+// Uint64N returns a uniform value in [0, n) using Lemire's nearly-divisionless
+// bounded rejection. It panics if n == 0.
+func (r *Rand) Uint64N(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64N called with zero n")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Range returns a uniform float64 in [0, max). max must be positive.
+func (r *Rand) Range(max float64) float64 {
+	return r.Float64() * max
+}

@@ -1,0 +1,48 @@
+package tea
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/tea-graph/tea/internal/core"
+	"github.com/tea-graph/tea/internal/hpat"
+)
+
+// SaveIndex persists an engine's HPAT index (trunk alias tables, prefix
+// sums, and the edge weights) so preprocessing can be done once and reused:
+// load it back with NewEngineWithIndex. Only HPAT-method engines (the
+// default) can be saved.
+func SaveIndex(eng *Engine, path string) error {
+	idx, ok := eng.Sampler().(*hpat.Index)
+	if !ok {
+		return fmt.Errorf("tea: engine sampler %q is not an HPAT index", eng.Sampler().Name())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("tea: %w", err)
+	}
+	if _, err := idx.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// NewEngineWithIndex builds an engine whose HPAT index is loaded from a file
+// written by SaveIndex instead of rebuilt; g must be the same graph the
+// index was built for. The app must use the same Dynamic_weight the index
+// was built with — the stored per-edge weights are reused verbatim.
+func NewEngineWithIndex(g *Graph, app App, path string, opts Options) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tea: %w", err)
+	}
+	defer f.Close()
+	idx, err := hpat.ReadIndex(f, g)
+	if err != nil {
+		return nil, err
+	}
+	opts.ExternalSampler = idx
+	opts.ExternalWeights = idx.Weights()
+	return core.NewEngine(g, app, opts)
+}

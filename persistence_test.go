@@ -1,0 +1,68 @@
+package tea
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveAndLoadIndex(t *testing.T) {
+	profile := DatasetProfile{Name: "t", Vertices: 300, Edges: 8000, Skew: 0.8, Seed: 41}
+	g, err := profile.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := ExponentialWalk(0.001)
+	eng, err := NewEngine(g, app, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.teai")
+	if err := SaveIndex(eng, path); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := NewEngineWithIndex(g, app, path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed must reproduce the exact same walks through the loaded index.
+	a, err := eng.Run(WalkConfig{Length: 12, Seed: 6, KeepPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Run(WalkConfig{Length: 12, Seed: 6, KeepPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost.Steps != b.Cost.Steps {
+		t.Fatalf("steps %d vs %d", a.Cost.Steps, b.Cost.Steps)
+	}
+	for i := range a.Paths {
+		if len(a.Paths[i].Vertices) != len(b.Paths[i].Vertices) {
+			t.Fatalf("path %d length differs", i)
+		}
+		for j := range a.Paths[i].Vertices {
+			if a.Paths[i].Vertices[j] != b.Paths[i].Vertices[j] {
+				t.Fatalf("path %d vertex %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestSaveIndexRejectsNonHPAT(t *testing.T) {
+	g := CommuteGraph()
+	eng, err := NewEngine(g, Unbiased(), Options{Method: MethodITS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveIndex(eng, filepath.Join(t.TempDir(), "x")); err == nil {
+		t.Fatal("ITS engine saved as HPAT")
+	}
+}
+
+func TestLoadIndexErrors(t *testing.T) {
+	g := CommuteGraph()
+	if _, err := NewEngineWithIndex(g, Unbiased(), "/nonexistent/idx", Options{}); err == nil {
+		t.Fatal("missing index accepted")
+	}
+}

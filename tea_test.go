@@ -1,0 +1,135 @@
+package tea
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g := CommuteGraph()
+	eng, err := NewEngine(g, ExponentialWalk(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(WalkConfig{Length: 5, Seed: 1, KeepPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Paths) != g.NumVertices() {
+		t.Fatalf("paths = %d", len(res.Paths))
+	}
+	for _, p := range res.Paths {
+		for i := 1; i < len(p.Times); i++ {
+			if p.Times[i] <= p.Times[i-1] {
+				t.Fatalf("non-temporal path %v", p.Times)
+			}
+		}
+	}
+}
+
+func TestFromEdgesAndMethods(t *testing.T) {
+	g, err := FromEdges([]Edge{{Src: 0, Dst: 1, Time: 1}, {Src: 1, Dst: 2, Time: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{MethodHPAT, MethodHPATNoIndex, MethodPAT, MethodITS} {
+		eng, err := NewEngine(g, LinearTime(), Options{Method: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if _, err := eng.Run(WalkConfig{Length: 3, Seed: 2}); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+	}
+	if _, err := FromEdgesSized(nil, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	edges := CommuteGraph().Edges(nil)
+	bin := filepath.Join(dir, "g.teag")
+	if err := WriteBinaryFile(bin, edges); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadBinaryFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != len(edges) {
+		t.Fatalf("binary round trip E = %d", g.NumEdges())
+	}
+
+	txt := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(txt, []byte("# demo\n0 1 5\n1 2 9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadTextFile(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 2 || g2.NumVertices() != 3 {
+		t.Fatalf("text load V=%d E=%d", g2.NumVertices(), g2.NumEdges())
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := LoadTextFile("/nonexistent/x.txt"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := LoadBinaryFile("/nonexistent/x.bin"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestStreamFacade(t *testing.T) {
+	s, err := NewStream(StreamConfig{Weight: Exponential(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendBatch([]Edge{{Src: 0, Dst: 1, Time: 1}, {Src: 1, Dst: 2, Time: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumEdges() != 2 {
+		t.Fatalf("stream edges = %d", s.NumEdges())
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 4 || ds[0].Name != "growth" {
+		t.Fatalf("datasets: %v", ds)
+	}
+}
+
+func TestCustomWeightApp(t *testing.T) {
+	g := CommuteGraph()
+	app := App{
+		Name:   "custom",
+		Weight: WeightSpec{Custom: func(t Time) float64 { return float64(t) + 1 }},
+	}
+	eng, err := NewEngine(g, app, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(WalkConfig{Length: 4, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgesInterval(t *testing.T) {
+	g := CommuteGraph()
+	sub := g.EdgesInterval(3, 5)
+	if sub.NumEdges() != 5 {
+		t.Fatalf("interval edges = %d", sub.NumEdges())
+	}
+	eng, err := NewEngine(sub, Unbiased(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(WalkConfig{Length: 3, Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
