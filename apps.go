@@ -1,6 +1,8 @@
 package tea
 
 import (
+	"context"
+
 	"github.com/tea-graph/tea/internal/apps"
 )
 
@@ -25,6 +27,12 @@ func TemporalPPR(eng *Engine, source Vertex, cfg PPRConfig) ([]PPRScore, error) 
 	return apps.TemporalPPR(eng, source, cfg)
 }
 
+// TemporalPPRContext is TemporalPPR under a context: cancellation or a
+// deadline aborts the Monte Carlo estimation and returns ctx.Err().
+func TemporalPPRContext(ctx context.Context, eng *Engine, source Vertex, cfg PPRConfig) ([]PPRScore, error) {
+	return apps.TemporalPPRContext(ctx, eng, source, cfg)
+}
+
 // EarliestArrival computes, for every vertex, the earliest time a
 // time-respecting path from src (departing strictly after startTime) can
 // arrive there; Unreachable if none exists. Exact, O(|E| log |E|).
@@ -32,10 +40,22 @@ func EarliestArrival(g *Graph, src Vertex, startTime Time) []Time {
 	return apps.EarliestArrival(g, src, startTime)
 }
 
+// EarliestArrivalContext is EarliestArrival under a context: the exact scan
+// checks ctx periodically and aborts with ctx.Err() on cancellation.
+func EarliestArrivalContext(ctx context.Context, g *Graph, src Vertex, startTime Time) ([]Time, error) {
+	return apps.EarliestArrivalContext(ctx, g, src, startTime)
+}
+
 // ReachableSet returns the vertices temporally reachable from src after
 // startTime, ascending, excluding src.
 func ReachableSet(g *Graph, src Vertex, startTime Time) []Vertex {
 	return apps.ReachableSet(g, src, startTime)
+}
+
+// ReachableSetContext is ReachableSet under a context; see
+// EarliestArrivalContext for the cancellation contract.
+func ReachableSetContext(ctx context.Context, g *Graph, src Vertex, startTime Time) ([]Vertex, error) {
+	return apps.ReachableSetContext(ctx, g, src, startTime)
 }
 
 // LatestDeparture computes, per vertex, the latest edge time on which one

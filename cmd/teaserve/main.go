@@ -5,6 +5,16 @@
 //
 //	teaserve -input graph.teag -algo exp -addr :8080
 //
+// Operational flags:
+//
+//	-request-timeout   per-query deadline (0 disables; exceeded queries get 504)
+//	-max-inflight      concurrent query cap (0 unlimited; excess sheds with 503)
+//	-drain             how long to wait for in-flight requests on shutdown
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: the listener closes
+// immediately, in-flight requests get up to -drain to finish, and walk
+// computations of dropped clients are cancelled via their request contexts.
+//
 // Endpoints:
 //
 //	GET /healthz
@@ -15,12 +25,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	tea "github.com/tea-graph/tea"
@@ -29,12 +43,15 @@ import (
 
 func main() {
 	var (
-		input  = flag.String("input", "", "edge list path (.txt or binary .teag)")
-		algo   = flag.String("algo", "exp", "walk algorithm: uniform|linear|rank|exp|node2vec")
-		lambda = flag.Float64("lambda", 0, "exponential decay (0 = auto: 50/timespan)")
-		p      = flag.Float64("p", 0.5, "node2vec return parameter")
-		q      = flag.Float64("q", 2, "node2vec in-out parameter")
-		addr   = flag.String("addr", ":8080", "listen address")
+		input      = flag.String("input", "", "edge list path (.txt or binary .teag)")
+		algo       = flag.String("algo", "exp", "walk algorithm: uniform|linear|rank|exp|node2vec")
+		lambda     = flag.Float64("lambda", 0, "exponential decay (0 = auto: 50/timespan)")
+		p          = flag.Float64("p", 0.5, "node2vec return parameter")
+		q          = flag.Float64("q", 2, "node2vec in-out parameter")
+		addr       = flag.String("addr", ":8080", "listen address")
+		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-query deadline, 0 disables")
+		maxFlight  = flag.Int("max-inflight", 64, "max concurrently executing queries, 0 unlimited")
+		drain      = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -85,12 +102,39 @@ func main() {
 	}
 	fmt.Printf("teaserve: %s over %d vertices / %d edges (preprocessed in %v)\n",
 		app.Name, g.NumVertices(), g.NumEdges(), time.Since(start).Round(time.Millisecond))
-	fmt.Printf("teaserve: listening on %s\n", *addr)
+	fmt.Printf("teaserve: listening on %s (timeout=%v, max-inflight=%d)\n",
+		*addr, *reqTimeout, *maxFlight)
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           server.New(eng).Handler(),
+		Addr: *addr,
+		Handler: server.NewWithConfig(eng, server.Config{
+			RequestTimeout: *reqTimeout,
+			MaxInFlight:    *maxFlight,
+		}).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		log.Fatal("teaserve: ", err)
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second signal kills hard
+		fmt.Printf("teaserve: shutting down (draining for up to %v)\n", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("teaserve: drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("teaserve: %v", err)
+		}
+		fmt.Println("teaserve: bye")
+	}
 }

@@ -1,0 +1,59 @@
+package apps
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/tea-graph/tea/internal/core"
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/testutil"
+)
+
+func TestPPRContextCancelled(t *testing.T) {
+	g := testutil.RandomGraph(t, 200, 6000, 900, 31)
+	eng, err := core.NewEngine(g, core.LinearTime(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TemporalPPRContext(ctx, eng, 0, PPRConfig{Walks: 100000, Threads: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+}
+
+func TestPPRStartTimeZeroIsExpressible(t *testing.T) {
+	// From 0, the only strictly-positive-time edge leads to 3; the t<=0
+	// edges must be out of reach when StartTime 0 is explicit.
+	edges := []temporal.Edge{
+		{Src: 0, Dst: 1, Time: -2},
+		{Src: 0, Dst: 2, Time: 0},
+		{Src: 0, Dst: 3, Time: 4},
+	}
+	g := temporal.MustFromEdges(edges)
+	eng, err := core.NewEngine(g, core.Unbiased(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := TemporalPPR(eng, 0, PPRConfig{
+		Walks: 2000, Alpha: 0.2, Seed: 3, StartTime: 0, HasStartTime: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scores {
+		if s.Vertex == 1 || s.Vertex == 2 {
+			t.Fatalf("explicit StartTime=0 walked a t<=0 edge: %+v", scores)
+		}
+	}
+}
+
+func TestReachableSetContextCancelled(t *testing.T) {
+	g := testutil.RandomGraph(t, 100, 2000, 500, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ReachableSetContext(ctx, g, 0, temporal.MinTime); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+}

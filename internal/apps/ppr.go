@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -20,8 +21,11 @@ type PPRConfig struct {
 	// naturally at temporal dead ends.
 	MaxLength int
 	// StartTime is the walker's initial arrival time; zero value means
-	// temporal.MinTime (every out-edge eligible).
+	// temporal.MinTime (every out-edge eligible) unless HasStartTime is set.
 	StartTime temporal.Time
+	// HasStartTime marks StartTime as explicitly set, so a start time of
+	// exactly zero is expressible on graphs with zero/negative timestamps.
+	HasStartTime bool
 	// Seed drives the Monte Carlo sampling.
 	Seed uint64
 	// Threads bounds parallel walkers; <1 selects the engine default.
@@ -38,7 +42,7 @@ func (c *PPRConfig) normalize() {
 	if c.MaxLength <= 0 {
 		c.MaxLength = 80
 	}
-	if c.StartTime == 0 {
+	if !c.HasStartTime && c.StartTime == 0 {
 		c.StartTime = temporal.MinTime
 	}
 	if c.Threads < 1 {
@@ -62,12 +66,38 @@ type PPRScore struct {
 // Scores over all visited vertices sum to 1 and are returned sorted by
 // descending score (ties by vertex id).
 func TemporalPPR(eng *core.Engine, source temporal.Vertex, cfg PPRConfig) ([]PPRScore, error) {
+	return TemporalPPRContext(context.Background(), eng, source, cfg)
+}
+
+// TemporalPPRContext is TemporalPPR under a context: workers check ctx
+// between walks, so cancellation or a deadline aborts the estimation and
+// returns ctx.Err(). A panic in user-supplied engine callbacks is recovered
+// and reported as an error naming the walk instead of crashing the process.
+func TemporalPPRContext(ctx context.Context, eng *core.Engine, source temporal.Vertex, cfg PPRConfig) ([]PPRScore, error) {
 	cfg.normalize()
 	g := eng.Graph()
 	if int(source) >= g.NumVertices() {
 		return nil, fmt.Errorf("apps: ppr source %d outside graph with %d vertices", source, g.NumVertices())
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sampler := eng.Sampler()
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		failMu sync.Mutex
+		runErr error
+	)
+	fail := func(err error) {
+		failMu.Lock()
+		if runErr == nil {
+			runErr = err
+		}
+		failMu.Unlock()
+		cancel()
+	}
 
 	counts := make([]int64, g.NumVertices())
 	var wg sync.WaitGroup
@@ -89,30 +119,26 @@ func TemporalPPR(eng *core.Engine, source temporal.Vertex, cfg PPRConfig) ([]PPR
 			local := make([]int64, g.NumVertices())
 			workerCounts[worker] = local
 			for i := lo; i < hi; i++ {
-				r := root.Split(uint64(i))
-				u := source
-				t := cfg.StartTime
-				local[u]++
-				for step := 0; step < cfg.MaxLength; step++ {
-					if r.Float64() < cfg.Alpha {
-						break // restart: this walk's endpoint is recorded
-					}
-					k := g.CandidateCount(u, t)
-					if k == 0 {
-						break
-					}
-					idx, _, ok := sampler.Sample(u, k, r)
-					if !ok {
-						break
-					}
-					dst, at := g.EdgeAt(u, idx)
-					u, t = dst, at
-					local[u]++
+				if runCtx.Err() != nil {
+					return
+				}
+				if err := pprWalkSafe(g, sampler, source, cfg, i, root, local); err != nil {
+					fail(err)
+					return
 				}
 			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	failMu.Lock()
+	err := runErr
+	failMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	total := int64(0)
 	for _, local := range workerCounts {
 		if local == nil {
@@ -139,4 +165,35 @@ func TemporalPPR(eng *core.Engine, source temporal.Vertex, cfg PPRConfig) ([]PPR
 		return out[i].Vertex < out[j].Vertex
 	})
 	return out, nil
+}
+
+// pprWalkSafe runs one walk-with-restart, converting a panic in user code
+// (custom samplers or weight callbacks) into an error naming the walk.
+func pprWalkSafe(g *temporal.Graph, sampler core.Sampler, source temporal.Vertex, cfg PPRConfig, walk int, root *xrand.Rand, local []int64) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("apps: ppr walk %d panicked: %v", walk, rec)
+		}
+	}()
+	r := root.Split(uint64(walk))
+	u := source
+	t := cfg.StartTime
+	local[u]++
+	for step := 0; step < cfg.MaxLength; step++ {
+		if r.Float64() < cfg.Alpha {
+			break // restart: this walk's endpoint is recorded
+		}
+		k := g.CandidateCount(u, t)
+		if k == 0 {
+			break
+		}
+		idx, _, ok := sampler.Sample(u, k, r)
+		if !ok {
+			break
+		}
+		dst, at := g.EdgeAt(u, idx)
+		u, t = dst, at
+		local[u]++
+	}
+	return nil
 }

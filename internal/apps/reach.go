@@ -8,10 +8,16 @@
 package apps
 
 import (
+	"context"
 	"sort"
 
 	"github.com/tea-graph/tea/internal/temporal"
 )
+
+// ctxCheckStride is how many edges the exact scans process between context
+// checks: frequent enough to abort large scans promptly, rare enough to stay
+// off the hot path.
+const ctxCheckStride = 1 << 16
 
 // Unreachable marks a vertex with no time-respecting path from the source.
 const Unreachable = temporal.MaxTime
@@ -25,6 +31,18 @@ const Unreachable = temporal.MaxTime
 // ascending time relax arrival[dst] = min(arrival[dst], t) whenever
 // t > arrival[src]. O(|E| log |E|) for the sort, O(|E|) for the scan.
 func EarliestArrival(g *temporal.Graph, src temporal.Vertex, startTime temporal.Time) []temporal.Time {
+	arrival, _ := EarliestArrivalContext(context.Background(), g, src, startTime)
+	return arrival
+}
+
+// EarliestArrivalContext is EarliestArrival under a context: the edge-stream
+// scan checks ctx periodically and aborts with ctx.Err() on cancellation, so
+// HTTP handlers over huge graphs can stop the exact computation when the
+// client goes away.
+func EarliestArrivalContext(ctx context.Context, g *temporal.Graph, src temporal.Vertex, startTime temporal.Time) ([]temporal.Time, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	arrival := make([]temporal.Time, g.NumVertices())
 	for i := range arrival {
 		arrival[i] = Unreachable
@@ -43,25 +61,40 @@ func EarliestArrival(g *temporal.Graph, src temporal.Vertex, startTime temporal.
 		}
 		return edges[i].Dst < edges[j].Dst
 	})
-	for _, e := range edges {
+	for i, e := range edges {
+		if i%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if arrival[e.Src] != Unreachable && e.Time > arrival[e.Src] && e.Time < arrival[e.Dst] {
 			arrival[e.Dst] = e.Time
 		}
 	}
-	return arrival
+	return arrival, nil
 }
 
 // ReachableSet returns the vertices with a time-respecting path from src
 // after startTime, excluding the source itself, in ascending id order.
 func ReachableSet(g *temporal.Graph, src temporal.Vertex, startTime temporal.Time) []temporal.Vertex {
-	arrival := EarliestArrival(g, src, startTime)
+	out, _ := ReachableSetContext(context.Background(), g, src, startTime)
+	return out
+}
+
+// ReachableSetContext is ReachableSet under a context; see
+// EarliestArrivalContext for the cancellation contract.
+func ReachableSetContext(ctx context.Context, g *temporal.Graph, src temporal.Vertex, startTime temporal.Time) ([]temporal.Vertex, error) {
+	arrival, err := EarliestArrivalContext(ctx, g, src, startTime)
+	if err != nil {
+		return nil, err
+	}
 	var out []temporal.Vertex
 	for v, t := range arrival {
 		if temporal.Vertex(v) != src && t != Unreachable {
 			out = append(out, temporal.Vertex(v))
 		}
 	}
-	return out
+	return out, nil
 }
 
 // LatestDeparture computes, for every vertex, the latest edge time on which

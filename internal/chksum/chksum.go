@@ -1,0 +1,101 @@
+// Package chksum implements the 8-byte integrity footer shared by TEA's
+// binary serialization formats (edge streams, HPAT indices): a 4-byte footer
+// magic followed by the little-endian CRC-32C of every payload byte before
+// it. Readers that find clean EOF where the footer would start accept the
+// file as legacy (written before footers existed); a partial footer, wrong
+// magic, or checksum mismatch is corruption.
+package chksum
+
+import (
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+)
+
+// FooterSize is the on-disk footprint of the integrity footer.
+const FooterSize = 8
+
+// footerMagic marks the start of the footer ("TEAC" = TEA checksum).
+var footerMagic = [4]byte{'T', 'E', 'A', 'C'}
+
+// ErrFooter is the sentinel wrapped by every footer verification failure.
+var ErrFooter = errors.New("chksum: bad integrity footer")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Writer hashes every byte written through it. Write the payload through a
+// Writer, then append Footer() to the underlying stream.
+type Writer struct {
+	w io.Writer
+	h hash.Hash32
+}
+
+// NewWriter wraps w with CRC-32C accounting.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, h: crc32.New(castagnoli)}
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	n, err := w.w.Write(p)
+	w.h.Write(p[:n])
+	return n, err
+}
+
+// Footer renders the trailer for the bytes written so far.
+func (w *Writer) Footer() [FooterSize]byte {
+	var f [FooterSize]byte
+	copy(f[:4], footerMagic[:])
+	sum := w.h.Sum32()
+	f[4] = byte(sum)
+	f[5] = byte(sum >> 8)
+	f[6] = byte(sum >> 16)
+	f[7] = byte(sum >> 24)
+	return f
+}
+
+// Reader hashes every byte read through it. Read the payload through a
+// Reader, then call Verify against the underlying stream — reading the
+// footer directly from the source keeps its bytes out of the checksum.
+type Reader struct {
+	r io.Reader
+	h hash.Hash32
+}
+
+// NewReader wraps r with CRC-32C accounting.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r, h: crc32.New(castagnoli)}
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	n, err := r.r.Read(p)
+	r.h.Write(p[:n])
+	return n, err
+}
+
+// Verify reads the footer from src (the Reader's underlying stream) and
+// checks it against the payload read so far. legacy is true — with a nil
+// error — when src is already at clean EOF: a file written before footers
+// existed. Any other shortfall, a wrong magic, or a checksum mismatch
+// returns an error wrapping ErrFooter.
+func (r *Reader) Verify(src io.Reader) (legacy bool, err error) {
+	var f [FooterSize]byte
+	n, err := io.ReadFull(src, f[:])
+	if err == io.EOF && n == 0 {
+		return true, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("%w: truncated footer (%d of %d bytes)", ErrFooter, n, FooterSize)
+	}
+	if [4]byte(f[:4]) != footerMagic {
+		return false, fmt.Errorf("%w: bad footer magic %x", ErrFooter, f[:4])
+	}
+	want := uint32(f[4]) | uint32(f[5])<<8 | uint32(f[6])<<16 | uint32(f[7])<<24
+	if got := r.h.Sum32(); got != want {
+		return false, fmt.Errorf("%w: checksum %08x, footer says %08x", ErrFooter, got, want)
+	}
+	return false, nil
+}

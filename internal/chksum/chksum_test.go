@@ -1,0 +1,74 @@
+package chksum
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func payloadWithFooter(t *testing.T, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if _, err := w.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	f := w.Footer()
+	buf.Write(f[:])
+	return buf.Bytes()
+}
+
+// verify reads n payload bytes through a Reader and checks the trailer.
+func verify(t *testing.T, data []byte, n int) (bool, error) {
+	t.Helper()
+	src := bytes.NewReader(data)
+	r := NewReader(src)
+	if _, err := io.ReadFull(r, make([]byte, n)); err != nil {
+		t.Fatal(err)
+	}
+	return r.Verify(src)
+}
+
+func TestFooterRoundTrip(t *testing.T) {
+	payload := []byte("some serialized structure")
+	data := payloadWithFooter(t, payload)
+	if len(data) != len(payload)+FooterSize {
+		t.Fatalf("footer size %d, want %d", len(data)-len(payload), FooterSize)
+	}
+	legacy, err := verify(t, data, len(payload))
+	if err != nil || legacy {
+		t.Fatalf("round trip: legacy=%v err=%v", legacy, err)
+	}
+}
+
+func TestFooterLegacyEOF(t *testing.T) {
+	payload := []byte("footer-less file from an old version")
+	legacy, err := verify(t, payload, len(payload))
+	if err != nil || !legacy {
+		t.Fatalf("legacy=%v err=%v, want legacy with no error", legacy, err)
+	}
+}
+
+func TestFooterFailures(t *testing.T) {
+	payload := []byte("some serialized structure")
+	good := payloadWithFooter(t, payload)
+	flip := func(i int) []byte {
+		b := append([]byte(nil), good...)
+		b[i] ^= 0x10
+		return b
+	}
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"partial footer", good[:len(good)-3]},
+		{"payload flip", flip(2)},
+		{"magic flip", flip(len(good) - FooterSize)},
+		{"checksum flip", flip(len(good) - 1)},
+	} {
+		if _, err := verify(t, tc.data, len(payload)); !errors.Is(err, ErrFooter) {
+			t.Errorf("%s: err = %v, want ErrFooter", tc.name, err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -25,7 +26,16 @@ type WalkConfig struct {
 	Length int
 	// StartTime is the arrival time of the virtual edge that drops the walker
 	// on its start vertex; default MinTime (every out-edge is a candidate).
+	//
+	// A zero StartTime historically meant "unset" and was remapped to
+	// MinTime, which made an actual start time of 0 inexpressible on graphs
+	// with zero or negative timestamps. Set HasStartTime to use StartTime
+	// verbatim, including zero.
 	StartTime temporal.Time
+	// HasStartTime marks StartTime as explicitly set: the value is used
+	// verbatim, even when it is zero. When false, the legacy convention
+	// applies (zero means MinTime, non-zero values are used as given).
+	HasStartTime bool
 	// StartVertices restricts the walk sources; nil walks from every vertex.
 	StartVertices []temporal.Vertex
 	// Threads for parallel walking; <1 means GOMAXPROCS.
@@ -49,7 +59,7 @@ func (c *WalkConfig) normalize(numVertices int) {
 	if c.Length <= 0 {
 		c.Length = 80
 	}
-	if c.StartTime == 0 {
+	if !c.HasStartTime && c.StartTime == 0 {
 		c.StartTime = temporal.MinTime
 	}
 }
@@ -74,8 +84,21 @@ type Result struct {
 }
 
 // Run executes the configured walks in parallel and returns the merged
-// result. It is safe to call Run concurrently on one engine.
+// result. It is safe to call Run concurrently on one engine. Run is a
+// context.Background() shim over RunContext.
 func (e *Engine) Run(cfg WalkConfig) (*Result, error) {
+	return e.RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the configured walks in parallel under ctx. Workers
+// check the context between walks, so cancellation (or a deadline) aborts the
+// run within roughly one walk length; the partial Result accumulated so far
+// is returned together with ctx.Err(). A panic in a user callback (Visitor,
+// App.Parameter, a custom weight) is recovered, aborts the run, and is
+// reported as an error naming the offending walk — the process and any
+// concurrent runs on the same engine survive. It is safe to call RunContext
+// concurrently on one engine.
+func (e *Engine) RunContext(ctx context.Context, cfg WalkConfig) (*Result, error) {
 	cfg.normalize(e.g.NumVertices())
 	threads := cfg.Threads
 	if threads < 1 {
@@ -98,8 +121,28 @@ func (e *Engine) Run(cfg WalkConfig) (*Result, error) {
 
 	root := xrand.New(cfg.Seed)
 	result := &Result{Lengths: stats.NewHistogram(cfg.Length + 1)}
+	if err := ctx.Err(); err != nil {
+		return result, err
+	}
 	if cfg.KeepPaths {
 		result.Paths = make([]Path, totalWalks)
+	}
+
+	// runCtx lets a panicking walk abort sibling workers promptly without
+	// cancelling the caller's context.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		failMu sync.Mutex
+		runErr error
+	)
+	fail := func(err error) {
+		failMu.Lock()
+		if runErr == nil {
+			runErr = err
+		}
+		failMu.Unlock()
+		cancel()
 	}
 
 	start := time.Now()
@@ -124,9 +167,16 @@ func (e *Engine) Run(cfg WalkConfig) (*Result, error) {
 			st := &results[worker]
 			st.lengths = stats.NewHistogram(cfg.Length + 1)
 			for wi := lo; wi < hi; wi++ {
+				if runCtx.Err() != nil {
+					return
+				}
 				src := sources[wi/cfg.WalksPerVertex]
 				r := root.Split(uint64(wi))
-				p := e.walkOne(wi, src, cfg, r, st)
+				p, err := e.walkOneSafe(wi, src, cfg, r, st)
+				if err != nil {
+					fail(err)
+					return
+				}
 				if cfg.KeepPaths {
 					result.Paths[wi] = p
 				}
@@ -142,7 +192,27 @@ func (e *Engine) Run(cfg WalkConfig) (*Result, error) {
 		result.Lengths.Merge(results[i].lengths)
 	}
 	result.Duration = time.Since(start)
+	failMu.Lock()
+	err := runErr
+	failMu.Unlock()
+	if err != nil {
+		return result, err
+	}
+	if err := ctx.Err(); err != nil {
+		return result, err
+	}
 	return result, nil
+}
+
+// walkOneSafe runs one walk, converting a panic in user code into an error
+// that names the walk instead of crashing the process.
+func (e *Engine) walkOneSafe(walkID int, src temporal.Vertex, cfg WalkConfig, r *xrand.Rand, st *walkerState) (p Path, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("core: walk %d from vertex %d panicked: %v", walkID, src, rec)
+		}
+	}()
+	return e.walkOne(walkID, src, cfg, r, st), nil
 }
 
 type walkerState struct {

@@ -16,6 +16,7 @@ import (
 	"io"
 	"strconv"
 
+	"github.com/tea-graph/tea/internal/chksum"
 	"github.com/tea-graph/tea/internal/temporal"
 )
 
@@ -24,6 +25,12 @@ var Magic = [8]byte{'T', 'E', 'A', 'G', 0, 0, 0, 1}
 
 // ErrBadFormat is returned for malformed inputs.
 var ErrBadFormat = errors.New("edgeio: malformed edge stream")
+
+// ErrCorrupt is returned when a binary stream is structurally well-formed
+// but fails its integrity footer — bit rot, truncation at a record boundary,
+// or an interrupted write. Files written before footers existed (no trailer
+// at all) are still accepted.
+var ErrCorrupt = errors.New("edgeio: corrupt edge stream")
 
 // ReadText parses a whitespace-separated "src dst time" stream. Lines that
 // are blank or start with '#' or '%' are skipped. The time column is
@@ -108,15 +115,17 @@ func WriteText(w io.Writer, edges []temporal.Edge) error {
 	return bw.Flush()
 }
 
-// WriteBinary writes the packed binary format.
+// WriteBinary writes the packed binary format, terminated by a CRC-32C
+// integrity footer over the full payload.
 func WriteBinary(w io.Writer, edges []temporal.Edge) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(Magic[:]); err != nil {
+	hw := chksum.NewWriter(bw)
+	if _, err := hw.Write(Magic[:]); err != nil {
 		return err
 	}
 	var hdr [8]byte
 	binary.LittleEndian.PutUint64(hdr[:], uint64(len(edges)))
-	if _, err := bw.Write(hdr[:]); err != nil {
+	if _, err := hw.Write(hdr[:]); err != nil {
 		return err
 	}
 	var rec [16]byte
@@ -124,25 +133,32 @@ func WriteBinary(w io.Writer, edges []temporal.Edge) error {
 		binary.LittleEndian.PutUint32(rec[0:], uint32(e.Src))
 		binary.LittleEndian.PutUint32(rec[4:], uint32(e.Dst))
 		binary.LittleEndian.PutUint64(rec[8:], uint64(e.Time))
-		if _, err := bw.Write(rec[:]); err != nil {
+		if _, err := hw.Write(rec[:]); err != nil {
 			return fmt.Errorf("edgeio: writing binary stream: %w", err)
 		}
+	}
+	footer := hw.Footer()
+	if _, err := bw.Write(footer[:]); err != nil {
+		return fmt.Errorf("edgeio: writing binary stream: %w", err)
 	}
 	return bw.Flush()
 }
 
-// ReadBinary parses the packed binary format.
+// ReadBinary parses the packed binary format and verifies the trailing
+// CRC-32C footer; footer failures return errors wrapping ErrCorrupt.
+// Streams without any footer (written by older versions) are accepted.
 func ReadBinary(r io.Reader) ([]temporal.Edge, error) {
 	br := bufio.NewReader(r)
+	hr := chksum.NewReader(br)
 	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
+	if _, err := io.ReadFull(hr, magic[:]); err != nil {
 		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadFormat, err)
 	}
 	if magic != Magic {
 		return nil, fmt.Errorf("%w: bad magic %x", ErrBadFormat, magic)
 	}
 	var hdr [8]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+	if _, err := io.ReadFull(hr, hdr[:]); err != nil {
 		return nil, fmt.Errorf("%w: missing count: %v", ErrBadFormat, err)
 	}
 	n := binary.LittleEndian.Uint64(hdr[:])
@@ -153,7 +169,7 @@ func ReadBinary(r io.Reader) ([]temporal.Edge, error) {
 	edges := make([]temporal.Edge, n)
 	var rec [16]byte
 	for i := range edges {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
+		if _, err := io.ReadFull(hr, rec[:]); err != nil {
 			return nil, fmt.Errorf("%w: truncated at edge %d: %v", ErrBadFormat, i, err)
 		}
 		edges[i] = temporal.Edge{
@@ -161,6 +177,10 @@ func ReadBinary(r io.Reader) ([]temporal.Edge, error) {
 			Dst:  temporal.Vertex(binary.LittleEndian.Uint32(rec[4:])),
 			Time: temporal.Time(binary.LittleEndian.Uint64(rec[8:])),
 		}
+	}
+	// The footer is read from br directly so its bytes stay out of the sum.
+	if _, err := hr.Verify(br); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return edges, nil
 }

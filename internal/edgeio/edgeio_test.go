@@ -8,6 +8,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"github.com/tea-graph/tea/internal/chksum"
 	"github.com/tea-graph/tea/internal/temporal"
 )
 
@@ -114,14 +115,19 @@ func TestBinaryErrors(t *testing.T) {
 	if _, err := ReadBinary(strings.NewReader("WRONGMAG\x00\x00\x00\x00\x00\x00\x00\x00")); !errors.Is(err, ErrBadFormat) {
 		t.Fatal("bad magic accepted")
 	}
-	// Truncated payload.
 	var buf bytes.Buffer
 	if err := WriteBinary(&buf, temporal.CommuteEdges()); err != nil {
 		t.Fatal(err)
 	}
-	trunc := buf.Bytes()[:buf.Len()-4]
+	// Truncated mid-payload (cuts into the edge records).
+	trunc := buf.Bytes()[:buf.Len()-chksum.FooterSize-4]
 	if _, err := ReadBinary(bytes.NewReader(trunc)); !errors.Is(err, ErrBadFormat) {
 		t.Fatal("truncated payload accepted")
+	}
+	// Truncated mid-footer.
+	trunc = buf.Bytes()[:buf.Len()-4]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("partial footer accepted")
 	}
 	// Implausible count.
 	bad := append([]byte{}, Magic[:]...)

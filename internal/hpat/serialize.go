@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 
+	"github.com/tea-graph/tea/internal/chksum"
 	"github.com/tea-graph/tea/internal/sampling"
 	"github.com/tea-graph/tea/internal/temporal"
 )
@@ -18,6 +19,11 @@ var indexMagic = [8]byte{'T', 'E', 'A', 'I', 0, 0, 0, 1}
 // ErrIndexFormat is returned for malformed serialized indices.
 var ErrIndexFormat = errors.New("hpat: malformed serialized index")
 
+// ErrIndexCorrupt is returned when a serialized index parses but fails its
+// CRC-32C integrity footer. Indices written before footers existed carry no
+// trailer and are still accepted.
+var ErrIndexCorrupt = errors.New("hpat: corrupt serialized index")
+
 // ErrIndexMismatch is returned when a serialized index does not match the
 // graph it is being attached to.
 var ErrIndexMismatch = errors.New("hpat: serialized index does not match graph")
@@ -27,7 +33,9 @@ var ErrIndexMismatch = errors.New("hpat: serialized index does not match graph")
 // auxiliary index is not stored — it depends only on the maximum degree and
 // is rebuilt on load faster than it can be read from disk.
 func (idx *Index) WriteTo(w io.Writer) (int64, error) {
-	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<20)}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hw := chksum.NewWriter(bw)
+	cw := &countingWriter{w: hw}
 	write := func(p []byte) error {
 		_, err := cw.Write(p)
 		return err
@@ -62,7 +70,11 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 	if err := writeI32s(cw, idx.lvl); err != nil {
 		return cw.n, err
 	}
-	if err := cw.w.(*bufio.Writer).Flush(); err != nil {
+	footer := hw.Footer()
+	if err := write(footer[:]); err != nil {
+		return cw.n, err
+	}
+	if err := bw.Flush(); err != nil {
 		return cw.n, err
 	}
 	return cw.n, nil
@@ -73,15 +85,16 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 // layout is then recomputed and must match the stored array sizes).
 func ReadIndex(r io.Reader, g *temporal.Graph) (*Index, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
+	hr := chksum.NewReader(br)
 	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
+	if _, err := io.ReadFull(hr, magic[:]); err != nil {
 		return nil, fmt.Errorf("%w: magic: %v", ErrIndexFormat, err)
 	}
 	if magic != indexMagic {
 		return nil, fmt.Errorf("%w: bad magic %x", ErrIndexFormat, magic)
 	}
 	var hdr [40]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+	if _, err := io.ReadFull(hr, hdr[:]); err != nil {
 		return nil, fmt.Errorf("%w: header: %v", ErrIndexFormat, err)
 	}
 	numV := int(binary.LittleEndian.Uint64(hdr[0:]))
@@ -94,7 +107,7 @@ func ReadIndex(r io.Reader, g *temporal.Graph) (*Index, error) {
 			ErrIndexMismatch, numV, numE, g.NumVertices(), g.NumEdges())
 	}
 	var auxByte [1]byte
-	if _, err := io.ReadFull(br, auxByte[:]); err != nil {
+	if _, err := io.ReadFull(hr, auxByte[:]); err != nil {
 		return nil, fmt.Errorf("%w: aux flag: %v", ErrIndexFormat, err)
 	}
 
@@ -123,25 +136,29 @@ func ReadIndex(r io.Reader, g *temporal.Graph) (*Index, error) {
 	}
 
 	flat := make([]float64, numE)
-	if err := readF64s(br, flat); err != nil {
+	if err := readF64s(hr, flat); err != nil {
 		return nil, err
 	}
 	idx.weights = sampling.WrapGraphWeights(g, flat)
 	idx.cum = make([]float64, idx.cumOff[numV])
-	if err := readF64s(br, idx.cum); err != nil {
+	if err := readF64s(hr, idx.cum); err != nil {
 		return nil, err
 	}
 	idx.prob = make([]float64, slots)
-	if err := readF64s(br, idx.prob); err != nil {
+	if err := readF64s(hr, idx.prob); err != nil {
 		return nil, err
 	}
 	idx.alias = make([]int32, slots)
-	if err := readI32s(br, idx.alias); err != nil {
+	if err := readI32s(hr, idx.alias); err != nil {
 		return nil, err
 	}
 	idx.lvl = make([]int32, lvls)
-	if err := readI32s(br, idx.lvl); err != nil {
+	if err := readI32s(hr, idx.lvl); err != nil {
 		return nil, err
+	}
+	// The footer is read from br directly so its bytes stay out of the sum.
+	if _, err := hr.Verify(br); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrIndexCorrupt, err)
 	}
 	if auxByte[0] != 0 {
 		idx.aux = BuildAuxIndexParallel(g.MaxDegree(), 0)

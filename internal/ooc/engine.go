@@ -1,6 +1,7 @@
 package ooc
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -33,12 +34,12 @@ type Sampler interface {
 type Engine struct {
 	g       *temporal.Graph
 	sampler Sampler
-	out     *Store
+	out     BlockStore
 }
 
 // NewEngine wires a disk-backed sampler to a walk output store. out may be
 // nil, in which case completed walks are discarded (cost accounting only).
-func NewEngine(g *temporal.Graph, sampler Sampler, out *Store) *Engine {
+func NewEngine(g *temporal.Graph, sampler Sampler, out BlockStore) *Engine {
 	return &Engine{g: g, sampler: sampler, out: out}
 }
 
@@ -50,10 +51,19 @@ type Result struct {
 }
 
 // Run walks length steps from every vertex (walksPerVertex copies each) and
-// returns merged costs. Walks are executed sequentially per the out-of-core
-// model where the device, not the CPU, is the bottleneck; the sampler's store
-// accumulates the I/O counters.
+// returns merged costs.
 func (e *Engine) Run(walksPerVertex, length int, seed uint64) (*Result, error) {
+	return e.RunContext(context.Background(), walksPerVertex, length, seed)
+}
+
+// RunContext is Run with cooperative cancellation and fault surfacing: the
+// run aborts between walks when ctx is done (returning the partial Result
+// with ctx.Err()), and when the sampler reports an unrecoverable read failure
+// via an Err() method the run stops there with that error instead of silently
+// dead-ending every remaining walk. Walks are executed sequentially per the
+// out-of-core model where the device, not the CPU, is the bottleneck; the
+// sampler's store accumulates the I/O counters.
+func (e *Engine) RunContext(ctx context.Context, walksPerVertex, length int, seed uint64) (*Result, error) {
 	if walksPerVertex <= 0 {
 		walksPerVertex = 1
 	}
@@ -63,6 +73,21 @@ func (e *Engine) Run(walksPerVertex, length int, seed uint64) (*Result, error) {
 	root := xrand.New(seed)
 	res := &Result{}
 	start := time.Now()
+	defer func() { res.Duration = time.Since(start) }()
+
+	// Samplers with sticky error reporting (DiskPAT, DiskGraphWalker) let the
+	// run distinguish a dead device from a temporal dead end.
+	samplerErr, _ := e.sampler.(interface{ Err() error })
+	retryCounter, _ := e.sampler.(interface{ Retries() int64 })
+	retriesBefore := int64(0)
+	if retryCounter != nil {
+		retriesBefore = retryCounter.Retries()
+	}
+	finishRetries := func() {
+		if retryCounter != nil {
+			res.Cost.ReadRetries = retryCounter.Retries() - retriesBefore
+		}
+	}
 
 	buffer := make([]Path, 0, WalkFlushThreshold)
 	flush := func() error {
@@ -80,23 +105,33 @@ func (e *Engine) Run(walksPerVertex, length int, seed uint64) (*Result, error) {
 	walkID := uint64(0)
 	for u := 0; u < e.g.NumVertices(); u++ {
 		for c := 0; c < walksPerVertex; c++ {
+			if err := ctx.Err(); err != nil {
+				finishRetries()
+				return res, err
+			}
 			r := root.Split(walkID)
 			walkID++
 			p := e.walkOne(temporal.Vertex(u), length, r, &res.Cost)
+			if samplerErr != nil {
+				if err := samplerErr.Err(); err != nil {
+					finishRetries()
+					return res, err
+				}
+			}
 			buffer = append(buffer, p)
 			if len(buffer) >= WalkFlushThreshold {
 				if err := flush(); err != nil {
-					return nil, err
+					finishRetries()
+					return res, err
 				}
 			}
 		}
 	}
-	if e.out != nil && len(buffer) > 0 {
-		if err := flush(); err != nil {
-			return nil, err
-		}
+	if err := flush(); err != nil {
+		finishRetries()
+		return res, err
 	}
-	res.Duration = time.Since(start)
+	finishRetries()
 	return res, nil
 }
 
@@ -136,7 +171,7 @@ func (e *Engine) walkOne(src temporal.Vertex, length int, r *xrand.Rand, cost *s
 
 // writeWalks serializes a flush batch: per walk, a length header followed by
 // (vertex, time) pairs.
-func writeWalks(out *Store, walks []Path) error {
+func writeWalks(out BlockStore, walks []Path) error {
 	size := 0
 	for _, w := range walks {
 		size += 4 + len(w.Vertices)*4 + len(w.Times)*8

@@ -1,0 +1,103 @@
+package ooc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+// ErrTransient classifies an I/O error as retryable: the same read may
+// succeed if reissued (EINTR-style glitches, device hiccups, injected test
+// faults). DiskPAT retries reads whose errors match errors.Is(err,
+// ErrTransient) with exponential backoff; everything else is treated as
+// permanent and surfaces immediately.
+var ErrTransient = errors.New("ooc: transient I/O fault")
+
+// ErrInjected marks an error produced by a FaultInjector rather than the
+// real device, so tests and operators can tell drills from genuine faults.
+var ErrInjected = errors.New("ooc: injected fault")
+
+// FaultClass selects the kind of error a FaultInjector produces.
+type FaultClass int
+
+const (
+	// FaultTransient faults match ErrTransient and are retryable.
+	FaultTransient FaultClass = iota
+	// FaultPermanent faults do not match ErrTransient: retrying is useless
+	// and the engine surfaces them as wrapped errors.
+	FaultPermanent
+)
+
+// FaultConfig parameterizes a FaultInjector. The zero value injects nothing.
+type FaultConfig struct {
+	// ReadErrorRate is the probability in [0, 1] that one ReadAt fails
+	// before touching the underlying store.
+	ReadErrorRate float64
+	// Class selects transient (retryable) or permanent faults.
+	Class FaultClass
+	// Latency is added to every ReadAt, modelling a slow or contended
+	// device.
+	Latency time.Duration
+	// Seed makes the fault sequence deterministic.
+	Seed uint64
+}
+
+// FaultInjector wraps a BlockStore and injects read faults per FaultConfig:
+// the §4.1 out-of-core path assumes a perfect disk, and this wrapper is how
+// deployments (and our tests) verify behavior on an imperfect one without
+// special hardware. Writes pass through untouched. Safe for concurrent use.
+type FaultInjector struct {
+	inner BlockStore
+	cfg   FaultConfig
+
+	mu       sync.Mutex
+	rng      *xrand.Rand
+	injected atomic.Int64
+}
+
+// NewFaultInjector wraps inner with deterministic fault injection.
+func NewFaultInjector(inner BlockStore, cfg FaultConfig) *FaultInjector {
+	return &FaultInjector{inner: inner, cfg: cfg, rng: xrand.New(cfg.Seed)}
+}
+
+// Injected reports how many faults have been injected so far.
+func (f *FaultInjector) Injected() int64 { return f.injected.Load() }
+
+// ReadAt implements BlockStore, possibly failing or delaying the read.
+func (f *FaultInjector) ReadAt(p []byte, off int64) error {
+	if f.cfg.Latency > 0 {
+		time.Sleep(f.cfg.Latency)
+	}
+	if f.cfg.ReadErrorRate > 0 {
+		f.mu.Lock()
+		hit := f.rng.Float64() < f.cfg.ReadErrorRate
+		f.mu.Unlock()
+		if hit {
+			f.injected.Add(1)
+			if f.cfg.Class == FaultTransient {
+				return fmt.Errorf("read %d bytes at %d: %w: %w", len(p), off, ErrInjected, ErrTransient)
+			}
+			return fmt.Errorf("read %d bytes at %d: %w", len(p), off, ErrInjected)
+		}
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+// WriteAt implements BlockStore, delegating to the wrapped store.
+func (f *FaultInjector) WriteAt(p []byte, off int64) error { return f.inner.WriteAt(p, off) }
+
+// Append implements BlockStore, delegating to the wrapped store.
+func (f *FaultInjector) Append(p []byte) (int64, error) { return f.inner.Append(p) }
+
+// Counters implements BlockStore, reporting the wrapped store's I/O.
+// Injected faults fail before the device and are not counted here.
+func (f *FaultInjector) Counters() (bytesRead, readOps, bytesWritten, writeOps int64) {
+	return f.inner.Counters()
+}
+
+// PagesRead implements BlockStore, reporting the wrapped store's pages.
+func (f *FaultInjector) PagesRead() int64 { return f.inner.PagesRead() }

@@ -1,0 +1,165 @@
+package ooc
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/testutil"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+// Under a low transient fault rate, retries must make the run exactly
+// equivalent to a fault-free one: the injector draws from its own RNG, so the
+// walk streams are untouched and every cost counter except ReadRetries must
+// match the clean run.
+func TestTransientFaultsAreRetriedTransparently(t *testing.T) {
+	g := testutil.RandomGraph(t, 300, 9000, 1000, 5)
+	g.PrecomputeCandidates(1)
+	w := testutil.Weights(t, g, sampling.Exponential(0.01))
+
+	clean, err := BuildDiskPAT(w, tempStore(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resClean, err := NewEngine(g, clean, nil).Run(2, 30, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fi := NewFaultInjector(tempStore(t), FaultConfig{ReadErrorRate: 0.02, Class: FaultTransient, Seed: 7})
+	faulty, err := BuildDiskPAT(w, fi, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty.SetRetryPolicy(RetryPolicy{MaxRetries: 5, BaseDelay: 0})
+	resFaulty, err := NewEngine(g, faulty, nil).Run(2, 30, 42)
+	if err != nil {
+		t.Fatalf("run under transient faults failed: %v", err)
+	}
+
+	if fi.Injected() == 0 {
+		t.Fatal("injector never fired; the test exercised nothing")
+	}
+	if resFaulty.Cost.ReadRetries == 0 {
+		t.Fatal("no retries recorded despite injected transient faults")
+	}
+	if faulty.Err() != nil {
+		t.Fatalf("sticky error after recoverable faults: %v", faulty.Err())
+	}
+	c, f := resClean.Cost, resFaulty.Cost
+	if c.Steps != f.Steps || c.EdgesEvaluated != f.EdgesEvaluated ||
+		c.WalksStarted != f.WalksStarted || c.WalksCompleted != f.WalksCompleted ||
+		c.WalksDeadEnded != f.WalksDeadEnded {
+		t.Fatalf("faulty run diverged from clean run:\nclean:  %+v\nfaulty: %+v", c, f)
+	}
+}
+
+// A permanent fault must surface promptly as a wrapped error naming the
+// failed read — not retry forever, and not degrade into every walk silently
+// dead-ending.
+func TestPermanentFaultSurfacesAsError(t *testing.T) {
+	g := testutil.RandomGraph(t, 300, 9000, 1000, 5)
+	g.PrecomputeCandidates(1)
+	w := testutil.Weights(t, g, sampling.WeightSpec{})
+
+	fi := NewFaultInjector(tempStore(t), FaultConfig{ReadErrorRate: 1.0, Class: FaultPermanent, Seed: 3})
+	d, err := BuildDiskPAT(w, fi, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewEngine(g, d, nil).Run(2, 30, 42)
+	if err == nil {
+		t.Fatal("permanent fault did not surface")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("error lost its injected marker: %v", err)
+	}
+	if errors.Is(err, ErrTransient) {
+		t.Fatalf("permanent fault classified transient: %v", err)
+	}
+	if d.Retries() != 0 {
+		t.Fatalf("retried a permanent fault %d times", d.Retries())
+	}
+	if res == nil || res.Cost.WalksStarted == 0 {
+		t.Fatal("no partial result returned")
+	}
+	if res.Cost.WalksStarted > 1 {
+		t.Fatalf("run continued for %d walks past a permanent fault", res.Cost.WalksStarted)
+	}
+}
+
+// Exhausting the retry budget on a persistent transient fault must also
+// surface an error rather than hang or spin.
+func TestTransientRetryBudgetExhaustion(t *testing.T) {
+	g := testutil.RandomGraph(t, 300, 9000, 1000, 5)
+	g.PrecomputeCandidates(1)
+	w := testutil.Weights(t, g, sampling.WeightSpec{})
+
+	fi := NewFaultInjector(tempStore(t), FaultConfig{ReadErrorRate: 1.0, Class: FaultTransient, Seed: 3})
+	d, err := BuildDiskPAT(w, fi, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetRetryPolicy(RetryPolicy{MaxRetries: 2, BaseDelay: 0})
+	_, err = NewEngine(g, d, nil).Run(1, 10, 1)
+	if err == nil {
+		t.Fatal("exhausted retries did not surface an error")
+	}
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("error lost its transient marker: %v", err)
+	}
+	if d.Retries() != 2 {
+		t.Fatalf("retries = %d, want 2 (MaxRetries)", d.Retries())
+	}
+}
+
+// The injector must not perturb sampling when it never fires: rate 0 is a
+// pure pass-through.
+func TestFaultInjectorZeroRatePassThrough(t *testing.T) {
+	g := testutil.RandomGraph(t, 200, 4000, 800, 9)
+	g.PrecomputeCandidates(1)
+	w := testutil.Weights(t, g, sampling.WeightSpec{})
+
+	fi := NewFaultInjector(tempStore(t), FaultConfig{})
+	d, err := BuildDiskPAT(w, fi, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(1)
+	for i := 0; i < 200; i++ {
+		d.Sample(5, g.Degree(5), r)
+	}
+	if fi.Injected() != 0 {
+		t.Fatal("zero-rate injector fired")
+	}
+	if d.Retries() != 0 || d.Err() != nil {
+		t.Fatalf("pass-through injector caused retries=%d err=%v", d.Retries(), d.Err())
+	}
+}
+
+// A cancelled context must stop the out-of-core run between walks, returning
+// the partial result with the context's error.
+func TestEngineRunContextCancelled(t *testing.T) {
+	g := testutil.RandomGraph(t, 300, 9000, 1000, 5)
+	g.PrecomputeCandidates(1)
+	w := testutil.Weights(t, g, sampling.WeightSpec{})
+
+	d, err := BuildDiskPAT(w, tempStore(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := NewEngine(g, d, nil).RunContext(ctx, 2, 30, 42)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("no partial result on cancellation")
+	}
+	if res.Cost.WalksStarted != 0 {
+		t.Fatalf("pre-cancelled run still started %d walks", res.Cost.WalksStarted)
+	}
+}

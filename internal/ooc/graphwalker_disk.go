@@ -2,7 +2,9 @@ package ooc
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
+	"sync"
 
 	"github.com/tea-graph/tea/internal/sampling"
 	"github.com/tea-graph/tea/internal/temporal"
@@ -20,17 +22,20 @@ const edgeRecBytes = 12
 // sequential scan.
 type DiskGraphWalker struct {
 	g        *temporal.Graph
-	store    *Store
+	store    BlockStore
 	spec     sampling.WeightSpec
 	lambda   float64
 	minT     temporal.Time
 	edgeBase int64
 	edgeOff  []int64
+
+	errMu    sync.Mutex
+	firstErr error // first read failure (sticky)
 }
 
 // BuildDiskGraphWalker serializes the graph's adjacency onto the store in the
 // layout the baseline reads back during sampling.
-func BuildDiskGraphWalker(g *temporal.Graph, spec sampling.WeightSpec, store *Store) (*DiskGraphWalker, error) {
+func BuildDiskGraphWalker(g *temporal.Graph, spec sampling.WeightSpec, store BlockStore) (*DiskGraphWalker, error) {
 	if spec.Custom != nil {
 		return nil, ErrCustomWeight
 	}
@@ -112,6 +117,12 @@ func (d *DiskGraphWalker) Sample(u temporal.Vertex, k int, r *xrand.Rand) (int, 
 	}
 	buf := make([]byte, deg*edgeRecBytes)
 	if err := d.store.ReadAt(buf, d.edgeBase+d.edgeOff[u]*edgeRecBytes); err != nil {
+		err = fmt.Errorf("ooc: adjacency read for vertex %d failed: %w", u, err)
+		d.errMu.Lock()
+		if d.firstErr == nil {
+			d.firstErr = err
+		}
+		d.errMu.Unlock()
 		return 0, 0, false
 	}
 	newest := temporal.Time(int64(binary.LittleEndian.Uint64(buf)))
@@ -140,5 +151,12 @@ func (d *DiskGraphWalker) Sample(u temporal.Vertex, k int, r *xrand.Rand) (int, 
 // MemoryBytes implements the Sampler contract: only vertex offsets resident.
 func (d *DiskGraphWalker) MemoryBytes() int64 { return int64(len(d.edgeOff)) * 8 }
 
+// Err returns the first read failure, or nil.
+func (d *DiskGraphWalker) Err() error {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	return d.firstErr
+}
+
 // Store returns the backing block store.
-func (d *DiskGraphWalker) Store() *Store { return d.store }
+func (d *DiskGraphWalker) Store() BlockStore { return d.store }

@@ -2,7 +2,12 @@ package ooc
 
 import (
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/tea-graph/tea/internal/sampling"
 	"github.com/tea-graph/tea/internal/temporal"
@@ -18,6 +23,19 @@ const DefaultTrunkSize = 10
 // weight (8) + alias probability (8) + alias target (4).
 const slotBytes = 8 + 8 + 4
 
+// RetryPolicy bounds the retry-with-backoff loop wrapped around transient
+// trunk reads: up to MaxRetries reissues after the first attempt, sleeping
+// BaseDelay, 2·BaseDelay, 4·BaseDelay, ... between them.
+type RetryPolicy struct {
+	MaxRetries int
+	BaseDelay  time.Duration
+}
+
+// DefaultRetryPolicy absorbs sporadic device glitches (at a 1% transient
+// fault rate, five retries drive the per-read failure probability to 1e-12)
+// while a genuinely dead device still fails in under ~3ms.
+var DefaultRetryPolicy = RetryPolicy{MaxRetries: 5, BaseDelay: 100 * time.Microsecond}
+
 // DiskPAT is the out-of-core TEA sampler: trunk-granularity prefix sums stay
 // in memory (|E|/trunkSize floats), while per-trunk payloads — edge weights
 // and the trunk's alias table — are fetched from the store on demand.
@@ -25,18 +43,24 @@ const slotBytes = 8 + 8 + 4
 // the O(D) of a full-neighbor-load engine (§5.6).
 type DiskPAT struct {
 	g         *temporal.Graph
-	store     *Store
+	store     BlockStore
 	trunkSize int
 
 	trunkOff []int64   // per vertex: first trunk index
 	trunkCum []float64 // per vertex: trunk-granularity prefix sums (len trunks+1 per vertex)
 	cumOff   []int64
 	diskBase int64 // store offset of trunk record 0
+
+	retry   RetryPolicy
+	retries atomic.Int64 // reads reissued after transient faults
+
+	errMu    sync.Mutex
+	firstErr error // first unrecoverable read failure (sticky)
 }
 
 // BuildDiskPAT lays the weighted graph's PAT onto the store. trunkSize <= 0
 // selects DefaultTrunkSize.
-func BuildDiskPAT(w *sampling.GraphWeights, store *Store, trunkSize int) (*DiskPAT, error) {
+func BuildDiskPAT(w *sampling.GraphWeights, store BlockStore, trunkSize int) (*DiskPAT, error) {
 	if trunkSize <= 0 {
 		trunkSize = DefaultTrunkSize
 	}
@@ -46,6 +70,7 @@ func BuildDiskPAT(w *sampling.GraphWeights, store *Store, trunkSize int) (*DiskP
 		g:         g,
 		store:     store,
 		trunkSize: trunkSize,
+		retry:     DefaultRetryPolicy,
 		trunkOff:  make([]int64, numV+1),
 		cumOff:    make([]int64, numV+1),
 	}
@@ -113,10 +138,44 @@ func numTrunks(degree, trunkSize int) int {
 // Name implements the engine's Sampler contract.
 func (d *DiskPAT) Name() string { return "TEA-OOC" }
 
-// trunkRecord fetches trunk t of vertex u from the store.
+// trunkRecord fetches trunk t of vertex u from the store, retrying transient
+// failures per the retry policy. Unrecoverable failures are wrapped with the
+// vertex/trunk coordinates and recorded as the sampler's sticky first error,
+// because the Sampler contract can only signal "no candidate" — Err() is how
+// the engine distinguishes a dead-ended walk from a dead device.
 func (d *DiskPAT) trunkRecord(u temporal.Vertex, t int, buf []byte) error {
 	off := d.diskBase + (d.trunkOff[u]+int64(t))*int64(d.trunkSize*slotBytes)
-	return d.store.ReadAt(buf, off)
+	err := d.store.ReadAt(buf, off)
+	for attempt := 0; err != nil && errors.Is(err, ErrTransient) && attempt < d.retry.MaxRetries; attempt++ {
+		d.retries.Add(1)
+		if d.retry.BaseDelay > 0 {
+			time.Sleep(d.retry.BaseDelay << attempt)
+		}
+		err = d.store.ReadAt(buf, off)
+	}
+	if err != nil {
+		err = fmt.Errorf("ooc: trunk read for vertex %d trunk %d failed: %w", u, t, err)
+		d.errMu.Lock()
+		if d.firstErr == nil {
+			d.firstErr = err
+		}
+		d.errMu.Unlock()
+	}
+	return err
+}
+
+// SetRetryPolicy replaces the transient-read retry policy. Not safe to call
+// concurrently with Sample.
+func (d *DiskPAT) SetRetryPolicy(p RetryPolicy) { d.retry = p }
+
+// Retries reports how many reads were reissued after transient faults.
+func (d *DiskPAT) Retries() int64 { return d.retries.Load() }
+
+// Err returns the first unrecoverable read failure, or nil.
+func (d *DiskPAT) Err() error {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	return d.firstErr
 }
 
 // Sample implements the Sampler contract following §4.1's out-of-core
@@ -278,4 +337,4 @@ func (d *DiskPAT) MemoryBytes() int64 {
 }
 
 // Store returns the backing block store (for I/O accounting).
-func (d *DiskPAT) Store() *Store { return d.store }
+func (d *DiskPAT) Store() BlockStore { return d.store }

@@ -17,6 +17,23 @@ import (
 	"time"
 )
 
+// BlockStore is the I/O contract the out-of-core samplers and engine run
+// against. *Store is the real file-backed implementation; FaultInjector
+// wraps any BlockStore to exercise failure paths. All methods must be safe
+// for concurrent use.
+type BlockStore interface {
+	// ReadAt fills p from offset off, accounting the transfer.
+	ReadAt(p []byte, off int64) error
+	// WriteAt writes p at off, accounting the transfer.
+	WriteAt(p []byte, off int64) error
+	// Append writes p at the end of the store and returns its offset.
+	Append(p []byte) (int64, error)
+	// Counters reports accumulated I/O.
+	Counters() (bytesRead, readOps, bytesWritten, writeOps int64)
+	// PagesRead reports device pages touched by reads (cost-model unit).
+	PagesRead() int64
+}
+
 // Store is a file-backed block store with read/write accounting. All methods
 // are safe for concurrent use.
 type Store struct {

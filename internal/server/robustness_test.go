@@ -1,0 +1,174 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tea-graph/tea/internal/core"
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/testutil"
+)
+
+// A client disconnect must cancel the in-flight walk run: the handler (which
+// runs the walk synchronously) has to return long before the paced run could
+// have finished on its own.
+func TestClientDisconnectCancelsRun(t *testing.T) {
+	g := testutil.RandomGraph(t, 400, 16000, 50000, 41)
+	eng, err := core.NewEngine(g, core.LinearTime(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(eng)
+
+	started := make(chan struct{})
+	var once sync.Once
+	s.prepWalk = func(cfg *core.WalkConfig) {
+		cfg.Visitor = func(walkID, step int, from, to temporal.Vertex, at temporal.Time) {
+			once.Do(func() { close(started) })
+			time.Sleep(200 * time.Microsecond) // pace the run so it cannot finish early
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req := httptest.NewRequest("GET", "/walk?from=0&length=80&count=10000&seed=1", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		s.Handler().ServeHTTP(rec, req)
+		close(done)
+	}()
+
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run never started")
+	}
+	cancel() // the client goes away
+
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler did not return after client disconnect")
+	}
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("status %d, want %d", rec.Code, statusClientClosedRequest)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(rec.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["error"], "context canceled") {
+		t.Fatalf("error body %v", out)
+	}
+}
+
+// The per-request timeout must fire as 504 with a structured error.
+func TestRequestTimeout(t *testing.T) {
+	g := temporal.CommuteGraph()
+	eng, err := core.NewEngine(g, core.Unbiased(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithConfig(eng, Config{RequestTimeout: time.Nanosecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	start := time.Now()
+	var out map[string]string
+	getJSON(t, ts.URL+"/walk?from=9&length=80&count=100", http.StatusGatewayTimeout, &out)
+	if out["error"] == "" {
+		t.Fatal("no structured error on timeout")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout did not return promptly")
+	}
+}
+
+// With the in-flight semaphore full, further queries must be shed with 503
+// and a Retry-After hint, not queued.
+func TestLoadShedding(t *testing.T) {
+	g := temporal.CommuteGraph()
+	eng, err := core.NewEngine(g, core.Unbiased(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithConfig(eng, Config{MaxInFlight: 1, RetryAfter: 2 * time.Second})
+	s.inflight <- struct{}{} // occupy the only slot
+	defer func() { <-s.inflight }()
+
+	req := httptest.NewRequest("GET", "/walk?from=9", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After %q, want \"2\"", ra)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(rec.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["error"] == "" {
+		t.Fatal("no structured error on shed request")
+	}
+
+	// Health stays reachable even when queries are shed.
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d under load", rec.Code)
+	}
+}
+
+// Every endpoint must turn malformed or out-of-range parameters into a 400
+// with a structured JSON error — never a 500, never a silent default.
+func TestBadInputSweep(t *testing.T) {
+	ts := newTestServer(t)
+	for _, q := range []string{
+		// /walk
+		"/walk",
+		"/walk?from=99",
+		"/walk?from=x",
+		"/walk?from=-1",
+		"/walk?from=1&length=x",
+		"/walk?from=1&length=0",
+		"/walk?from=1&length=-5",
+		"/walk?from=1&count=x",
+		"/walk?from=1&count=0",
+		"/walk?from=1&count=999999",
+		"/walk?from=1&seed=x",
+		// /ppr
+		"/ppr",
+		"/ppr?from=99",
+		"/ppr?from=x",
+		"/ppr?from=1&walks=x",
+		"/ppr?from=1&walks=0",
+		"/ppr?from=1&walks=99999999",
+		"/ppr?from=1&alpha=x",
+		"/ppr?from=1&alpha=2",
+		"/ppr?from=1&alpha=0",
+		"/ppr?from=1&topk=0",
+		"/ppr?from=1&topk=x",
+		"/ppr?from=1&seed=x",
+		// /reach
+		"/reach",
+		"/reach?from=99",
+		"/reach?from=x",
+		"/reach?from=1&after=x",
+		"/reach?from=1&after=1.5",
+	} {
+		var out map[string]string
+		getJSON(t, ts.URL+q, http.StatusBadRequest, &out)
+		if out["error"] == "" {
+			t.Fatalf("%s: empty structured error", q)
+		}
+	}
+}

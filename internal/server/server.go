@@ -2,13 +2,24 @@
 // personalized PageRank, and temporal reachability queries as JSON
 // endpoints. cmd/teaserve wires it to a listening socket; the handler is
 // usable under any http.Server (or httptest) directly.
+//
+// The server is built for operation under load: every query runs under the
+// request's context (client disconnects abort in-flight walks), an optional
+// per-request timeout bounds the worst-case query, and an optional
+// max-in-flight semaphore sheds excess load with 503 + Retry-After instead
+// of queueing unboundedly. All errors are structured JSON ({"error": "..."})
+// with meaningful status codes: 400 for malformed or out-of-range
+// parameters, 503 when shedding, 504 when the per-request deadline fires.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"github.com/tea-graph/tea/internal/apps"
 	"github.com/tea-graph/tea/internal/core"
@@ -21,26 +32,84 @@ const maxWalksPerRequest = 10000
 // maxPPRWalks bounds one /ppr request.
 const maxPPRWalks = 1_000_000
 
+// statusClientClosedRequest is nginx's non-standard 499: the client went
+// away before the response was produced. The response is unlikely to be
+// seen, but the code keeps logs and tests unambiguous.
+const statusClientClosedRequest = 499
+
+// Config tunes the server's operational behavior. The zero value imposes no
+// timeout and no concurrency limit, matching the pre-robustness behavior.
+type Config struct {
+	// RequestTimeout bounds one query's computation; 0 disables.
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrently executing walk queries; excess requests
+	// are shed with 503 + Retry-After. 0 means unlimited.
+	MaxInFlight int
+	// RetryAfter is the Retry-After hint attached to shed requests;
+	// default 1s.
+	RetryAfter time.Duration
+}
+
 // Server answers walk queries for one engine. Engines are safe for
 // concurrent Run calls, so the handler needs no locking.
 type Server struct {
-	eng *core.Engine
-	mux *http.ServeMux
+	eng      *core.Engine
+	mux      *http.ServeMux
+	cfg      Config
+	inflight chan struct{}
+
+	// prepWalk, when non-nil, may adjust the WalkConfig before a /walk run
+	// starts. Test seam: lets tests install a Visitor to observe and pace
+	// in-flight runs.
+	prepWalk func(*core.WalkConfig)
 }
 
-// New builds a server around a preprocessed engine.
-func New(eng *core.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
+// New builds a server around a preprocessed engine with default Config.
+func New(eng *core.Engine) *Server { return NewWithConfig(eng, Config{}) }
+
+// NewWithConfig builds a server with explicit operational limits.
+func NewWithConfig(eng *core.Engine, cfg Config) *Server {
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	s := &Server{eng: eng, mux: http.NewServeMux(), cfg: cfg}
+	if cfg.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInFlight)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /walk", s.handleWalk)
-	s.mux.HandleFunc("GET /ppr", s.handlePPR)
-	s.mux.HandleFunc("GET /reach", s.handleReach)
+	s.mux.HandleFunc("GET /walk", s.limited(s.handleWalk))
+	s.mux.HandleFunc("GET /ppr", s.limited(s.handlePPR))
+	s.mux.HandleFunc("GET /reach", s.limited(s.handleReach))
 	return s
 }
 
 // Handler returns the routable HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// limited wraps a query handler with the load-shedding semaphore and the
+// per-request timeout.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+				writeErr(w, http.StatusServiceUnavailable,
+					fmt.Errorf("server at capacity (%d queries in flight); retry later", s.cfg.MaxInFlight))
+				return
+			}
+		}
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	}
+}
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -86,29 +155,45 @@ type walkHop struct {
 func (s *Server) handleWalk(w http.ResponseWriter, r *http.Request) {
 	from, err := vertexParam(r, "from", s.eng.Graph().NumVertices())
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	length := intParam(r, "length", 80)
-	count := intParam(r, "count", 1)
-	seed := uint64(intParam(r, "seed", 1))
+	length, err := intParam(r, "length", 80)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	count, err := intParam(r, "count", 1)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	seed, err := intParam(r, "seed", 1)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
 	if length <= 0 || count <= 0 {
-		writeErr(w, fmt.Errorf("length and count must be positive"))
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("length and count must be positive"))
 		return
 	}
 	if count > maxWalksPerRequest {
-		writeErr(w, fmt.Errorf("count %d exceeds per-request limit %d", count, maxWalksPerRequest))
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("count %d exceeds per-request limit %d", count, maxWalksPerRequest))
 		return
 	}
-	res, err := s.eng.Run(core.WalkConfig{
+	cfg := core.WalkConfig{
 		WalksPerVertex: count,
 		Length:         length,
 		StartVertices:  []temporal.Vertex{from},
-		Seed:           seed,
+		Seed:           uint64(seed),
 		KeepPaths:      true,
-	})
+	}
+	if s.prepWalk != nil {
+		s.prepWalk(&cfg)
+	}
+	res, err := s.eng.RunContext(r.Context(), cfg)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, runStatus(err), err)
 		return
 	}
 	out := walkResponse{From: from, Cost: map[string]string{
@@ -139,23 +224,48 @@ type pprResponse struct {
 func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
 	from, err := vertexParam(r, "from", s.eng.Graph().NumVertices())
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	walks := intParam(r, "walks", 10000)
+	walks, err := intParam(r, "walks", 10000)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
 	if walks <= 0 || walks > maxPPRWalks {
-		writeErr(w, fmt.Errorf("walks must be in (0, %d]", maxPPRWalks))
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("walks must be in (0, %d]", maxPPRWalks))
 		return
 	}
-	alpha := floatParam(r, "alpha", 0.15)
-	topK := intParam(r, "topk", 20)
-	scores, err := apps.TemporalPPR(s.eng, from, apps.PPRConfig{
+	alpha, err := floatParam(r, "alpha", 0.15)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if alpha <= 0 || alpha >= 1 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("alpha must be in (0, 1)"))
+		return
+	}
+	topK, err := intParam(r, "topk", 20)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if topK <= 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("topk must be positive"))
+		return
+	}
+	seed, err := intParam(r, "seed", 1)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	scores, err := apps.TemporalPPRContext(r.Context(), s.eng, from, apps.PPRConfig{
 		Alpha: alpha,
 		Walks: walks,
-		Seed:  uint64(intParam(r, "seed", 1)),
+		Seed:  uint64(seed),
 	})
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, runStatus(err), err)
 		return
 	}
 	if len(scores) > topK {
@@ -175,11 +285,19 @@ type reachResponse struct {
 func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 	from, err := vertexParam(r, "from", s.eng.Graph().NumVertices())
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	after := int64Param(r, "after", int64(temporal.MinTime))
-	set := apps.ReachableSet(s.eng.Graph(), from, temporal.Time(after))
+	after, err := int64Param(r, "after", int64(temporal.MinTime))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	set, err := apps.ReachableSetContext(r.Context(), s.eng.Graph(), from, temporal.Time(after))
+	if err != nil {
+		writeErr(w, runStatus(err), err)
+		return
+	}
 	out := reachResponse{From: from, After: after, Count: len(set), Reachable: set}
 	const cap = 10000
 	if len(out.Reachable) > cap {
@@ -187,6 +305,20 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 		out.Truncated = true
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// runStatus maps a query-execution error onto an HTTP status: deadline hits
+// are 504 (the server's own timeout fired), client disconnects are 499, and
+// anything else (e.g. a recovered panic) is a 500.
+func runStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 func vertexParam(r *http.Request, name string, numVertices int) (temporal.Vertex, error) {
@@ -204,40 +336,40 @@ func vertexParam(r *http.Request, name string, numVertices int) (temporal.Vertex
 	return temporal.Vertex(id), nil
 }
 
-func intParam(r *http.Request, name string, def int) int {
+func intParam(r *http.Request, name string, def int) (int, error) {
 	raw := r.URL.Query().Get(name)
 	if raw == "" {
-		return def
+		return def, nil
 	}
 	v, err := strconv.Atoi(raw)
 	if err != nil {
-		return def
+		return 0, fmt.Errorf("parameter %q: not an integer: %q", name, raw)
 	}
-	return v
+	return v, nil
 }
 
-func int64Param(r *http.Request, name string, def int64) int64 {
+func int64Param(r *http.Request, name string, def int64) (int64, error) {
 	raw := r.URL.Query().Get(name)
 	if raw == "" {
-		return def
+		return def, nil
 	}
 	v, err := strconv.ParseInt(raw, 10, 64)
 	if err != nil {
-		return def
+		return 0, fmt.Errorf("parameter %q: not an integer: %q", name, raw)
 	}
-	return v
+	return v, nil
 }
 
-func floatParam(r *http.Request, name string, def float64) float64 {
+func floatParam(r *http.Request, name string, def float64) (float64, error) {
 	raw := r.URL.Query().Get(name)
 	if raw == "" {
-		return def
+		return def, nil
 	}
 	v, err := strconv.ParseFloat(raw, 64)
 	if err != nil {
-		return def
+		return 0, fmt.Errorf("parameter %q: not a number: %q", name, raw)
 	}
-	return v
+	return v, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -246,6 +378,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, err error) {
-	writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -18,6 +18,7 @@ type Cost struct {
 	Rejected       int64 // rejected proposals
 	BytesRead      int64 // out-of-core bytes fetched
 	ReadOps        int64 // out-of-core read operations
+	ReadRetries    int64 // out-of-core reads retried after transient faults
 	WalksStarted   int64
 	WalksCompleted int64 // walks that reached the target length
 	WalksDeadEnded int64 // walks that ran out of temporal candidates
@@ -31,6 +32,7 @@ func (c *Cost) Add(other Cost) {
 	c.Rejected += other.Rejected
 	c.BytesRead += other.BytesRead
 	c.ReadOps += other.ReadOps
+	c.ReadRetries += other.ReadRetries
 	c.WalksStarted += other.WalksStarted
 	c.WalksCompleted += other.WalksCompleted
 	c.WalksDeadEnded += other.WalksDeadEnded
