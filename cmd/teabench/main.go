@@ -9,6 +9,14 @@
 //
 // Experiments: fig2 table4 fig9 fig10 sens fig11 fig12 fig13a fig13b fig13c
 // fig13d fig13e fig14.
+//
+// The extra "bench" experiment (not part of "all") records the repo's walk
+// throughput baseline: it runs the standard walk workload -bench-runs times
+// on the first selected profile and writes machine-readable numbers (walks/s,
+// steps/s, edges/step, p50/p95/p99 run latency) to -bench-out, BENCH_walks.json
+// by default. CI uploads the file per PR so the perf trajectory is diffable:
+//
+//	teabench -quick -dataset growth bench
 package main
 
 import (
@@ -33,9 +41,11 @@ func main() {
 		contrast = flag.Float64("contrast", 50, "exponential weight contrast (lambda*timespan)")
 		dataset  = flag.String("dataset", "", "restrict to one dataset (growth|edit|delicious|twitter)")
 		asJSON   = flag.Bool("json", false, "emit rows as JSON instead of tables")
+		benchOut = flag.String("bench-out", "BENCH_walks.json", "output path for the bench experiment")
+		benchN   = flag.Int("bench-runs", 5, "measured runs for the bench experiment")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: teabench [flags] <experiment>...\n\nexperiments: all %s\n\nflags:\n",
+		fmt.Fprintf(os.Stderr, "usage: teabench [flags] <experiment>...\n\nexperiments: all %s bench\n\nflags:\n",
 			strings.Join(names(), " "))
 		flag.PrintDefaults()
 	}
@@ -76,8 +86,37 @@ func main() {
 		args = names()
 	}
 	for _, name := range args {
+		if name == "bench" {
+			runBench(cfg, *benchN, *benchOut, *asJSON)
+			continue
+		}
 		runOne(name, cfg, *asJSON)
 	}
+}
+
+// runBench records the walk-throughput baseline to benchOut.
+func runBench(cfg experiments.Config, runs int, benchOut string, asJSON bool) {
+	if !asJSON {
+		fmt.Printf("== %s ==\n", title("bench"))
+	}
+	start := time.Now()
+	res, err := experiments.WalkBench(cfg, runs)
+	if err != nil {
+		fatal(err)
+	}
+	if err := experiments.WriteBench(res, benchOut); err != nil {
+		fatal(err)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"experiment": "bench", "result": res}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Print(experiments.RenderBench(res))
+	fmt.Printf("wrote %s\n(%s elapsed)\n\n", benchOut, time.Since(start).Round(time.Millisecond))
 }
 
 func names() []string {
@@ -229,6 +268,8 @@ func title(name string) string {
 		return "Ablation: PAT trunk-size policy (§3.2)"
 	case "dist":
 		return "Extension: distributed-style execution (§4.4 future work)"
+	case "bench":
+		return "Baseline: walk throughput and run latency (BENCH_walks.json)"
 	default:
 		return name
 	}

@@ -9,7 +9,9 @@
 //
 //	-request-timeout   per-query deadline (0 disables; exceeded queries get 504)
 //	-max-inflight      concurrent query cap (0 unlimited; excess sheds with 503)
+//	-max-length        cap on the length parameter of /walk (400 beyond)
 //	-drain             how long to wait for in-flight requests on shutdown
+//	-pprof             expose net/http/pprof under /debug/pprof/ (off by default)
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: the listener closes
 // immediately, in-flight requests get up to -drain to finish, and walk
@@ -19,6 +21,8 @@
 //
 //	GET /healthz
 //	GET /stats
+//	GET /metrics            Prometheus text exposition format
+//	GET /metrics.json       the same snapshot as JSON
 //	GET /walk?from=ID&length=80&count=1&seed=1
 //	GET /ppr?from=ID&walks=10000&alpha=0.15&topk=20
 //	GET /reach?from=ID&after=T
@@ -31,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,6 +43,9 @@ import (
 	"time"
 
 	tea "github.com/tea-graph/tea"
+	// Registers the tea_ooc_* metric families so /metrics always exposes all
+	// three families (engine, server, ooc), even before any out-of-core use.
+	_ "github.com/tea-graph/tea/internal/ooc"
 	"github.com/tea-graph/tea/internal/server"
 )
 
@@ -51,7 +59,9 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "per-query deadline, 0 disables")
 		maxFlight  = flag.Int("max-inflight", 64, "max concurrently executing queries, 0 unlimited")
+		maxLength  = flag.Int("max-length", 0, "cap on the /walk length parameter, 0 = default (10000)")
 		drain      = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
+		withPprof  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -105,12 +115,27 @@ func main() {
 	fmt.Printf("teaserve: listening on %s (timeout=%v, max-inflight=%d)\n",
 		*addr, *reqTimeout, *maxFlight)
 
+	handler := server.NewWithConfig(eng, server.Config{
+		RequestTimeout: *reqTimeout,
+		MaxInFlight:    *maxFlight,
+		MaxWalkLength:  *maxLength,
+	}).Handler()
+	if *withPprof {
+		// Opt-in profiling: the pprof endpoints expose stacks and heap
+		// contents, so they stay off unless explicitly requested.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Println("teaserve: pprof enabled at /debug/pprof/")
+	}
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: server.NewWithConfig(eng, server.Config{
-			RequestTimeout: *reqTimeout,
-			MaxInFlight:    *maxFlight,
-		}).Handler(),
+		Addr:              *addr,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

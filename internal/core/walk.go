@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"time"
+	"unsafe"
 
 	"github.com/tea-graph/tea/internal/stats"
 	"github.com/tea-graph/tea/internal/temporal"
@@ -52,7 +53,7 @@ type WalkConfig struct {
 	Visitor func(walkID, step int, from, to temporal.Vertex, at temporal.Time)
 }
 
-func (c *WalkConfig) normalize(numVertices int) {
+func (c *WalkConfig) normalize() {
 	if c.WalksPerVertex <= 0 {
 		c.WalksPerVertex = 1
 	}
@@ -99,7 +100,8 @@ func (e *Engine) Run(cfg WalkConfig) (*Result, error) {
 // concurrent runs on the same engine survive. It is safe to call RunContext
 // concurrently on one engine.
 func (e *Engine) RunContext(ctx context.Context, cfg WalkConfig) (*Result, error) {
-	cfg.normalize(e.g.NumVertices())
+	cfg.normalize()
+	mRunsStarted.Inc()
 	threads := cfg.Threads
 	if threads < 1 {
 		threads = defaultThreads()
@@ -122,6 +124,7 @@ func (e *Engine) RunContext(ctx context.Context, cfg WalkConfig) (*Result, error
 	root := xrand.New(cfg.Seed)
 	result := &Result{Lengths: stats.NewHistogram(cfg.Length + 1)}
 	if err := ctx.Err(); err != nil {
+		publishRun(result.Cost, 0, err)
 		return result, err
 	}
 	if cfg.KeepPaths {
@@ -195,10 +198,11 @@ func (e *Engine) RunContext(ctx context.Context, cfg WalkConfig) (*Result, error
 	failMu.Lock()
 	err := runErr
 	failMu.Unlock()
-	if err != nil {
-		return result, err
+	if err == nil {
+		err = ctx.Err()
 	}
-	if err := ctx.Err(); err != nil {
+	publishRun(result.Cost, result.Duration, err)
+	if err != nil {
 		return result, err
 	}
 	return result, nil
@@ -215,10 +219,19 @@ func (e *Engine) walkOneSafe(walkID int, src temporal.Vertex, cfg WalkConfig, r 
 	return e.walkOne(walkID, src, cfg, r, st), nil
 }
 
+// walkerState is one worker's private accumulator. Workers update their
+// element of a shared []walkerState on every step, so the fields must never
+// share a 64-byte cache line with a sibling's fields. The leading guard keeps
+// the hot cost counters clear of the previous element (the old layout padded
+// only the tail, and by less than a line, so the leading cost field still
+// false-shared), and the trailing pad rounds the struct to a multiple of the
+// line size; together the gap between any two elements' field regions
+// exceeds a line regardless of the slice's base alignment.
 type walkerState struct {
+	_       [64]byte // guard before the hot counters
 	cost    stats.Cost
 	lengths *stats.Histogram
-	_       [32]byte // pad against false sharing between workers
+	_       [64 - (unsafe.Sizeof(stats.Cost{})+8)%64]byte // round fields up to a line
 }
 
 // walkOne runs a single temporal walk from src, implementing the main loop of

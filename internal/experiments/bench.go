@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/tea-graph/tea/internal/core"
+)
+
+// BenchSchema versions the BENCH_walks.json layout so future PRs can detect
+// incompatible baselines instead of mis-diffing them.
+const BenchSchema = "tea/bench-walks/v1"
+
+// BenchConfigOut records the exact configuration a benchmark ran under;
+// trajectory diffs are only meaningful between identical configurations.
+type BenchConfigOut struct {
+	Dataset        string `json:"dataset"`
+	Vertices       int    `json:"vertices"`
+	Edges          int    `json:"edges"`
+	Algorithm      string `json:"algorithm"`
+	Sampler        string `json:"sampler"`
+	WalksPerVertex int    `json:"walks_per_vertex"`
+	Length         int    `json:"length"`
+	Threads        int    `json:"threads"`
+	Seed           uint64 `json:"seed"`
+	Runs           int    `json:"runs"`
+	GoMaxProcs     int    `json:"gomaxprocs"`
+}
+
+// BenchResult is the machine-readable walk-throughput baseline that
+// cmd/teabench writes to BENCH_walks.json: the canonical headline metrics
+// (walks/s, steps/s, edges/step) plus the run-latency distribution, so every
+// future PR can diff its numbers against the recorded trajectory.
+type BenchResult struct {
+	Schema    string         `json:"schema"`
+	Timestamp string         `json:"timestamp"`
+	Config    BenchConfigOut `json:"config"`
+
+	WalksPerSec  float64 `json:"walks_per_sec"`
+	StepsPerSec  float64 `json:"steps_per_sec"`
+	EdgesPerSec  float64 `json:"edges_per_sec"`
+	EdgesPerStep float64 `json:"edges_per_step"`
+
+	TotalWalks   int64   `json:"total_walks"`
+	TotalSteps   int64   `json:"total_steps"`
+	TotalSeconds float64 `json:"total_seconds"`
+
+	// Run-latency distribution across the repeated runs: exact nearest-rank
+	// quantiles over the per-run wall times; RunSeconds holds the sorted
+	// samples for offline analysis.
+	P50RunSeconds float64   `json:"p50_run_seconds"`
+	P95RunSeconds float64   `json:"p95_run_seconds"`
+	P99RunSeconds float64   `json:"p99_run_seconds"`
+	MaxRunSeconds float64   `json:"max_run_seconds"`
+	RunSeconds    []float64 `json:"run_seconds"`
+
+	PreprocessSeconds float64 `json:"preprocess_seconds"`
+}
+
+// WalkBench measures steady-state walk throughput: it builds an engine for
+// the first profile of cfg (exponential-decay walk, the paper's headline
+// application), runs the configured walk workload `runs` times, and
+// aggregates throughput plus the run-latency distribution. One untimed
+// warmup run precedes the measured ones.
+func WalkBench(cfg Config, runs int) (*BenchResult, error) {
+	cfg = cfg.normalized()
+	if runs <= 0 {
+		runs = 5
+	}
+	p := cfg.Profiles[0]
+	g, err := p.Build()
+	if err != nil {
+		return nil, err
+	}
+	app := core.ExponentialWalk(p.Lambda(cfg.Contrast))
+	prepStart := time.Now()
+	eng, err := core.NewEngine(g, app, core.Options{Threads: cfg.Threads})
+	if err != nil {
+		return nil, err
+	}
+	prep := time.Since(prepStart)
+
+	wcfg := core.WalkConfig{
+		WalksPerVertex: cfg.WalksPerVertex,
+		Length:         cfg.Length,
+		Threads:        cfg.Threads,
+		Seed:           cfg.Seed,
+	}
+	if _, err := eng.Run(wcfg); err != nil { // warmup
+		return nil, err
+	}
+
+	res := &BenchResult{
+		Schema:    BenchSchema,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Config: BenchConfigOut{
+			Dataset:        p.Name,
+			Vertices:       g.NumVertices(),
+			Edges:          g.NumEdges(),
+			Algorithm:      app.Name,
+			Sampler:        eng.Sampler().Name(),
+			WalksPerVertex: cfg.WalksPerVertex,
+			Length:         cfg.Length,
+			Threads:        cfg.Threads,
+			Seed:           cfg.Seed,
+			Runs:           runs,
+			GoMaxProcs:     runtime.GOMAXPROCS(0),
+		},
+		PreprocessSeconds: prep.Seconds(),
+	}
+	var edges int64
+	for i := 0; i < runs; i++ {
+		r, err := eng.Run(wcfg)
+		if err != nil {
+			return nil, err
+		}
+		secs := r.Duration.Seconds()
+		res.RunSeconds = append(res.RunSeconds, secs)
+		res.TotalWalks += r.Cost.WalksStarted
+		res.TotalSteps += r.Cost.Steps
+		edges += r.Cost.EdgesEvaluated
+		res.TotalSeconds += secs
+	}
+	sort.Float64s(res.RunSeconds)
+	res.MaxRunSeconds = res.RunSeconds[len(res.RunSeconds)-1]
+	if res.TotalSeconds > 0 {
+		res.WalksPerSec = float64(res.TotalWalks) / res.TotalSeconds
+		res.StepsPerSec = float64(res.TotalSteps) / res.TotalSeconds
+		res.EdgesPerSec = float64(edges) / res.TotalSeconds
+	}
+	if res.TotalSteps > 0 {
+		res.EdgesPerStep = float64(edges) / float64(res.TotalSteps)
+	}
+	res.P50RunSeconds = nearestRank(res.RunSeconds, 0.50)
+	res.P95RunSeconds = nearestRank(res.RunSeconds, 0.95)
+	res.P99RunSeconds = nearestRank(res.RunSeconds, 0.99)
+	return res, nil
+}
+
+// nearestRank returns the q-quantile of sorted samples by the nearest-rank
+// definition (the smallest sample whose rank reaches ⌈q·n⌉).
+func nearestRank(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// WriteBench writes the result as indented JSON to path.
+func WriteBench(res *BenchResult, path string) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// RenderBench renders the headline numbers for the terminal.
+func RenderBench(res *BenchResult) string {
+	return fmt.Sprintf(
+		"dataset=%s (%d vertices, %d edges) algo=%s runs=%d\n"+
+			"walks/s=%.0f steps/s=%.0f edges/step=%.2f\n"+
+			"run latency p50=%.4fs p95=%.4fs p99=%.4fs max=%.4fs\n",
+		res.Config.Dataset, res.Config.Vertices, res.Config.Edges, res.Config.Algorithm, res.Config.Runs,
+		res.WalksPerSec, res.StepsPerSec, res.EdgesPerStep,
+		res.P50RunSeconds, res.P95RunSeconds, res.P99RunSeconds, res.MaxRunSeconds)
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/tea-graph/tea/internal/gen"
+)
+
+func TestWalkBenchWritesValidBaseline(t *testing.T) {
+	cfg := Quick()
+	cfg.Profiles = []gen.Profile{{Name: "t", Vertices: 60, Edges: 900, Skew: 0.6, Seed: 5}}
+	cfg.WalksPerVertex = 2
+	cfg.Length = 10
+
+	res, err := WalkBench(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema != BenchSchema {
+		t.Fatalf("schema = %q", res.Schema)
+	}
+	if res.Config.Dataset != "t" || res.Config.Runs != 3 || res.Config.Length != 10 {
+		t.Fatalf("config: %+v", res.Config)
+	}
+	if res.TotalWalks != 3*60*2 {
+		t.Fatalf("total walks = %d, want %d", res.TotalWalks, 3*60*2)
+	}
+	if res.WalksPerSec <= 0 || res.StepsPerSec <= 0 || res.EdgesPerStep <= 0 {
+		t.Fatalf("non-positive throughput: %+v", res)
+	}
+	if len(res.RunSeconds) != 3 {
+		t.Fatalf("run samples = %d", len(res.RunSeconds))
+	}
+	if res.P50RunSeconds > res.P99RunSeconds || res.P99RunSeconds > res.MaxRunSeconds {
+		t.Fatalf("quantiles out of order: p50=%v p99=%v max=%v",
+			res.P50RunSeconds, res.P99RunSeconds, res.MaxRunSeconds)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_walks.json")
+	if err := WriteBench(res, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded BenchResult
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("BENCH_walks.json not valid JSON: %v", err)
+	}
+	if decoded.Schema != BenchSchema || decoded.TotalWalks != res.TotalWalks {
+		t.Fatalf("roundtrip mismatch: %+v", decoded)
+	}
+}
+
+func TestNearestRank(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	if q := nearestRank(s, 0.5); q != 2 {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := nearestRank(s, 0.99); q != 4 {
+		t.Fatalf("p99 = %v", q)
+	}
+	if q := nearestRank(nil, 0.5); q != 0 {
+		t.Fatalf("empty = %v", q)
+	}
+}

@@ -1,0 +1,353 @@
+// Package metrics is the engine's lightweight observability substrate: a
+// registry of atomic counters, gauges, and bounded log-scale latency
+// histograms, with point-in-time snapshots rendered as Prometheus text or
+// JSON.
+//
+// The package deliberately stays off the sampling hot path: walkers keep
+// their private stats.Cost counters and merge at run end (see core.RunContext
+// and package stats); only per-run, per-request, and per-I/O aggregates flow
+// through the atomics here. There are no dependencies beyond the standard
+// library and no background goroutines.
+//
+// Metric names follow Prometheus conventions and may carry a literal label
+// block, which is part of the registry key:
+//
+//	reqs := metrics.Default.Counter(`tea_server_requests_total{endpoint="walk"}`)
+//	reqs.Inc()
+//
+// Snapshots are immutable copies; renderers group series of one family under
+// a single TYPE header.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are ignored to keep the counter monotone.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic float64 that can move in both directions.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add atomically adds delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram bucket layout: fixed log-scale buckets covering [histMin,
+// histMin*histGrowth^histBuckets); anything above the last bound lands in the
+// implicit +Inf bucket. With histMin = 1µs and ×2 growth the 40 buckets reach
+// ~9 minutes — run and request latencies fit with ≤2× bound error, which is
+// ample for p50/p95/p99 trend lines.
+const (
+	histMin     = 1e-6
+	histGrowth  = 2.0
+	histBuckets = 40
+)
+
+// Histogram is a bounded log-scale histogram of non-negative float64
+// observations (typically latencies in seconds). All methods are safe for
+// concurrent use.
+type Histogram struct {
+	counts  [histBuckets]atomic.Int64
+	inf     atomic.Int64 // observations above the last bound
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// bucketBound returns the inclusive upper bound of bucket i.
+func bucketBound(i int) float64 {
+	return histMin * math.Pow(histGrowth, float64(i))
+}
+
+// Observe records one value. Negative and NaN values are dropped.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || v < 0 {
+		return
+	}
+	i := 0
+	if v > histMin {
+		i = int(math.Ceil(math.Log(v/histMin) / math.Log(histGrowth)))
+	}
+	if i < histBuckets {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// Default is the process-wide registry that the engine, server, and
+// out-of-core store publish to; internal/server renders it on GET /metrics.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name (which may include a
+// label block), creating it on first use. Registering a name that already
+// names a metric of another kind panics: that is a programming error, not an
+// operational condition.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c != nil {
+		return c
+	}
+	r.checkFree(name, "counter")
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g != nil {
+		return g
+	}
+	r.checkFree(name, "gauge")
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h != nil {
+		return h
+	}
+	r.checkFree(name, "histogram")
+	h = &Histogram{}
+	r.histograms[name] = h
+	return h
+}
+
+// checkFree panics if name is already taken by a metric of another kind.
+// Caller holds the write lock.
+func (r *Registry) checkFree(name, kind string) {
+	if _, ok := r.counters[name]; ok {
+		panic(fmt.Sprintf("metrics: %q already registered as a counter, requested as %s", name, kind))
+	}
+	if _, ok := r.gauges[name]; ok {
+		panic(fmt.Sprintf("metrics: %q already registered as a gauge, requested as %s", name, kind))
+	}
+	if _, ok := r.histograms[name]; ok {
+		panic(fmt.Sprintf("metrics: %q already registered as a histogram, requested as %s", name, kind))
+	}
+}
+
+// CounterSnap is one counter at snapshot time.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge at snapshot time.
+type GaugeSnap struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// BucketSnap is one cumulative histogram bucket: the count of observations
+// ≤ UpperBound. The +Inf bucket is implicit (equal to Count).
+type BucketSnap struct {
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
+}
+
+// HistogramSnap is one histogram at snapshot time. Buckets are cumulative
+// and trailing empty buckets are trimmed.
+type HistogramSnap struct {
+	Name    string       `json:"name"`
+	Count   int64        `json:"count"`
+	Sum     float64      `json:"sum"`
+	P50     float64      `json:"p50"`
+	P95     float64      `json:"p95"`
+	P99     float64      `json:"p99"`
+	Buckets []BucketSnap `json:"buckets,omitempty"`
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0, 1]) from the
+// cumulative buckets: the bound of the first bucket whose cumulative count
+// reaches q·Count. Returns 0 for an empty histogram and +Inf when the
+// quantile falls past the last bucket.
+func (h HistogramSnap) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	for _, b := range h.Buckets {
+		if b.Count >= rank {
+			return b.UpperBound
+		}
+	}
+	return math.Inf(1)
+}
+
+// Snapshot is an immutable point-in-time copy of a registry, sorted by
+// metric name. Later registry mutations do not affect it.
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters"`
+	Gauges     []GaugeSnap     `json:"gauges"`
+	Histograms []HistogramSnap `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := &Snapshot{}
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnap{Name: name, Count: h.Count(), Sum: h.Sum()}
+		cum := int64(0)
+		last := -1
+		var buckets []BucketSnap
+		for i := 0; i < histBuckets; i++ {
+			cum += h.counts[i].Load()
+			buckets = append(buckets, BucketSnap{UpperBound: bucketBound(i), Count: cum})
+			if h.counts[i].Load() > 0 {
+				last = i
+			}
+		}
+		if last >= 0 {
+			hs.Buckets = buckets[:last+1]
+		}
+		// Saturate the headline quantiles at the top bound so the snapshot
+		// stays JSON-encodable (+Inf is not valid JSON).
+		sat := func(q float64) float64 {
+			v := hs.Quantile(q)
+			if math.IsInf(v, 1) {
+				return bucketBound(histBuckets)
+			}
+			return v
+		}
+		hs.P50 = sat(0.50)
+		hs.P95 = sat(0.95)
+		hs.P99 = sat(0.99)
+		s.Histograms = append(s.Histograms, hs)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// splitName separates a metric name into its family and label block:
+// `requests_total{endpoint="walk"}` → (`requests_total`, `endpoint="walk"`).
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// joinLabels renders a label block from existing labels plus extras.
+func joinLabels(labels string, extra ...string) string {
+	parts := make([]string, 0, 2)
+	if labels != "" {
+		parts = append(parts, labels)
+	}
+	parts = append(parts, extra...)
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,211 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotone
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("c_total") != c {
+		t.Fatal("get-or-create returned a different counter")
+	}
+
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", g.Value())
+	}
+}
+
+func TestKindCollisionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind collision")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x")
+	r.Gauge("x")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds")
+	// 100 observations at ~1ms, 5 at ~1s: p50/p95 land in the 1ms bucket's
+	// bound range, p99 in the 1s range.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(1.0)
+	}
+	hs := findHist(t, r, "lat_seconds")
+	if hs.Count != 105 {
+		t.Fatalf("count = %d", hs.Count)
+	}
+	if math.Abs(hs.Sum-5.1) > 1e-9 {
+		t.Fatalf("sum = %v", hs.Sum)
+	}
+	if hs.P50 < 0.001 || hs.P50 > 0.002 {
+		t.Fatalf("p50 = %v, want within [0.001, 0.002]", hs.P50)
+	}
+	if hs.P99 < 1.0 || hs.P99 > 2.0 {
+		t.Fatalf("p99 = %v, want within [1, 2]", hs.P99)
+	}
+}
+
+func TestHistogramDropsInvalid(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	h.Observe(-1)
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Fatalf("invalid observations were recorded: count=%d", h.Count())
+	}
+}
+
+func TestHistogramOverflowSaturates(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	h.Observe(1e9) // beyond the last bucket bound
+	hs := findHist(t, r, "h")
+	if hs.Count != 1 {
+		t.Fatalf("count = %d", hs.Count)
+	}
+	if math.IsInf(hs.P99, 1) || hs.P99 <= 0 {
+		t.Fatalf("saturated p99 = %v, want finite positive", hs.P99)
+	}
+	if _, err := json.Marshal(hs); err != nil {
+		t.Fatalf("snapshot not JSON-encodable: %v", err)
+	}
+}
+
+// Concurrent increments from many goroutines must not lose updates (run
+// under -race in CI).
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("c_total").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("g").Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("h").Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// A snapshot must be isolated from later registry mutations.
+func TestSnapshotIsolation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Add(3)
+	r.Histogram("h").Observe(0.5)
+	snap := r.Snapshot()
+	r.Counter("c_total").Add(100)
+	r.Histogram("h").Observe(0.5)
+	r.Counter("new_total").Inc()
+
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 3 {
+		t.Fatalf("snapshot mutated: %+v", snap.Counters)
+	}
+	if snap.Histograms[0].Count != 1 {
+		t.Fatalf("snapshot histogram mutated: %+v", snap.Histograms[0])
+	}
+}
+
+func TestPrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`reqs_total{endpoint="walk"}`).Add(2)
+	r.Counter(`reqs_total{endpoint="ppr"}`).Add(1)
+	r.Gauge("inflight").Set(3)
+	r.Histogram(`lat_seconds{endpoint="walk"}`).Observe(0.001)
+
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE reqs_total counter",
+		`reqs_total{endpoint="walk"} 2`,
+		`reqs_total{endpoint="ppr"} 1`,
+		"# TYPE inflight gauge",
+		"inflight 3",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{endpoint="walk",le="+Inf"} 1`,
+		`lat_seconds_count{endpoint="walk"} 1`,
+		`lat_seconds_sum{endpoint="walk"} 0.001`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE header per family, even with several labeled series.
+	if strings.Count(out, "# TYPE reqs_total counter") != 1 {
+		t.Fatalf("duplicated TYPE header:\n%s", out)
+	}
+}
+
+func TestJSONRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Add(7)
+	r.Histogram("h").Observe(0.25)
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Counters) != 1 || decoded.Counters[0].Value != 7 {
+		t.Fatalf("roundtrip counters: %+v", decoded.Counters)
+	}
+	if len(decoded.Histograms) != 1 || decoded.Histograms[0].Count != 1 {
+		t.Fatalf("roundtrip histograms: %+v", decoded.Histograms)
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var hs HistogramSnap
+	if q := hs.Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+}
+
+func findHist(t *testing.T, r *Registry, name string) HistogramSnap {
+	t.Helper()
+	for _, h := range r.Snapshot().Histograms {
+		if h.Name == name {
+			return h
+		}
+	}
+	t.Fatalf("histogram %q not in snapshot", name)
+	return HistogramSnap{}
+}

@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Series of one family share a single TYPE header;
+// histograms expose cumulative `_bucket` series with `le` labels plus `_sum`
+// and `_count`.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	typed := make(map[string]bool)
+	header := func(family, kind string) error {
+		if typed[family] {
+			return nil
+		}
+		typed[family] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, kind)
+		return err
+	}
+	for _, c := range s.Counters {
+		family, labels := splitName(c.Name)
+		if err := header(family, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", family, joinLabels(labels), c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		family, labels := splitName(g.Name)
+		if err := header(family, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", family, joinLabels(labels), formatFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		family, labels := splitName(h.Name)
+		if err := header(family, "histogram"); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			le := joinLabels(labels, `le="`+formatFloat(b.UpperBound)+`"`)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", family, le, b.Count); err != nil {
+				return err
+			}
+		}
+		inf := joinLabels(labels, `le="+Inf"`)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", family, inf, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", family, joinLabels(labels), formatFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", family, joinLabels(labels), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a float compactly without losing precision.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -78,6 +78,7 @@ func (f *FaultInjector) ReadAt(p []byte, off int64) error {
 		f.mu.Unlock()
 		if hit {
 			f.injected.Add(1)
+			mInjected.Inc()
 			if f.cfg.Class == FaultTransient {
 				return fmt.Errorf("read %d bytes at %d: %w: %w", len(p), off, ErrInjected, ErrTransient)
 			}

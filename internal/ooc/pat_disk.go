@@ -148,6 +148,7 @@ func (d *DiskPAT) trunkRecord(u temporal.Vertex, t int, buf []byte) error {
 	err := d.store.ReadAt(buf, off)
 	for attempt := 0; err != nil && errors.Is(err, ErrTransient) && attempt < d.retry.MaxRetries; attempt++ {
 		d.retries.Add(1)
+		mRetries.Inc()
 		if d.retry.BaseDelay > 0 {
 			time.Sleep(d.retry.BaseDelay << attempt)
 		}

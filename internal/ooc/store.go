@@ -15,6 +15,22 @@ import (
 	"os"
 	"sync/atomic"
 	"time"
+
+	"github.com/tea-graph/tea/internal/metrics"
+)
+
+// Out-of-core metric families, registered eagerly so /metrics shows them (at
+// zero) before the first disk-backed run. Reads dominate the mode's cost, so
+// they get a block-fetch latency histogram on top of the volume counters;
+// retry and injected-fault counters are fed from pat_disk.go and fault.go.
+var (
+	mReads       = metrics.Default.Counter("tea_ooc_reads_total")
+	mReadBytes   = metrics.Default.Counter("tea_ooc_read_bytes_total")
+	mReadSeconds = metrics.Default.Histogram("tea_ooc_block_fetch_seconds")
+	mWrites      = metrics.Default.Counter("tea_ooc_writes_total")
+	mWriteBytes  = metrics.Default.Counter("tea_ooc_written_bytes_total")
+	mRetries     = metrics.Default.Counter("tea_ooc_read_retries_total")
+	mInjected    = metrics.Default.Counter("tea_ooc_injected_faults_total")
 )
 
 // BlockStore is the I/O contract the out-of-core samplers and engine run
@@ -76,12 +92,16 @@ func (s *Store) Path() string { return s.path }
 
 // ReadAt reads len(p) bytes at off, accounting the transfer.
 func (s *Store) ReadAt(p []byte, off int64) error {
+	start := time.Now()
 	if _, err := s.f.ReadAt(p, off); err != nil {
 		return fmt.Errorf("ooc: read %d bytes at %d: %w", len(p), off, err)
 	}
+	mReadSeconds.ObserveSince(start)
 	s.bytesRead.Add(int64(len(p)))
 	s.readOps.Add(1)
 	s.pagesRead.Add(int64((len(p) + PageSize - 1) / PageSize))
+	mReads.Inc()
+	mReadBytes.Add(int64(len(p)))
 	return nil
 }
 
@@ -92,6 +112,8 @@ func (s *Store) WriteAt(p []byte, off int64) error {
 	}
 	s.bytesWritten.Add(int64(len(p)))
 	s.writeOps.Add(1)
+	mWrites.Inc()
+	mWriteBytes.Add(int64(len(p)))
 	return nil
 }
 

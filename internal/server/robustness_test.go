@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -128,6 +129,33 @@ func TestLoadShedding(t *testing.T) {
 	}
 }
 
+// With RetryAfter unset, shed responses must still carry a usable
+// Retry-After of at least one second — never "0", which clients read as
+// "retry immediately" and turn into a tight retry loop.
+func TestRetryAfterDefaultsToOneSecond(t *testing.T) {
+	g := temporal.CommuteGraph()
+	eng, err := core.NewEngine(g, core.Unbiased(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithConfig(eng, Config{MaxInFlight: 1})
+	s.inflight <- struct{}{} // occupy the only slot
+	defer func() { <-s.inflight }()
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/walk?from=9", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+	ra, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q not an integer", rec.Header().Get("Retry-After"))
+	}
+	if ra < 1 {
+		t.Fatalf("Retry-After = %d, want ≥ 1", ra)
+	}
+}
+
 // Every endpoint must turn malformed or out-of-range parameters into a 400
 // with a structured JSON error — never a 500, never a silent default.
 func TestBadInputSweep(t *testing.T) {
@@ -144,6 +172,7 @@ func TestBadInputSweep(t *testing.T) {
 		"/walk?from=1&count=x",
 		"/walk?from=1&count=0",
 		"/walk?from=1&count=999999",
+		"/walk?from=1&length=2000000000", // beyond the length cap: must 400, not allocate
 		"/walk?from=1&seed=x",
 		// /ppr
 		"/ppr",
@@ -156,6 +185,7 @@ func TestBadInputSweep(t *testing.T) {
 		"/ppr?from=1&alpha=2",
 		"/ppr?from=1&alpha=0",
 		"/ppr?from=1&topk=0",
+		"/ppr?from=1&topk=999999999", // beyond the topk cap
 		"/ppr?from=1&topk=x",
 		"/ppr?from=1&seed=x",
 		// /reach

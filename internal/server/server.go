@@ -10,6 +10,15 @@
 // of queueing unboundedly. All errors are structured JSON ({"error": "..."})
 // with meaningful status codes: 400 for malformed or out-of-range
 // parameters, 503 when shedding, 504 when the per-request deadline fires.
+// Client-supplied sizing parameters (length, count, walks, topk) are capped
+// (Config-overridable) and rejected with 400 beyond the cap, before any
+// proportional allocation happens.
+//
+// Every endpoint is instrumented: request counts, status-class counts, and
+// latency histograms per endpoint, plus an in-flight gauge and shed/timeout
+// counters, all published to a metrics.Registry (metrics.Default unless
+// overridden) and exposed at GET /metrics (Prometheus text exposition
+// format) and GET /metrics.json.
 package server
 
 import (
@@ -23,14 +32,24 @@ import (
 
 	"github.com/tea-graph/tea/internal/apps"
 	"github.com/tea-graph/tea/internal/core"
+	"github.com/tea-graph/tea/internal/metrics"
 	"github.com/tea-graph/tea/internal/temporal"
 )
 
-// maxWalksPerRequest bounds one /walk request.
-const maxWalksPerRequest = 10000
-
-// maxPPRWalks bounds one /ppr request.
-const maxPPRWalks = 1_000_000
+// Default caps on client-supplied sizing parameters; all are overridable via
+// Config. Beyond a cap the request is rejected with 400 before any allocation
+// happens — an unbounded length would otherwise make the engine allocate a
+// Length-sized histogram per run (length=2000000000 is a ~16 GB allocation).
+const (
+	// defaultMaxWalksPerRequest bounds count on one /walk request.
+	defaultMaxWalksPerRequest = 10000
+	// defaultMaxWalkLength bounds length on one /walk request.
+	defaultMaxWalkLength = 10000
+	// defaultMaxPPRWalks bounds walks on one /ppr request.
+	defaultMaxPPRWalks = 1_000_000
+	// defaultMaxTopK bounds topk on one /ppr request.
+	defaultMaxTopK = 10000
+)
 
 // statusClientClosedRequest is nginx's non-standard 499: the client went
 // away before the response was produced. The response is unlikely to be
@@ -45,9 +64,27 @@ type Config struct {
 	// MaxInFlight caps concurrently executing walk queries; excess requests
 	// are shed with 503 + Retry-After. 0 means unlimited.
 	MaxInFlight int
-	// RetryAfter is the Retry-After hint attached to shed requests;
-	// default 1s.
+	// RetryAfter is the Retry-After hint attached to shed requests.
+	// NewWithConfig defaults non-positive values to 1s so the emitted
+	// header is never "0" (which clients read as "retry immediately").
 	RetryAfter time.Duration
+
+	// MaxWalkLength caps the length parameter of /walk; 0 means the
+	// default (10000). Requests beyond the cap get 400.
+	MaxWalkLength int
+	// MaxWalkCount caps the count parameter of /walk; 0 means the
+	// default (10000).
+	MaxWalkCount int
+	// MaxPPRWalks caps the walks parameter of /ppr; 0 means the default
+	// (1000000).
+	MaxPPRWalks int
+	// MaxTopK caps the topk parameter of /ppr; 0 means the default (10000).
+	MaxTopK int
+
+	// Metrics receives the server's operational metrics and backs the
+	// /metrics and /metrics.json endpoints; nil means metrics.Default (so
+	// engine and out-of-core families rendered there too).
+	Metrics *metrics.Registry
 }
 
 // Server answers walk queries for one engine. Engines are safe for
@@ -57,6 +94,11 @@ type Server struct {
 	mux      *http.ServeMux
 	cfg      Config
 	inflight chan struct{}
+	metrics  *metrics.Registry
+
+	inflightGauge *metrics.Gauge
+	shedTotal     *metrics.Counter
+	timeoutTotal  *metrics.Counter
 
 	// prepWalk, when non-nil, may adjust the WalkConfig before a /walk run
 	// starts. Test seam: lets tests install a Visitor to observe and pace
@@ -72,20 +114,103 @@ func NewWithConfig(eng *core.Engine, cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
-	s := &Server{eng: eng, mux: http.NewServeMux(), cfg: cfg}
+	if cfg.MaxWalkLength <= 0 {
+		cfg.MaxWalkLength = defaultMaxWalkLength
+	}
+	if cfg.MaxWalkCount <= 0 {
+		cfg.MaxWalkCount = defaultMaxWalksPerRequest
+	}
+	if cfg.MaxPPRWalks <= 0 {
+		cfg.MaxPPRWalks = defaultMaxPPRWalks
+	}
+	if cfg.MaxTopK <= 0 {
+		cfg.MaxTopK = defaultMaxTopK
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.Default
+	}
+	s := &Server{eng: eng, mux: http.NewServeMux(), cfg: cfg, metrics: cfg.Metrics}
+	s.inflightGauge = s.metrics.Gauge("tea_server_inflight")
+	s.shedTotal = s.metrics.Counter("tea_server_shed_total")
+	s.timeoutTotal = s.metrics.Counter("tea_server_timeout_total")
 	if cfg.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInFlight)
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /walk", s.limited(s.handleWalk))
-	s.mux.HandleFunc("GET /ppr", s.limited(s.handlePPR))
-	s.mux.HandleFunc("GET /reach", s.limited(s.handleReach))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	s.mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("GET /walk", s.instrument("walk", s.limited(s.handleWalk)))
+	s.mux.HandleFunc("GET /ppr", s.instrument("ppr", s.limited(s.handlePPR)))
+	s.mux.HandleFunc("GET /reach", s.instrument("reach", s.limited(s.handleReach)))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	return s
 }
 
 // Handler returns the routable HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// statusWriter captures the response status for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// statusClass buckets a status code for the per-endpoint response counters.
+func statusClass(status int) string {
+	switch {
+	case status >= 500:
+		return "5xx"
+	case status >= 400:
+		return "4xx"
+	case status >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}
+
+// instrument wraps an endpoint with request counting, an in-flight gauge, a
+// latency histogram, and per-status-class response counters; 503 and 504
+// responses additionally feed the shed and timeout counters wherever they
+// were produced.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	requests := s.metrics.Counter(fmt.Sprintf("tea_server_requests_total{endpoint=%q}", endpoint))
+	latency := s.metrics.Histogram(fmt.Sprintf("tea_server_request_seconds{endpoint=%q}", endpoint))
+	return func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		s.inflightGauge.Add(1)
+		defer s.inflightGauge.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		latency.ObserveSince(start)
+		s.metrics.Counter(fmt.Sprintf("tea_server_responses_total{endpoint=%q,class=%q}",
+			endpoint, statusClass(sw.status))).Inc()
+		switch sw.status {
+		case http.StatusServiceUnavailable:
+			s.shedTotal.Inc()
+		case http.StatusGatewayTimeout:
+			s.timeoutTotal.Inc()
+		}
+	}
+}
+
+// handleMetrics renders the registry in the Prometheus text exposition
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.Snapshot().WritePrometheus(w)
+}
+
+// handleMetricsJSON renders the same snapshot as JSON.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
 
 // limited wraps a query handler with the load-shedding semaphore and the
 // per-request timeout.
@@ -177,8 +302,12 @@ func (s *Server) handleWalk(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("length and count must be positive"))
 		return
 	}
-	if count > maxWalksPerRequest {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("count %d exceeds per-request limit %d", count, maxWalksPerRequest))
+	if length > s.cfg.MaxWalkLength {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("length %d exceeds per-request limit %d", length, s.cfg.MaxWalkLength))
+		return
+	}
+	if count > s.cfg.MaxWalkCount {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("count %d exceeds per-request limit %d", count, s.cfg.MaxWalkCount))
 		return
 	}
 	cfg := core.WalkConfig{
@@ -232,8 +361,8 @@ func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if walks <= 0 || walks > maxPPRWalks {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("walks must be in (0, %d]", maxPPRWalks))
+	if walks <= 0 || walks > s.cfg.MaxPPRWalks {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("walks must be in (0, %d]", s.cfg.MaxPPRWalks))
 		return
 	}
 	alpha, err := floatParam(r, "alpha", 0.15)
@@ -250,8 +379,8 @@ func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if topK <= 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("topk must be positive"))
+	if topK <= 0 || topK > s.cfg.MaxTopK {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("topk must be in (0, %d]", s.cfg.MaxTopK))
 		return
 	}
 	seed, err := intParam(r, "seed", 1)

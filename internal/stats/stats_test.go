@@ -94,13 +94,48 @@ func TestWelfordMergeMatchesSequential(t *testing.T) {
 func TestWelfordMergeEmptyCases(t *testing.T) {
 	var a, b Welford
 	a.Merge(b) // both empty
-	if a.N() != 0 {
+	if a.N() != 0 || a.Mean() != 0 || a.Variance() != 0 {
 		t.Fatal("empty merge corrupted state")
 	}
 	b.Observe(3)
 	a.Merge(b)
 	if a.N() != 1 || a.Mean() != 3 {
 		t.Fatal("merge into empty failed")
+	}
+	// Merging an empty accumulator into a populated one is a no-op.
+	a.Merge(Welford{})
+	if a.N() != 1 || a.Mean() != 3 || a.Variance() != 0 {
+		t.Fatal("merging empty into populated corrupted state")
+	}
+}
+
+func TestWelfordMergeSingleSamples(t *testing.T) {
+	// Two single-sample accumulators must merge to the same state as
+	// observing both samples sequentially: n=2, mean 5, sample variance
+	// ((3-5)² + (7-5)²) / 1 = 8.
+	var a, b Welford
+	a.Observe(3)
+	b.Observe(7)
+	a.Merge(b)
+	if a.N() != 2 || math.Abs(a.Mean()-5) > 1e-12 {
+		t.Fatalf("merged n=%d mean=%v", a.N(), a.Mean())
+	}
+	if math.Abs(a.Variance()-8) > 1e-12 {
+		t.Fatalf("merged variance = %v, want 8", a.Variance())
+	}
+
+	// Single sample into a populated accumulator, against sequential truth.
+	var seq, multi, single Welford
+	for _, x := range []float64{1, 2, 3} {
+		seq.Observe(x)
+		multi.Observe(x)
+	}
+	seq.Observe(10)
+	single.Observe(10)
+	multi.Merge(single)
+	if multi.N() != seq.N() || math.Abs(multi.Mean()-seq.Mean()) > 1e-12 ||
+		math.Abs(multi.Variance()-seq.Variance()) > 1e-12 {
+		t.Fatalf("merge %v/%v vs sequential %v/%v", multi.Mean(), multi.Variance(), seq.Mean(), seq.Variance())
 	}
 }
 
@@ -120,6 +155,30 @@ func TestHistogram(t *testing.T) {
 	}
 	if h.Total() != 6 {
 		t.Fatalf("Total = %d", h.Total())
+	}
+}
+
+// Count must return 0 for any out-of-range value even when out-of-range
+// observations were recorded: those are reported only via Overflow, never
+// attributed to a bucket.
+func TestHistogramOverflowSemantics(t *testing.T) {
+	h := NewHistogram(3)
+	h.Observe(7)
+	h.Observe(-2)
+	h.Observe(1)
+	if h.Overflow() != 2 {
+		t.Fatalf("Overflow = %d, want 2", h.Overflow())
+	}
+	for _, v := range []int{7, -2, 3, -1} {
+		if h.Count(v) != 0 {
+			t.Fatalf("Count(%d) = %d, want 0 for out-of-range", v, h.Count(v))
+		}
+	}
+	if h.Count(1) != 1 {
+		t.Fatalf("in-range count lost: Count(1) = %d", h.Count(1))
+	}
+	if h.Total() != 3 {
+		t.Fatalf("Total = %d, want overflow included", h.Total())
 	}
 }
 
