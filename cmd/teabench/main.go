@@ -17,6 +17,14 @@
 // by default. CI uploads the file per PR so the perf trajectory is diffable:
 //
 //	teabench -quick -dataset growth bench
+//
+// The "cache" experiment (also not part of "all") sweeps the out-of-core
+// block cache (both eviction policies, several capacities) against a
+// Zipfian-seeded walk workload and writes hit rates, device vs cache-served
+// bytes, and simulated read time saved to -cache-out, BENCH_cache.json by
+// default:
+//
+//	teabench -quick -dataset growth cache
 package main
 
 import (
@@ -43,9 +51,10 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit rows as JSON instead of tables")
 		benchOut = flag.String("bench-out", "BENCH_walks.json", "output path for the bench experiment")
 		benchN   = flag.Int("bench-runs", 5, "measured runs for the bench experiment")
+		cacheOut = flag.String("cache-out", "BENCH_cache.json", "output path for the cache experiment")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: teabench [flags] <experiment>...\n\nexperiments: all %s bench\n\nflags:\n",
+		fmt.Fprintf(os.Stderr, "usage: teabench [flags] <experiment>...\n\nexperiments: all %s bench cache\n\nflags:\n",
 			strings.Join(names(), " "))
 		flag.PrintDefaults()
 	}
@@ -90,8 +99,37 @@ func main() {
 			runBench(cfg, *benchN, *benchOut, *asJSON)
 			continue
 		}
+		if name == "cache" {
+			runCache(cfg, *cacheOut, *asJSON)
+			continue
+		}
 		runOne(name, cfg, *asJSON)
 	}
+}
+
+// runCache records the block-cache sweep to cacheOut.
+func runCache(cfg experiments.Config, cacheOut string, asJSON bool) {
+	if !asJSON {
+		fmt.Printf("== %s ==\n", title("cache"))
+	}
+	start := time.Now()
+	res, err := experiments.CacheBench(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := experiments.WriteCacheBench(res, cacheOut); err != nil {
+		fatal(err)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"experiment": "cache", "result": res}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Print(experiments.RenderCacheBench(res))
+	fmt.Printf("wrote %s\n(%s elapsed)\n\n", cacheOut, time.Since(start).Round(time.Millisecond))
 }
 
 // runBench records the walk-throughput baseline to benchOut.
@@ -270,6 +308,8 @@ func title(name string) string {
 		return "Extension: distributed-style execution (§4.4 future work)"
 	case "bench":
 		return "Baseline: walk throughput and run latency (BENCH_walks.json)"
+	case "cache":
+		return "Out-of-core block cache: Zipfian workload sweep (BENCH_cache.json)"
 	default:
 		return name
 	}

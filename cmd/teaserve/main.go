@@ -13,6 +13,18 @@
 //	-drain             how long to wait for in-flight requests on shutdown
 //	-pprof             expose net/http/pprof under /debug/pprof/ (off by default)
 //
+// Out-of-core flags (§4.1 serving mode: PAT trunks on disk, only trunk
+// prefix sums in memory):
+//
+//	-ooc               sample from a disk-backed PAT instead of in-memory HPAT
+//	-ooc-store         block store path (default: a temp file removed on exit)
+//	-ooc-trunk         trunk size (0 = default)
+//	-ooc-cache-bytes   block cache over trunk reads; 0 disables
+//	-ooc-cache-policy  cache eviction policy: lru or clock
+//
+// With -ooc the tea_ooc_* and tea_blockcache_* metric families under
+// /metrics report device traffic and cache effectiveness respectively.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: the listener closes
 // immediately, in-flight requests get up to -drain to finish, and walk
 // computations of dropped clients are cancelled via their request contexts.
@@ -43,9 +55,9 @@ import (
 	"time"
 
 	tea "github.com/tea-graph/tea"
-	// Registers the tea_ooc_* metric families so /metrics always exposes all
-	// three families (engine, server, ooc), even before any out-of-core use.
-	_ "github.com/tea-graph/tea/internal/ooc"
+	"github.com/tea-graph/tea/internal/blockcache"
+	"github.com/tea-graph/tea/internal/ooc"
+	"github.com/tea-graph/tea/internal/sampling"
 	"github.com/tea-graph/tea/internal/server"
 )
 
@@ -62,6 +74,12 @@ func main() {
 		maxLength  = flag.Int("max-length", 0, "cap on the /walk length parameter, 0 = default (10000)")
 		drain      = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
 		withPprof  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+
+		oocMode        = flag.Bool("ooc", false, "serve out-of-core: PAT trunks on disk, trunk prefix sums in memory")
+		oocStorePath   = flag.String("ooc-store", "", "block store path for -ooc (default: temp file removed on exit)")
+		oocTrunk       = flag.Int("ooc-trunk", 0, "out-of-core trunk size (0 = default)")
+		oocCacheBytes  = flag.Int64("ooc-cache-bytes", 64<<20, "block cache capacity over -ooc trunk reads, 0 disables")
+		oocCachePolicy = flag.String("ooc-cache-policy", "lru", "block cache eviction policy: lru|clock")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -106,7 +124,42 @@ func main() {
 	}
 
 	start := time.Now()
-	eng, err := tea.NewEngine(g, app, tea.Options{})
+	var opts tea.Options
+	if *oocMode {
+		policy, err := blockcache.ParsePolicy(*oocCachePolicy)
+		if err != nil {
+			log.Fatal("teaserve: ", err)
+		}
+		w, err := sampling.BuildGraphWeights(g, app.Weight, 0)
+		if err != nil {
+			log.Fatal("teaserve: ", err)
+		}
+		var store *ooc.Store
+		if *oocStorePath != "" {
+			store, err = ooc.Open(*oocStorePath)
+		} else {
+			store, err = ooc.NewTempStore()
+		}
+		if err != nil {
+			log.Fatal("teaserve: ", err)
+		}
+		defer store.Close()
+		dp, err := ooc.BuildDiskPAT(w, store, *oocTrunk)
+		if err != nil {
+			log.Fatal("teaserve: ", err)
+		}
+		store.ResetCounters() // device counters report serving traffic, not the build
+		if *oocCacheBytes > 0 {
+			dp.EnableCache(ooc.CacheConfig{CapacityBytes: *oocCacheBytes, Policy: policy})
+			fmt.Printf("teaserve: out-of-core store %s (block cache %d MiB, policy %s)\n",
+				store.Path(), *oocCacheBytes>>20, policy)
+		} else {
+			fmt.Printf("teaserve: out-of-core store %s (block cache disabled)\n", store.Path())
+		}
+		opts.ExternalSampler = dp
+		opts.ExternalWeights = w
+	}
+	eng, err := tea.NewEngine(g, app, opts)
 	if err != nil {
 		log.Fatal("teaserve: ", err)
 	}

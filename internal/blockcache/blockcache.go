@@ -1,0 +1,459 @@
+// Package blockcache puts a concurrency-safe block cache between the
+// out-of-core samplers and their backing store. TEA's §4.1 protocol fetches
+// one trunk record per step straight from the device; real walk traffic is
+// heavily skewed toward hot, high-degree vertices, so the same trunks are
+// fetched over and over. Caching them trades a bounded slice of memory for a
+// large cut in device I/O — the single-machine memory-hierarchy lever that
+// Kairos-style engines show temporal graph analytics lives or dies on.
+//
+// The cache is keyed by exact (offset, length) block coordinates, which is
+// the natural unit here: the samplers always re-read a trunk (or adjacency
+// block) with identical coordinates, so no range reassembly is needed.
+// Entries live in power-of-two shards, each guarded by one mutex and holding
+// its slice of the byte budget, so walkers on different trunks do not contend.
+// Two eviction policies are provided — strict LRU and CLOCK (second-chance,
+// an S3-FIFO-style one-bit approximation that avoids list surgery on every
+// hit) — selectable per cache so they can be compared on the same workload.
+//
+// Concurrent misses on one block are deduplicated singleflight-style: the
+// first walker issues the device read, later arrivals wait for it and share
+// the result. A failed fetch is delivered to every waiter but never inserted,
+// so transient faults (including injected ones) cannot poison the cache.
+// Writes go through to the store first and then invalidate every overlapping
+// entry and mark overlapping in-flight fetches stale, so streaming merges
+// (§3.5 Append/WriteAt traffic) never leave stale trunks behind.
+//
+// Counters() and PagesRead() delegate to the wrapped store untouched: they
+// keep reporting *device* traffic only, so Figure-14-style experiments still
+// measure true I/O volume with the cache in place (see DESIGN.md). Cache
+// effectiveness is reported separately via Stats() and the
+// tea_blockcache_* metric families.
+package blockcache
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tea-graph/tea/internal/metrics"
+)
+
+// Store is the backing-store contract the cache wraps; it is structurally
+// identical to ooc.BlockStore (this package stays import-free of ooc so ooc
+// can layer the cache without a cycle).
+type Store interface {
+	ReadAt(p []byte, off int64) error
+	WriteAt(p []byte, off int64) error
+	Append(p []byte) (int64, error)
+	Counters() (bytesRead, readOps, bytesWritten, writeOps int64)
+	PagesRead() int64
+}
+
+// Cache metric families, registered eagerly (like the tea_ooc_* families) so
+// /metrics shows them at zero before the first cached run. The fetch-latency
+// histogram is split by source: "cache" observes hit service time, "device"
+// observes the full miss path including the underlying read.
+var (
+	mHits          = metrics.Default.Counter("tea_blockcache_hits_total")
+	mMisses        = metrics.Default.Counter("tea_blockcache_misses_total")
+	mCoalesced     = metrics.Default.Counter("tea_blockcache_coalesced_total")
+	mEvictions     = metrics.Default.Counter("tea_blockcache_evictions_total")
+	mInvalidations = metrics.Default.Counter("tea_blockcache_invalidations_total")
+	mResident      = metrics.Default.Gauge("tea_blockcache_resident_bytes")
+	mCacheBytes    = metrics.Default.Counter(`tea_blockcache_served_bytes_total{source="cache"}`)
+	mDeviceBytes   = metrics.Default.Counter(`tea_blockcache_served_bytes_total{source="device"}`)
+	mHitSeconds    = metrics.Default.Histogram(`tea_blockcache_fetch_seconds{source="cache"}`)
+	mMissSeconds   = metrics.Default.Histogram(`tea_blockcache_fetch_seconds{source="device"}`)
+)
+
+// Policy selects the eviction policy of a cache.
+type Policy int
+
+const (
+	// PolicyLRU evicts the least recently used block (exact recency order).
+	PolicyLRU Policy = iota
+	// PolicyClock evicts by the CLOCK second-chance sweep: hits set a
+	// reference bit instead of reordering, the sweep clears bits until it
+	// finds a cold block. Cheaper per hit than LRU, close in quality on
+	// skewed workloads.
+	PolicyClock
+)
+
+// ParsePolicy maps the user-facing policy names ("lru", "clock") to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "lru":
+		return PolicyLRU, nil
+	case "clock":
+		return PolicyClock, nil
+	default:
+		return 0, fmt.Errorf("blockcache: unknown policy %q (want lru or clock)", s)
+	}
+}
+
+// String renders the policy's flag name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyClock:
+		return "clock"
+	default:
+		return "lru"
+	}
+}
+
+// Config sizes and shapes a cache. The zero value (CapacityBytes == 0)
+// selects bypass mode: reads and writes forward straight to the store,
+// nothing is retained, and only the miss/device counters move — so a cache
+// can be configured unconditionally and disabled by budget alone.
+type Config struct {
+	// CapacityBytes is the total byte budget across all shards; <= 0
+	// disables caching entirely.
+	CapacityBytes int64
+	// Policy selects the eviction policy (default PolicyLRU).
+	Policy Policy
+	// Shards is rounded up to a power of two; <= 0 selects 16. More shards
+	// cut mutex contention at the price of coarser per-shard budgets.
+	Shards int
+}
+
+// key identifies one cached block by its exact read coordinates.
+type key struct {
+	off int64
+	n   int
+}
+
+// entry is one resident block plus the intrusive bookkeeping of both
+// policies: prev/next for the LRU list, ref/ring index for CLOCK.
+type entry struct {
+	key  key
+	data []byte
+
+	prev, next *entry // LRU list (LRU policy only)
+	ring       int    // position in the CLOCK ring (clock policy only)
+	ref        bool   // CLOCK reference bit
+}
+
+// flight is one in-progress device fetch that later arrivals wait on.
+type flight struct {
+	done  chan struct{}
+	data  []byte
+	err   error
+	stale bool // set under the shard lock when an overlapping write lands
+}
+
+// shard is one lock domain: a fraction of the key space and byte budget.
+type shard struct {
+	mu       sync.Mutex
+	entries  map[key]*entry
+	flights  map[key]*flight
+	pol      policy
+	bytes    int64 // resident payload bytes
+	capacity int64 // this shard's slice of the budget
+}
+
+// CachedStore wraps a Store with the block cache. It satisfies the same
+// interface as the store it wraps (and hence ooc.BlockStore), so it drops
+// into any sampler unchanged. All methods are safe for concurrent use.
+type CachedStore struct {
+	inner  Store
+	cfg    Config
+	shards []*shard
+	mask   uint64
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	coalesced     atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+	resident      atomic.Int64
+	bytesCache    atomic.Int64 // bytes served from resident entries
+	bytesDevice   atomic.Int64 // bytes served by device fetches (incl. bypass)
+}
+
+// Wrap layers a cache configured by cfg over inner. With a non-positive
+// capacity the returned store is a pure pass-through (bypass mode).
+func Wrap(inner Store, cfg Config) *CachedStore {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	c := &CachedStore{inner: inner, cfg: cfg}
+	if cfg.CapacityBytes > 0 {
+		// Keep each shard's budget above a floor by collapsing shards for
+		// small total budgets: a budget splintered into slices smaller than
+		// a block caches nothing at all.
+		const minShardBytes = 64 << 10
+		per := cfg.CapacityBytes / int64(n)
+		for n > 1 && per < minShardBytes {
+			n >>= 1
+			per = cfg.CapacityBytes / int64(n)
+		}
+		c.mask = uint64(n - 1)
+		c.shards = make([]*shard, n)
+		for i := range c.shards {
+			c.shards[i] = &shard{
+				entries:  make(map[key]*entry),
+				flights:  make(map[key]*flight),
+				pol:      newPolicy(cfg.Policy),
+				capacity: per,
+			}
+		}
+	}
+	return c
+}
+
+// Config returns the configuration the cache was built with (shards rounded
+// to the effective power of two).
+func (c *CachedStore) Config() Config {
+	cfg := c.cfg
+	cfg.Shards = len(c.shards)
+	return cfg
+}
+
+// Inner returns the wrapped store.
+func (c *CachedStore) Inner() Store { return c.inner }
+
+// shardFor hashes a key onto its shard (splitmix64-style finalizer).
+func (c *CachedStore) shardFor(k key) *shard {
+	h := uint64(k.off)*0x9e3779b97f4a7c15 ^ uint64(k.n)*0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	h *= 0x94d049bb133111eb
+	h ^= h >> 32
+	return c.shards[h&c.mask]
+}
+
+// ReadAt serves p from cache when resident, otherwise fetches it from the
+// wrapped store (coalescing concurrent fetches of the same block) and caches
+// the result. Cache hits do not touch the wrapped store, so its device
+// counters and latency histograms only see real I/O.
+func (c *CachedStore) ReadAt(p []byte, off int64) error {
+	if c.shards == nil { // bypass mode
+		c.misses.Add(1)
+		mMisses.Inc()
+		err := c.inner.ReadAt(p, off)
+		if err == nil {
+			c.bytesDevice.Add(int64(len(p)))
+			mDeviceBytes.Add(int64(len(p)))
+		}
+		return err
+	}
+	start := time.Now()
+	k := key{off: off, n: len(p)}
+	sh := c.shardFor(k)
+
+	sh.mu.Lock()
+	if e := sh.entries[k]; e != nil {
+		sh.pol.touched(e)
+		copy(p, e.data)
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		mHits.Inc()
+		c.bytesCache.Add(int64(len(p)))
+		mCacheBytes.Add(int64(len(p)))
+		mHitSeconds.ObserveSince(start)
+		return nil
+	}
+	if f := sh.flights[k]; f != nil {
+		sh.mu.Unlock()
+		c.coalesced.Add(1)
+		mCoalesced.Inc()
+		<-f.done
+		if f.err != nil {
+			return f.err
+		}
+		copy(p, f.data)
+		c.bytesCache.Add(int64(len(p)))
+		mCacheBytes.Add(int64(len(p)))
+		mHitSeconds.ObserveSince(start)
+		return nil
+	}
+	f := &flight{done: make(chan struct{})}
+	sh.flights[k] = f
+	sh.mu.Unlock()
+
+	c.misses.Add(1)
+	mMisses.Inc()
+	buf := make([]byte, len(p))
+	err := c.inner.ReadAt(buf, off)
+
+	sh.mu.Lock()
+	delete(sh.flights, k)
+	if err == nil && !f.stale {
+		c.insertLocked(sh, k, buf)
+	}
+	sh.mu.Unlock()
+
+	// Publish data/err before releasing waiters.
+	if err == nil {
+		f.data = buf
+	}
+	f.err = err
+	close(f.done)
+
+	if err != nil {
+		return err
+	}
+	copy(p, buf)
+	c.bytesDevice.Add(int64(len(p)))
+	mDeviceBytes.Add(int64(len(p)))
+	mMissSeconds.ObserveSince(start)
+	return nil
+}
+
+// insertLocked adds a block to sh, evicting until it fits. Blocks larger
+// than the shard's whole budget are not cached. Caller holds sh.mu.
+func (c *CachedStore) insertLocked(sh *shard, k key, data []byte) {
+	n := int64(len(data))
+	if n > sh.capacity {
+		return
+	}
+	for sh.bytes+n > sh.capacity {
+		victim := sh.pol.victim()
+		if victim == nil {
+			return
+		}
+		c.removeLocked(sh, victim)
+		c.evictions.Add(1)
+		mEvictions.Inc()
+	}
+	e := &entry{key: k, data: data}
+	sh.entries[k] = e
+	sh.pol.added(e)
+	sh.bytes += n
+	c.resident.Add(n)
+	mResident.Add(float64(n))
+}
+
+// removeLocked drops e from sh's map, policy state, and byte accounting.
+// Caller holds sh.mu.
+func (c *CachedStore) removeLocked(sh *shard, e *entry) {
+	delete(sh.entries, e.key)
+	sh.pol.removed(e)
+	n := int64(len(e.data))
+	sh.bytes -= n
+	c.resident.Add(-n)
+	mResident.Add(float64(-n))
+}
+
+// invalidate drops every resident block overlapping [off, off+n) and marks
+// overlapping in-flight fetches stale so their (possibly pre-write) payloads
+// are delivered to waiters but never inserted. Entries are keyed by exact
+// coordinates, so this is a scan of the resident set — writes are rare
+// relative to reads on every workload this cache targets.
+func (c *CachedStore) invalidate(off, n int64) {
+	if c.shards == nil || n <= 0 {
+		return
+	}
+	end := off + n
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for k, e := range sh.entries {
+			if k.off < end && off < k.off+int64(k.n) {
+				c.removeLocked(sh, e)
+				c.invalidations.Add(1)
+				mInvalidations.Inc()
+			}
+		}
+		for k, f := range sh.flights {
+			if k.off < end && off < k.off+int64(k.n) {
+				f.stale = true
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// WriteAt writes through to the wrapped store and then invalidates every
+// cached block the write overlaps.
+func (c *CachedStore) WriteAt(p []byte, off int64) error {
+	if err := c.inner.WriteAt(p, off); err != nil {
+		return err
+	}
+	c.invalidate(off, int64(len(p)))
+	return nil
+}
+
+// Append appends through to the wrapped store and invalidates the written
+// range (a defensive no-op for stores that only ever hand out fresh offsets).
+func (c *CachedStore) Append(p []byte) (int64, error) {
+	off, err := c.inner.Append(p)
+	if err != nil {
+		return 0, err
+	}
+	c.invalidate(off, int64(len(p)))
+	return off, nil
+}
+
+// Counters delegates to the wrapped store: device traffic only, by design —
+// cache hits never reach the device and must not inflate I/O-volume
+// experiments. Cache service volume is in Stats().
+func (c *CachedStore) Counters() (bytesRead, readOps, bytesWritten, writeOps int64) {
+	return c.inner.Counters()
+}
+
+// PagesRead delegates to the wrapped store (device pages only; see Counters).
+func (c *CachedStore) PagesRead() int64 { return c.inner.PagesRead() }
+
+// Stats is a point-in-time summary of cache effectiveness.
+type Stats struct {
+	// Hits served from resident blocks; Misses went to the device;
+	// Coalesced piggybacked on another caller's in-flight fetch.
+	Hits, Misses, Coalesced int64
+	// Evictions counts capacity evictions; Invalidations counts blocks
+	// dropped by overlapping writes.
+	Evictions, Invalidations int64
+	// ResidentBytes and ResidentBlocks describe current occupancy.
+	ResidentBytes, ResidentBlocks int64
+	// BytesFromCache and BytesFromDevice split served read volume by source
+	// (coalesced waiters count toward the cache side: their bytes were
+	// served without an extra device read).
+	BytesFromCache, BytesFromDevice int64
+}
+
+// HitRate returns hits (including coalesced fetches) over all lookups, in
+// [0, 1]; 0 when nothing was looked up.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Coalesced + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(total)
+}
+
+// Stats reports the cache's accumulated statistics.
+func (c *CachedStore) Stats() Stats {
+	s := Stats{
+		Hits:            c.hits.Load(),
+		Misses:          c.misses.Load(),
+		Coalesced:       c.coalesced.Load(),
+		Evictions:       c.evictions.Load(),
+		Invalidations:   c.invalidations.Load(),
+		ResidentBytes:   c.resident.Load(),
+		BytesFromCache:  c.bytesCache.Load(),
+		BytesFromDevice: c.bytesDevice.Load(),
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		s.ResidentBlocks += int64(len(sh.entries))
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// Clear drops every resident block (returning their bytes to the global
+// resident gauge) without touching the accumulated counters. Callers that
+// retire a cache should Clear it so the gauge reflects live caches only.
+func (c *CachedStore) Clear() {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			c.removeLocked(sh, e)
+		}
+		sh.mu.Unlock()
+	}
+}

@@ -1,0 +1,339 @@
+package blockcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// memStore is an in-memory Store with read accounting and optional
+// read-path hooks for fault and blocking behavior.
+type memStore struct {
+	mu   sync.Mutex
+	data []byte
+
+	reads     atomic.Int64
+	readBytes atomic.Int64
+
+	// readHook, when non-nil, runs before each read (outside the data lock)
+	// and may return an error to fail the read.
+	readHook func(off int64, n int) error
+}
+
+func newMemStore(size int) *memStore {
+	m := &memStore{data: make([]byte, size)}
+	for i := range m.data {
+		m.data[i] = byte(i)
+	}
+	return m
+}
+
+func (m *memStore) ReadAt(p []byte, off int64) error {
+	if m.readHook != nil {
+		if err := m.readHook(off, len(p)); err != nil {
+			return err
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > int64(len(m.data)) {
+		return fmt.Errorf("memstore: read [%d, %d) out of range", off, off+int64(len(p)))
+	}
+	copy(p, m.data[off:])
+	m.reads.Add(1)
+	m.readBytes.Add(int64(len(p)))
+	return nil
+}
+
+func (m *memStore) WriteAt(p []byte, off int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > int64(len(m.data)) {
+		return fmt.Errorf("memstore: write [%d, %d) out of range", off, off+int64(len(p)))
+	}
+	copy(m.data[off:], p)
+	return nil
+}
+
+func (m *memStore) Append(p []byte) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	off := int64(len(m.data))
+	m.data = append(m.data, p...)
+	return off, nil
+}
+
+func (m *memStore) Counters() (int64, int64, int64, int64) {
+	return m.readBytes.Load(), m.reads.Load(), 0, 0
+}
+
+func (m *memStore) PagesRead() int64 { return m.reads.Load() }
+
+// oneShard returns a config that collapses to a single shard so eviction
+// order is deterministic in tests.
+func oneShard(capacity int64, pol Policy) Config {
+	return Config{CapacityBytes: capacity, Policy: pol, Shards: 1}
+}
+
+func mustRead(t *testing.T, s *CachedStore, off int64, n int) []byte {
+	t.Helper()
+	p := make([]byte, n)
+	if err := s.ReadAt(p, off); err != nil {
+		t.Fatalf("ReadAt(%d, %d): %v", off, n, err)
+	}
+	return p
+}
+
+func TestHitServesCachedBytes(t *testing.T) {
+	inner := newMemStore(4096)
+	c := Wrap(inner, oneShard(1024, PolicyLRU))
+	first := mustRead(t, c, 100, 64)
+	second := mustRead(t, c, 100, 64)
+	if !bytes.Equal(first, second) {
+		t.Fatal("hit returned different bytes than the miss")
+	}
+	want := inner.data[100:164]
+	if !bytes.Equal(first, want) {
+		t.Fatal("cached read returned wrong bytes")
+	}
+	if got := inner.reads.Load(); got != 1 {
+		t.Fatalf("device reads = %d, want 1 (second read must be a hit)", got)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", s)
+	}
+	if s.ResidentBytes != 64 || s.ResidentBlocks != 1 {
+		t.Fatalf("resident = %d bytes / %d blocks, want 64 / 1", s.ResidentBytes, s.ResidentBlocks)
+	}
+	if s.BytesFromCache != 64 || s.BytesFromDevice != 64 {
+		t.Fatalf("served split = %d cache / %d device, want 64 / 64", s.BytesFromCache, s.BytesFromDevice)
+	}
+}
+
+// Capacity boundary: with room for exactly two 64-byte blocks, a third
+// insert must evict, and LRU must pick the least recently used victim.
+func TestCapacityBoundaryEvictionLRU(t *testing.T) {
+	inner := newMemStore(4096)
+	c := Wrap(inner, oneShard(128, PolicyLRU))
+	mustRead(t, c, 0, 64)   // A
+	mustRead(t, c, 64, 64)  // B
+	mustRead(t, c, 0, 64)   // touch A: B is now LRU
+	mustRead(t, c, 128, 64) // C: evicts B
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+	if s.ResidentBytes != 128 {
+		t.Fatalf("resident bytes = %d, want exactly the 128 budget", s.ResidentBytes)
+	}
+	devBefore := inner.reads.Load()
+	mustRead(t, c, 0, 64) // A must still be resident
+	if inner.reads.Load() != devBefore {
+		t.Fatal("A was evicted; LRU should have evicted B")
+	}
+	mustRead(t, c, 64, 64) // B must be gone
+	if inner.reads.Load() != devBefore+1 {
+		t.Fatal("B unexpectedly still resident")
+	}
+}
+
+// CLOCK second chance: a touched block survives the sweep, a cold one is
+// evicted.
+func TestClockSecondChance(t *testing.T) {
+	inner := newMemStore(4096)
+	c := Wrap(inner, oneShard(128, PolicyClock))
+	mustRead(t, c, 0, 64)   // A (cold)
+	mustRead(t, c, 64, 64)  // B (cold)
+	mustRead(t, c, 0, 64)   // touch A: ref bit set
+	mustRead(t, c, 128, 64) // C: sweep clears A's bit, evicts cold B
+	devBefore := inner.reads.Load()
+	mustRead(t, c, 0, 64) // A survived its second chance
+	if inner.reads.Load() != devBefore {
+		t.Fatal("A was evicted despite its reference bit")
+	}
+	mustRead(t, c, 64, 64) // B was the victim
+	if inner.reads.Load() != devBefore+1 {
+		t.Fatal("B unexpectedly still resident")
+	}
+}
+
+// A block larger than the whole budget must be served but never cached.
+func TestOversizedBlockNotCached(t *testing.T) {
+	inner := newMemStore(4096)
+	c := Wrap(inner, oneShard(128, PolicyLRU))
+	mustRead(t, c, 0, 256)
+	if s := c.Stats(); s.ResidentBytes != 0 {
+		t.Fatalf("oversized block resident: %+v", s)
+	}
+	mustRead(t, c, 0, 256)
+	if got := inner.reads.Load(); got != 2 {
+		t.Fatalf("device reads = %d, want 2 (oversized blocks bypass)", got)
+	}
+}
+
+// Zero capacity is bypass mode: reads forward, nothing is retained, and the
+// cache is transparent to writes.
+func TestZeroCapacityBypass(t *testing.T) {
+	inner := newMemStore(4096)
+	c := Wrap(inner, Config{CapacityBytes: 0})
+	got := mustRead(t, c, 32, 64)
+	if !bytes.Equal(got, inner.data[32:96]) {
+		t.Fatal("bypass read returned wrong bytes")
+	}
+	mustRead(t, c, 32, 64)
+	if inner.reads.Load() != 2 {
+		t.Fatalf("device reads = %d, want 2 (no caching at zero capacity)", inner.reads.Load())
+	}
+	s := c.Stats()
+	if s.Hits != 0 || s.Misses != 2 || s.ResidentBytes != 0 || s.ResidentBlocks != 0 {
+		t.Fatalf("bypass stats = %+v", s)
+	}
+	if err := c.WriteAt([]byte{1, 2, 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(inner.data[:3], []byte{1, 2, 3}) {
+		t.Fatal("bypass write did not reach the store")
+	}
+}
+
+// Write-through invalidation stale-read regression: a cached block
+// overlapped by a write must be refetched, not served stale.
+func TestWriteThroughInvalidation(t *testing.T) {
+	inner := newMemStore(4096)
+	c := Wrap(inner, oneShard(1024, PolicyLRU))
+	before := mustRead(t, c, 100, 64) // cache [100, 164)
+	fresh := bytes.Repeat([]byte{0xAB}, 32)
+	if err := c.WriteAt(fresh, 120); err != nil { // overlaps the cached block
+		t.Fatal(err)
+	}
+	after := mustRead(t, c, 100, 64)
+	if bytes.Equal(before, after) {
+		t.Fatal("stale read: cached block served after an overlapping write")
+	}
+	if !bytes.Equal(after[20:52], fresh) {
+		t.Fatal("refetched block does not contain the written bytes")
+	}
+	s := c.Stats()
+	if s.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", s.Invalidations)
+	}
+	// A non-overlapping write must not disturb the (re-cached) block.
+	devBefore := inner.reads.Load()
+	if err := c.WriteAt([]byte{1}, 2000); err != nil {
+		t.Fatal(err)
+	}
+	mustRead(t, c, 100, 64)
+	if inner.reads.Load() != devBefore {
+		t.Fatal("non-overlapping write invalidated an unrelated block")
+	}
+}
+
+// Blocks cached under different lengths at the same offset are distinct
+// entries, and a write overlapping both invalidates both.
+func TestOverlappingKeysInvalidatedTogether(t *testing.T) {
+	inner := newMemStore(4096)
+	c := Wrap(inner, oneShard(1024, PolicyLRU))
+	mustRead(t, c, 0, 64)
+	mustRead(t, c, 0, 128)
+	if s := c.Stats(); s.ResidentBlocks != 2 {
+		t.Fatalf("resident blocks = %d, want 2 distinct keys", s.ResidentBlocks)
+	}
+	if err := c.WriteAt([]byte{9, 9}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.ResidentBlocks != 0 || s.Invalidations != 2 {
+		t.Fatalf("after overlapping write: %+v, want both entries invalidated", s)
+	}
+}
+
+// A failed fetch must propagate the error and never leave an entry behind
+// (fault-injection composes without poisoning the cache).
+func TestFailedFetchNotCached(t *testing.T) {
+	inner := newMemStore(4096)
+	boom := errors.New("injected")
+	fail := true
+	inner.readHook = func(int64, int) error {
+		if fail {
+			return boom
+		}
+		return nil
+	}
+	c := Wrap(inner, oneShard(1024, PolicyLRU))
+	p := make([]byte, 64)
+	if err := c.ReadAt(p, 0); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	if s := c.Stats(); s.ResidentBlocks != 0 || s.ResidentBytes != 0 {
+		t.Fatalf("failed fetch left residue: %+v", s)
+	}
+	fail = false
+	got := mustRead(t, c, 0, 64)
+	if !bytes.Equal(got, inner.data[:64]) {
+		t.Fatal("recovered read returned wrong bytes")
+	}
+	if s := c.Stats(); s.ResidentBlocks != 1 {
+		t.Fatalf("recovered read not cached: %+v", s)
+	}
+}
+
+func TestClearReleasesResidency(t *testing.T) {
+	inner := newMemStore(4096)
+	c := Wrap(inner, oneShard(1024, PolicyLRU))
+	mustRead(t, c, 0, 64)
+	mustRead(t, c, 64, 64)
+	c.Clear()
+	if s := c.Stats(); s.ResidentBytes != 0 || s.ResidentBlocks != 0 {
+		t.Fatalf("after Clear: %+v", s)
+	}
+	mustRead(t, c, 0, 64) // cache still functional after Clear
+	if s := c.Stats(); s.ResidentBlocks != 1 {
+		t.Fatalf("cache dead after Clear: %+v", s)
+	}
+}
+
+func TestCountersDelegateToDevice(t *testing.T) {
+	inner := newMemStore(4096)
+	c := Wrap(inner, oneShard(1024, PolicyLRU))
+	mustRead(t, c, 0, 64)
+	for i := 0; i < 9; i++ {
+		mustRead(t, c, 0, 64) // hits: must not move device counters
+	}
+	readBytes, readOps, _, _ := c.Counters()
+	if readOps != 1 || readBytes != 64 {
+		t.Fatalf("device counters = %d ops / %d bytes, want 1 / 64 (hits excluded)", readOps, readBytes)
+	}
+	if c.PagesRead() != inner.PagesRead() {
+		t.Fatal("PagesRead must delegate to the wrapped store")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]Policy{"lru": PolicyLRU, "LRU": PolicyLRU, " clock ": PolicyClock} {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParsePolicy("arc"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if PolicyLRU.String() != "lru" || PolicyClock.String() != "clock" {
+		t.Fatal("policy names do not round-trip")
+	}
+}
+
+func TestTinyBudgetCollapsesShards(t *testing.T) {
+	inner := newMemStore(4096)
+	c := Wrap(inner, Config{CapacityBytes: 500, Shards: 16})
+	if got := c.Config().Shards; got != 1 {
+		t.Fatalf("shards = %d, want 1 (500-byte budget must not splinter)", got)
+	}
+	mustRead(t, c, 0, 200)
+	if s := c.Stats(); s.ResidentBlocks != 1 {
+		t.Fatalf("tiny cache holds nothing: %+v", s)
+	}
+}

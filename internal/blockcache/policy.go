@@ -1,0 +1,111 @@
+package blockcache
+
+// policy is the per-shard eviction strategy. All methods are called with the
+// owning shard's mutex held, so implementations need no locking of their own.
+// victim returns the next candidate without removing it; the cache follows up
+// with removed() via removeLocked.
+type policy interface {
+	added(e *entry)
+	touched(e *entry)
+	removed(e *entry)
+	victim() *entry
+}
+
+// newPolicy constructs the policy implementation for p.
+func newPolicy(p Policy) policy {
+	if p == PolicyClock {
+		return &clockPolicy{}
+	}
+	return newLRUPolicy()
+}
+
+// lruPolicy keeps an intrusive doubly-linked list in exact recency order:
+// head side is most recent, tail side is the eviction end. Every hit is a
+// list move, which is exact but costs two pointer splices per touch.
+type lruPolicy struct {
+	head, tail entry // sentinels
+}
+
+func newLRUPolicy() *lruPolicy {
+	p := &lruPolicy{}
+	p.head.next = &p.tail
+	p.tail.prev = &p.head
+	return p
+}
+
+func (p *lruPolicy) pushFront(e *entry) {
+	e.prev = &p.head
+	e.next = p.head.next
+	p.head.next.prev = e
+	p.head.next = e
+}
+
+func (p *lruPolicy) unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (p *lruPolicy) added(e *entry)   { p.pushFront(e) }
+func (p *lruPolicy) removed(e *entry) { p.unlink(e) }
+
+func (p *lruPolicy) touched(e *entry) {
+	p.unlink(e)
+	p.pushFront(e)
+}
+
+func (p *lruPolicy) victim() *entry {
+	if p.tail.prev == &p.head {
+		return nil
+	}
+	return p.tail.prev
+}
+
+// clockPolicy is the CLOCK second-chance sweep: a ring of entries with one
+// reference bit each. Hits only set the bit (no reordering), and the sweep
+// hand clears bits until it finds a cold entry — an S3-FIFO-style one-bit
+// recency approximation whose touch cost is a single store.
+type clockPolicy struct {
+	ring []*entry
+	hand int
+}
+
+func (p *clockPolicy) added(e *entry) {
+	// New entries start cold: a block must prove reuse before it survives a
+	// sweep, which keeps one-shot scans from flushing the hot set.
+	e.ref = false
+	e.ring = len(p.ring)
+	p.ring = append(p.ring, e)
+}
+
+func (p *clockPolicy) touched(e *entry) { e.ref = true }
+
+func (p *clockPolicy) removed(e *entry) {
+	last := len(p.ring) - 1
+	moved := p.ring[last]
+	p.ring[e.ring] = moved
+	moved.ring = e.ring
+	p.ring = p.ring[:last]
+	e.ring = -1
+	if p.hand >= len(p.ring) {
+		p.hand = 0
+	}
+}
+
+func (p *clockPolicy) victim() *entry {
+	// At most two passes: the first clears every reference bit, the second
+	// must find a cold entry.
+	for sweep := 0; sweep < 2*len(p.ring)+1; sweep++ {
+		if len(p.ring) == 0 {
+			return nil
+		}
+		e := p.ring[p.hand]
+		if e.ref {
+			e.ref = false
+			p.hand = (p.hand + 1) % len(p.ring)
+			continue
+		}
+		return e
+	}
+	return nil
+}

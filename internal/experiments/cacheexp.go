@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/tea-graph/tea/internal/blockcache"
+	"github.com/tea-graph/tea/internal/ooc"
+	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+// CacheBenchSchema versions the BENCH_cache.json layout.
+const CacheBenchSchema = "tea/bench-cache/v1"
+
+// cacheZipfExponent skews the walk-start distribution: start vertices are
+// drawn over the degree-descending vertex ranking with probability
+// ∝ 1/rank^s. Real walk traffic (PPR queries, embedding refresh) concentrates
+// on hub vertices; s = 1.1 is a standard web/social request skew.
+const cacheZipfExponent = 1.1
+
+// cacheSweepFractions are the cache sizes exercised per policy, as fractions
+// of the on-disk store size. 0.10 is the headline point: a cache one tenth
+// of the store must cut device reads at least in half on the skewed
+// workload for the subsystem to pay its way.
+var cacheSweepFractions = []float64{0.01, 0.05, 0.10, 0.25}
+
+// CachePoint is one sweep point: a (policy, capacity) pair run over the
+// identical Zipfian workload. Device* report true device traffic (the cache
+// delegates I/O accounting to the store); CacheServedBytes is the read
+// volume the cache absorbed.
+type CachePoint struct {
+	Policy        string  `json:"policy"`
+	CapacityBytes int64   `json:"capacity_bytes"`
+	CapacityFrac  float64 `json:"capacity_frac"`
+
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Coalesced int64   `json:"coalesced"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+
+	DeviceBytes      int64 `json:"device_bytes"`
+	DevicePages      int64 `json:"device_pages"`
+	CacheServedBytes int64 `json:"cache_served_bytes"`
+
+	// SimReadSeconds is the CostModel device time for this point's reads;
+	// SimSavedSeconds is the uncached baseline's time minus this.
+	SimReadSeconds  float64 `json:"sim_read_seconds"`
+	SimSavedSeconds float64 `json:"sim_saved_seconds"`
+	RuntimeSeconds  float64 `json:"runtime_seconds"`
+}
+
+// CacheBenchConfigOut records the workload a cache sweep ran under.
+type CacheBenchConfigOut struct {
+	Dataset      string  `json:"dataset"`
+	Vertices     int     `json:"vertices"`
+	Edges        int     `json:"edges"`
+	StoreBytes   int64   `json:"store_bytes"`
+	TrunkSize    int     `json:"trunk_size"`
+	Walks        int     `json:"walks"`
+	Length       int     `json:"length"`
+	ZipfExponent float64 `json:"zipf_exponent"`
+	Seed         uint64  `json:"seed"`
+}
+
+// CacheBenchResult is the machine-readable artifact cmd/teabench writes to
+// BENCH_cache.json: the uncached baseline, the per-policy size sweep, and the
+// headline reduction at the ~10%-of-store point.
+type CacheBenchResult struct {
+	Schema    string              `json:"schema"`
+	Timestamp string              `json:"timestamp"`
+	Config    CacheBenchConfigOut `json:"config"`
+
+	Uncached CachePoint   `json:"uncached"`
+	Points   []CachePoint `json:"points"`
+
+	// Headline: device-byte reduction factor (uncached / cached) and
+	// simulated read time saved at the LRU ~10%-of-store point.
+	ReductionAt10Pct    float64 `json:"reduction_at_10pct"`
+	SimSavedAt10PctSecs float64 `json:"sim_saved_at_10pct_seconds"`
+}
+
+// zipfStarts draws n walk-start vertices over the degree-descending vertex
+// ranking with P(rank i) ∝ 1/(i+1)^s, deterministically from seed.
+func zipfStarts(g *temporal.Graph, n int, s float64, seed uint64) []temporal.Vertex {
+	numV := g.NumVertices()
+	ranked := make([]temporal.Vertex, numV)
+	for v := range ranked {
+		ranked[v] = temporal.Vertex(v)
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		return g.Degree(ranked[i]) > g.Degree(ranked[j])
+	})
+	cum := make([]float64, numV+1)
+	for i := 0; i < numV; i++ {
+		cum[i+1] = cum[i] + math.Pow(float64(i+1), -s)
+	}
+	r := xrand.New(seed)
+	starts := make([]temporal.Vertex, n)
+	for i := range starts {
+		x := r.Range(cum[numV])
+		lo, hi := 0, numV-1
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if cum[mid+1] > x {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		starts[i] = ranked[lo]
+	}
+	return starts
+}
+
+// CacheBench sweeps block-cache capacity (both eviction policies) against a
+// Zipfian-seeded walk workload on the first profile of cfg, replaying the
+// identical workload uncached and at each sweep point. The DiskPAT, its
+// on-disk layout, and the start list are built once; only the cache changes
+// between points, so device-byte deltas are attributable to the cache alone.
+func CacheBench(cfg Config) (*CacheBenchResult, error) {
+	cfg = cfg.normalized()
+	p := cfg.Profiles[0]
+	g, err := p.Build()
+	if err != nil {
+		return nil, err
+	}
+	g.PrecomputeCandidates(cfg.Threads)
+	spec := sampling.Exponential(p.Lambda(cfg.Contrast))
+	w, err := sampling.BuildGraphWeights(g, spec, cfg.Threads)
+	if err != nil {
+		return nil, err
+	}
+	store, err := ooc.NewTempStore()
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+	dp, err := ooc.BuildDiskPAT(w, store, 0)
+	if err != nil {
+		return nil, err
+	}
+	storeBytes, err := store.Append(nil) // end offset == store size
+	if err != nil {
+		return nil, err
+	}
+
+	totalWalks := g.NumVertices() * cfg.WalksPerVertex
+	starts := zipfStarts(g, totalWalks, cacheZipfExponent, cfg.Seed)
+
+	res := &CacheBenchResult{
+		Schema:    CacheBenchSchema,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Config: CacheBenchConfigOut{
+			Dataset:      p.Name,
+			Vertices:     g.NumVertices(),
+			Edges:        g.NumEdges(),
+			StoreBytes:   storeBytes,
+			TrunkSize:    ooc.DefaultTrunkSize,
+			Walks:        totalWalks,
+			Length:       cfg.Length,
+			ZipfExponent: cacheZipfExponent,
+			Seed:         cfg.Seed,
+		},
+	}
+
+	// runPoint replays the workload with the sampler's current cache setup
+	// and collects device counters (always from the store: device truth) and
+	// cache stats (when one is enabled).
+	runPoint := func(cache *blockcache.CachedStore, capBytes int64, policy string) (CachePoint, error) {
+		store.ResetCounters()
+		eng := ooc.NewEngine(g, dp, nil)
+		runRes, err := eng.RunStarts(context.Background(), starts, cfg.Length, cfg.Seed)
+		if err != nil {
+			return CachePoint{}, err
+		}
+		pt := CachePoint{
+			Policy:         policy,
+			CapacityBytes:  capBytes,
+			RuntimeSeconds: runRes.Duration.Seconds(),
+		}
+		if storeBytes > 0 {
+			pt.CapacityFrac = float64(capBytes) / float64(storeBytes)
+		}
+		pt.DeviceBytes, _, _, _ = store.Counters()
+		pt.DevicePages = store.PagesRead()
+		pt.SimReadSeconds = ooc.DefaultSSD.ReadTime(pt.DeviceBytes, pt.DevicePages).Seconds()
+		if cache != nil {
+			s := cache.Stats()
+			pt.Hits, pt.Misses, pt.Coalesced = s.Hits, s.Misses, s.Coalesced
+			pt.Evictions = s.Evictions
+			pt.HitRate = s.HitRate()
+			pt.CacheServedBytes = s.BytesFromCache
+		}
+		return pt, nil
+	}
+
+	dp.EnableCache(ooc.CacheConfig{}) // explicit uncached baseline
+	res.Uncached, err = runPoint(nil, 0, "none")
+	if err != nil {
+		return nil, err
+	}
+
+	for _, policy := range []blockcache.Policy{blockcache.PolicyLRU, blockcache.PolicyClock} {
+		for _, frac := range cacheSweepFractions {
+			capBytes := int64(frac * float64(storeBytes))
+			if capBytes <= 0 {
+				continue
+			}
+			cache := dp.EnableCache(ooc.CacheConfig{CapacityBytes: capBytes, Policy: policy})
+			pt, err := runPoint(cache, capBytes, policy.String())
+			if err != nil {
+				return nil, err
+			}
+			pt.SimSavedSeconds = res.Uncached.SimReadSeconds - pt.SimReadSeconds
+			res.Points = append(res.Points, pt)
+			if policy == blockcache.PolicyLRU && frac == 0.10 {
+				if pt.DeviceBytes > 0 {
+					res.ReductionAt10Pct = float64(res.Uncached.DeviceBytes) / float64(pt.DeviceBytes)
+				}
+				res.SimSavedAt10PctSecs = pt.SimSavedSeconds
+			}
+		}
+	}
+	dp.EnableCache(ooc.CacheConfig{}) // release the last cache's resident bytes
+	return res, nil
+}
+
+// WriteCacheBench writes the result as indented JSON to path.
+func WriteCacheBench(res *CacheBenchResult, path string) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// RenderCacheBench renders the sweep for the terminal.
+func RenderCacheBench(res *CacheBenchResult) string {
+	var b strings.Builder
+	c := res.Config
+	fmt.Fprintf(&b, "dataset=%s (%d vertices, %d edges) store=%s walks=%d length=%d zipf=%.2f\n",
+		c.Dataset, c.Vertices, c.Edges, fmtBytes(c.StoreBytes), c.Walks, c.Length, c.ZipfExponent)
+	fmt.Fprintf(&b, "%-7s %10s %7s %9s %9s %11s %11s %9s\n",
+		"policy", "capacity", "frac", "hit rate", "evict", "device", "from-cache", "sim-saved")
+	fmt.Fprintf(&b, "%-7s %10s %7s %9s %9s %11s %11s %9s\n",
+		"none", "-", "-", "-", "-", fmtBytes(res.Uncached.DeviceBytes), "-", "-")
+	for _, pt := range res.Points {
+		fmt.Fprintf(&b, "%-7s %10s %6.1f%% %8.1f%% %9d %11s %11s %8.3fs\n",
+			pt.Policy, fmtBytes(pt.CapacityBytes), pt.CapacityFrac*100, pt.HitRate*100,
+			pt.Evictions, fmtBytes(pt.DeviceBytes), fmtBytes(pt.CacheServedBytes), pt.SimSavedSeconds)
+	}
+	if res.ReductionAt10Pct > 0 {
+		fmt.Fprintf(&b, "device-byte reduction at 10%% cache (lru): %.1fx (sim read time saved %.3fs)\n",
+			res.ReductionAt10Pct, res.SimSavedAt10PctSecs)
+	}
+	return b.String()
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

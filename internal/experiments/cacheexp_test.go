@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/tea-graph/tea/internal/gen"
+)
+
+func tinyCacheConfig() Config {
+	cfg := Quick()
+	cfg.Profiles = []gen.Profile{{Name: "t", Vertices: 60, Edges: 900, Skew: 0.6, Seed: 5}}
+	cfg.WalksPerVertex = 4
+	cfg.Length = 20
+	cfg.Threads = 1
+	return cfg
+}
+
+func TestCacheBench(t *testing.T) {
+	res, err := CacheBench(tinyCacheConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema != CacheBenchSchema {
+		t.Fatalf("schema %q", res.Schema)
+	}
+	if res.Config.StoreBytes <= 0 || res.Config.Walks != 60*4 {
+		t.Fatalf("config not recorded: %+v", res.Config)
+	}
+	if res.Uncached.DeviceBytes <= 0 {
+		t.Fatal("uncached baseline read nothing")
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no sweep points")
+	}
+	for _, pt := range res.Points {
+		if pt.HitRate < 0 || pt.HitRate > 1 {
+			t.Fatalf("hit rate %v out of range: %+v", pt.HitRate, pt)
+		}
+		if pt.DeviceBytes > res.Uncached.DeviceBytes {
+			t.Fatalf("cached point read more than uncached: %+v", pt)
+		}
+		// The workload is identical at every point, so every byte the walk
+		// requested was served either by the device or by the cache: the
+		// split must sum exactly to the uncached device volume.
+		if got := pt.DeviceBytes + pt.CacheServedBytes; got != res.Uncached.DeviceBytes {
+			t.Fatalf("served-byte split %d != uncached %d at %+v",
+				got, res.Uncached.DeviceBytes, pt)
+		}
+	}
+	// The headline point must exist and show an actual reduction on the
+	// skewed workload.
+	if res.ReductionAt10Pct <= 1 {
+		t.Fatalf("reduction at 10%% cache = %v, want > 1", res.ReductionAt10Pct)
+	}
+}
+
+func TestWriteCacheBenchRoundTrip(t *testing.T) {
+	res, err := CacheBench(tinyCacheConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_cache.json")
+	if err := WriteCacheBench(res, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CacheBenchResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != CacheBenchSchema || len(back.Points) != len(res.Points) {
+		t.Fatalf("round trip mangled the artifact: %+v", back)
+	}
+	if RenderCacheBench(res) == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/tea-graph/tea/internal/blockcache"
 	"github.com/tea-graph/tea/internal/stats"
 	"github.com/tea-graph/tea/internal/temporal"
 	"github.com/tea-graph/tea/internal/xrand"
@@ -35,6 +36,7 @@ type Engine struct {
 	g       *temporal.Graph
 	sampler Sampler
 	out     BlockStore
+	cache   *blockcache.CachedStore
 }
 
 // NewEngine wires a disk-backed sampler to a walk output store. out may be
@@ -42,6 +44,30 @@ type Engine struct {
 func NewEngine(g *temporal.Graph, sampler Sampler, out BlockStore) *Engine {
 	return &Engine{g: g, sampler: sampler, out: out}
 }
+
+// EngineOptions configures optional engine behavior; the zero value matches
+// NewEngine.
+type EngineOptions struct {
+	// Cache, when its capacity is positive and the sampler supports it,
+	// layers a block cache between the sampler and its store.
+	Cache CacheConfig
+}
+
+// NewEngineWithOptions is NewEngine plus options: a positive cache capacity
+// is applied to samplers implementing CacheableSampler (DiskPAT,
+// DiskGraphWalker) and the resulting cache is reachable via Cache().
+func NewEngineWithOptions(g *temporal.Graph, sampler Sampler, out BlockStore, opts EngineOptions) *Engine {
+	e := NewEngine(g, sampler, out)
+	if opts.Cache.CapacityBytes > 0 {
+		if cs, ok := sampler.(CacheableSampler); ok {
+			e.cache = cs.EnableCache(opts.Cache)
+		}
+	}
+	return e
+}
+
+// Cache returns the block cache enabled via NewEngineWithOptions, or nil.
+func (e *Engine) Cache() *blockcache.CachedStore { return e.cache }
 
 // Result reports an out-of-core run.
 type Result struct {
@@ -67,6 +93,26 @@ func (e *Engine) RunContext(ctx context.Context, walksPerVertex, length int, see
 	if walksPerVertex <= 0 {
 		walksPerVertex = 1
 	}
+	wpv := uint64(walksPerVertex)
+	total := uint64(e.g.NumVertices()) * wpv
+	return e.runWalks(ctx, total, func(id uint64) temporal.Vertex {
+		return temporal.Vertex(id / wpv)
+	}, length, seed)
+}
+
+// RunStarts is RunContext over an explicit workload: one walk per element of
+// starts, in order. This is how skewed (e.g. Zipfian) traffic is replayed
+// against the disk samplers — the per-walk RNG split and flush policy match
+// RunContext exactly, so results are comparable.
+func (e *Engine) RunStarts(ctx context.Context, starts []temporal.Vertex, length int, seed uint64) (*Result, error) {
+	return e.runWalks(ctx, uint64(len(starts)), func(id uint64) temporal.Vertex {
+		return starts[id]
+	}, length, seed)
+}
+
+// runWalks drives total walks whose start vertex is startOf(walkID), walkID
+// in [0, total).
+func (e *Engine) runWalks(ctx context.Context, total uint64, startOf func(uint64) temporal.Vertex, length int, seed uint64) (*Result, error) {
 	if length <= 0 {
 		length = 80
 	}
@@ -102,28 +148,24 @@ func (e *Engine) RunContext(ctx context.Context, walksPerVertex, length int, see
 		return nil
 	}
 
-	walkID := uint64(0)
-	for u := 0; u < e.g.NumVertices(); u++ {
-		for c := 0; c < walksPerVertex; c++ {
-			if err := ctx.Err(); err != nil {
+	for walkID := uint64(0); walkID < total; walkID++ {
+		if err := ctx.Err(); err != nil {
+			finishRetries()
+			return res, err
+		}
+		r := root.Split(walkID)
+		p := e.walkOne(startOf(walkID), length, r, &res.Cost)
+		if samplerErr != nil {
+			if err := samplerErr.Err(); err != nil {
 				finishRetries()
 				return res, err
 			}
-			r := root.Split(walkID)
-			walkID++
-			p := e.walkOne(temporal.Vertex(u), length, r, &res.Cost)
-			if samplerErr != nil {
-				if err := samplerErr.Err(); err != nil {
-					finishRetries()
-					return res, err
-				}
-			}
-			buffer = append(buffer, p)
-			if len(buffer) >= WalkFlushThreshold {
-				if err := flush(); err != nil {
-					finishRetries()
-					return res, err
-				}
+		}
+		buffer = append(buffer, p)
+		if len(buffer) >= WalkFlushThreshold {
+			if err := flush(); err != nil {
+				finishRetries()
+				return res, err
 			}
 		}
 	}

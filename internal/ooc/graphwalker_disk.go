@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 
+	"github.com/tea-graph/tea/internal/blockcache"
 	"github.com/tea-graph/tea/internal/sampling"
 	"github.com/tea-graph/tea/internal/temporal"
 	"github.com/tea-graph/tea/internal/xrand"
@@ -22,7 +23,9 @@ const edgeRecBytes = 12
 // sequential scan.
 type DiskGraphWalker struct {
 	g        *temporal.Graph
-	store    BlockStore
+	store    BlockStore // read path: base, or the cache wrapped around it
+	base     BlockStore // the store the adjacency was built onto
+	cache    *blockcache.CachedStore
 	spec     sampling.WeightSpec
 	lambda   float64
 	minT     temporal.Time
@@ -47,6 +50,7 @@ func BuildDiskGraphWalker(g *temporal.Graph, spec sampling.WeightSpec, store Blo
 	d := &DiskGraphWalker{
 		g:      g,
 		store:  store,
+		base:   store,
 		spec:   spec,
 		lambda: lambda,
 		minT:   minT,

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/tea-graph/tea/internal/blockcache"
 	"github.com/tea-graph/tea/internal/sampling"
 	"github.com/tea-graph/tea/internal/temporal"
 	"github.com/tea-graph/tea/internal/xrand"
@@ -43,7 +44,9 @@ var DefaultRetryPolicy = RetryPolicy{MaxRetries: 5, BaseDelay: 100 * time.Micros
 // the O(D) of a full-neighbor-load engine (§5.6).
 type DiskPAT struct {
 	g         *temporal.Graph
-	store     BlockStore
+	store     BlockStore // read path: base, or the cache wrapped around it
+	base      BlockStore // the store the PAT was built onto
+	cache     *blockcache.CachedStore
 	trunkSize int
 
 	trunkOff []int64   // per vertex: first trunk index
@@ -69,6 +72,7 @@ func BuildDiskPAT(w *sampling.GraphWeights, store BlockStore, trunkSize int) (*D
 	d := &DiskPAT{
 		g:         g,
 		store:     store,
+		base:      store,
 		trunkSize: trunkSize,
 		retry:     DefaultRetryPolicy,
 		trunkOff:  make([]int64, numV+1),

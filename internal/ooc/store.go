@@ -57,6 +57,11 @@ type Store struct {
 	path         string
 	removeOnStop bool
 
+	// end is the store's logical end offset, maintained by CAS so concurrent
+	// Appends reserve disjoint ranges without serializing their I/O. It
+	// tracks the max extent of WriteAt as well, matching file size.
+	end atomic.Int64
+
 	bytesRead    atomic.Int64
 	readOps      atomic.Int64
 	pagesRead    atomic.Int64
@@ -84,7 +89,14 @@ func Open(path string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ooc: opening store: %w", err)
 	}
-	return &Store{f: f, path: path}, nil
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("ooc: sizing store: %w", err)
+	}
+	s := &Store{f: f, path: path}
+	s.end.Store(st.Size())
+	return s, nil
 }
 
 // Path returns the backing file path.
@@ -105,11 +117,13 @@ func (s *Store) ReadAt(p []byte, off int64) error {
 	return nil
 }
 
-// WriteAt writes p at off, accounting the transfer.
+// WriteAt writes p at off, accounting the transfer and extending the logical
+// end offset when the write grows the file.
 func (s *Store) WriteAt(p []byte, off int64) error {
 	if _, err := s.f.WriteAt(p, off); err != nil {
 		return fmt.Errorf("ooc: write %d bytes at %d: %w", len(p), off, err)
 	}
+	s.noteEnd(off + int64(len(p)))
 	s.bytesWritten.Add(int64(len(p)))
 	s.writeOps.Add(1)
 	mWrites.Inc()
@@ -117,14 +131,32 @@ func (s *Store) WriteAt(p []byte, off int64) error {
 	return nil
 }
 
-// Append writes p at the current end of file and returns its offset.
-func (s *Store) Append(p []byte) (int64, error) {
-	off, err := s.f.Seek(0, 2)
-	if err != nil {
-		return 0, fmt.Errorf("ooc: seek end: %w", err)
+// noteEnd raises the logical end offset to at least end.
+func (s *Store) noteEnd(end int64) {
+	for {
+		old := s.end.Load()
+		if end <= old || s.end.CompareAndSwap(old, end) {
+			return
+		}
 	}
-	if len(p) == 0 {
-		return off, nil
+}
+
+// Append writes p at the current end of the store and returns its offset.
+// The end offset is reserved by CAS before the write, so concurrent
+// appenders get disjoint ranges (a Seek-then-WriteAt sequence would let two
+// appenders read the same end and overwrite each other's blocks). Append(nil)
+// reserves nothing and reports the current end.
+func (s *Store) Append(p []byte) (int64, error) {
+	n := int64(len(p))
+	if n == 0 {
+		return s.end.Load(), nil
+	}
+	var off int64
+	for {
+		off = s.end.Load()
+		if s.end.CompareAndSwap(off, off+n) {
+			break
+		}
 	}
 	if err := s.WriteAt(p, off); err != nil {
 		return 0, err

@@ -1,0 +1,118 @@
+package ooc
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// Concurrent appenders must receive disjoint, correctly-ordered regions:
+// Append reserves its offset atomically, so no two writers can interleave
+// into the same range (the historical race was a non-atomic Seek+WriteAt
+// pair). Run with -race.
+func TestAppendConcurrentWritersDisjoint(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 50
+		blockSize = 128
+	)
+	s := tempStore(t)
+
+	type region struct {
+		off int64
+		w   byte
+		i   int
+	}
+	var (
+		mu      sync.Mutex
+		regions []region
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Pattern the block so read-back identifies writer and round.
+				block := make([]byte, blockSize)
+				block[0] = byte(w)
+				block[1] = byte(i)
+				for j := 2; j < blockSize; j++ {
+					block[j] = byte(w) ^ byte(i)
+				}
+				off, err := s.Append(block)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				regions = append(regions, region{off: off, w: byte(w), i: i})
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if len(regions) != writers*perWriter {
+		t.Fatalf("%d appends recorded, want %d", len(regions), writers*perWriter)
+	}
+	// Offsets must tile [0, writers*perWriter*blockSize) exactly: sorted,
+	// disjoint, and gap-free.
+	sort.Slice(regions, func(a, b int) bool { return regions[a].off < regions[b].off })
+	for idx, r := range regions {
+		if want := int64(idx * blockSize); r.off != want {
+			t.Fatalf("region %d at offset %d, want %d (overlap or gap)", idx, r.off, want)
+		}
+	}
+	// Every block must read back exactly as its writer wrote it.
+	for _, r := range regions {
+		got := make([]byte, blockSize)
+		if err := s.ReadAt(got, r.off); err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, blockSize)
+		want[0] = r.w
+		want[1] = byte(r.i)
+		for j := 2; j < blockSize; j++ {
+			want[j] = r.w ^ byte(r.i)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block at %d corrupted: writer %d round %d", r.off, r.w, r.i)
+		}
+	}
+	// The reserved end must equal the true store size.
+	if end, err := s.Append(nil); err != nil || end != int64(writers*perWriter*blockSize) {
+		t.Fatalf("final end = %d, %v; want %d", end, err, writers*perWriter*blockSize)
+	}
+}
+
+// WriteAt past the current end must advance the reserved end so a later
+// Append lands after it, and reopening a store must pick the end up from the
+// file size.
+func TestAppendEndTracksWritesAndReopen(t *testing.T) {
+	s := tempStore(t)
+	if err := s.WriteAt([]byte{1, 2, 3, 4}, 100); err != nil {
+		t.Fatal(err)
+	}
+	off, err := s.Append([]byte{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 104 {
+		t.Fatalf("append after extending WriteAt landed at %d, want 104", off)
+	}
+
+	reopened, err := Open(s.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	off, err = reopened.Append([]byte{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 105 {
+		t.Fatalf("append after reopen landed at %d, want 105", off)
+	}
+}

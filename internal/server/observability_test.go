@@ -13,8 +13,9 @@ import (
 	"github.com/tea-graph/tea/internal/metrics"
 	"github.com/tea-graph/tea/internal/temporal"
 
-	// Link the out-of-core store so its metric families register on the
-	// default registry: /metrics must cover engine, server, and ooc.
+	// Link the out-of-core store so its metric families (and, transitively,
+	// the block cache's) register on the default registry: /metrics must
+	// cover engine, server, ooc, and blockcache.
 	_ "github.com/tea-graph/tea/internal/ooc"
 )
 
@@ -70,6 +71,13 @@ func TestMetricsEndpointFamilies(t *testing.T) {
 		"tea_ooc_reads_total",
 		"tea_ooc_read_retries_total",
 		"# TYPE tea_ooc_block_fetch_seconds histogram",
+		"tea_blockcache_hits_total",
+		"tea_blockcache_misses_total",
+		"tea_blockcache_evictions_total",
+		"tea_blockcache_coalesced_total",
+		"tea_blockcache_resident_bytes",
+		`tea_blockcache_served_bytes_total{source="cache"}`,
+		`# TYPE tea_blockcache_fetch_seconds histogram`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, out)
