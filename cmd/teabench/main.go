@@ -18,6 +18,13 @@
 //
 //	teabench -quick -dataset growth bench
 //
+// With -trace-out the bench experiment additionally executes one fully
+// traced run (after the measured ones, so tracing never skews the recorded
+// numbers) and writes it as a Chrome trace_event JSON document loadable in
+// chrome://tracing or https://ui.perfetto.dev:
+//
+//	teabench -quick -dataset growth -trace-out trace.json bench
+//
 // The "cache" experiment (also not part of "all") sweeps the out-of-core
 // block cache (both eviction policies, several capacities) against a
 // Zipfian-seeded walk workload and writes hit rates, device vs cache-served
@@ -51,6 +58,7 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit rows as JSON instead of tables")
 		benchOut = flag.String("bench-out", "BENCH_walks.json", "output path for the bench experiment")
 		benchN   = flag.Int("bench-runs", 5, "measured runs for the bench experiment")
+		traceOut = flag.String("trace-out", "", "write one traced bench run as Chrome trace_event JSON (bench experiment only)")
 		cacheOut = flag.String("cache-out", "BENCH_cache.json", "output path for the cache experiment")
 	)
 	flag.Usage = func() {
@@ -96,7 +104,7 @@ func main() {
 	}
 	for _, name := range args {
 		if name == "bench" {
-			runBench(cfg, *benchN, *benchOut, *asJSON)
+			runBench(cfg, *benchN, *benchOut, *traceOut, *asJSON)
 			continue
 		}
 		if name == "cache" {
@@ -132,13 +140,22 @@ func runCache(cfg experiments.Config, cacheOut string, asJSON bool) {
 	fmt.Printf("wrote %s\n(%s elapsed)\n\n", cacheOut, time.Since(start).Round(time.Millisecond))
 }
 
-// runBench records the walk-throughput baseline to benchOut.
-func runBench(cfg experiments.Config, runs int, benchOut string, asJSON bool) {
+// runBench records the walk-throughput baseline to benchOut; with a
+// non-empty traceOut it also captures one traced run as a Chrome trace.
+func runBench(cfg experiments.Config, runs int, benchOut, traceOut string, asJSON bool) {
 	if !asJSON {
 		fmt.Printf("== %s ==\n", title("bench"))
 	}
 	start := time.Now()
-	res, err := experiments.WalkBench(cfg, runs)
+	var (
+		res *experiments.BenchResult
+		err error
+	)
+	if traceOut != "" {
+		res, err = experiments.WalkBenchTrace(cfg, runs, traceOut)
+	} else {
+		res, err = experiments.WalkBench(cfg, runs)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -154,6 +171,9 @@ func runBench(cfg experiments.Config, runs int, benchOut string, asJSON bool) {
 		return
 	}
 	fmt.Print(experiments.RenderBench(res))
+	if traceOut != "" {
+		fmt.Printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", traceOut)
+	}
 	fmt.Printf("wrote %s\n(%s elapsed)\n\n", benchOut, time.Since(start).Round(time.Millisecond))
 }
 

@@ -13,6 +13,14 @@
 //	-drain             how long to wait for in-flight requests on shutdown
 //	-pprof             expose net/http/pprof under /debug/pprof/ (off by default)
 //
+// Tracing flags (correlated request tracing; see DESIGN.md):
+//
+//	-trace-fraction    head-sample this fraction of requests into full span
+//	                   traces served at /debug/tea/trace?id=<X-Request-ID>
+//	-flight-spans      always-on flight recorder capacity (spans + error/
+//	                   cancel/retry events) served at /debug/tea/flight;
+//	                   0 disables
+//
 // Out-of-core flags (§4.1 serving mode: PAT trunks on disk, only trunk
 // prefix sums in memory):
 //
@@ -45,7 +53,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -59,6 +67,7 @@ import (
 	"github.com/tea-graph/tea/internal/ooc"
 	"github.com/tea-graph/tea/internal/sampling"
 	"github.com/tea-graph/tea/internal/server"
+	"github.com/tea-graph/tea/internal/trace"
 )
 
 func main() {
@@ -80,8 +89,26 @@ func main() {
 		oocTrunk       = flag.Int("ooc-trunk", 0, "out-of-core trunk size (0 = default)")
 		oocCacheBytes  = flag.Int64("ooc-cache-bytes", 64<<20, "block cache capacity over -ooc trunk reads, 0 disables")
 		oocCachePolicy = flag.String("ooc-cache-policy", "lru", "block cache eviction policy: lru|clock")
+
+		traceFraction = flag.Float64("trace-fraction", 0, "fraction of requests head-sampled into full traces (0 disables, 1 traces every request)")
+		flightSpans   = flag.Int("flight-spans", 1024, "flight recorder capacity (recent spans and error/cancel/retry events), 0 disables")
+		logJSON       = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
+
+	// Structured logging: every record carries request_id/trace_id when its
+	// context does (the server threads both through request contexts).
+	var logHandler slog.Handler
+	if *logJSON {
+		logHandler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		logHandler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(trace.NewLogHandler(logHandler))
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "error", err)
+		os.Exit(1)
+	}
 	if *input == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -97,7 +124,7 @@ func main() {
 		g, err = tea.LoadTextFile(*input)
 	}
 	if err != nil {
-		log.Fatal("teaserve: ", err)
+		fatal("load failed", err)
 	}
 	lo, hi := g.TimeRange()
 	if *lambda == 0 {
@@ -120,7 +147,7 @@ func main() {
 	case "node2vec":
 		app = tea.TemporalNode2Vec(*p, *q, *lambda)
 	default:
-		log.Fatalf("teaserve: unknown algorithm %q", *algo)
+		fatal("unknown algorithm", fmt.Errorf("%q", *algo))
 	}
 
 	start := time.Now()
@@ -128,11 +155,11 @@ func main() {
 	if *oocMode {
 		policy, err := blockcache.ParsePolicy(*oocCachePolicy)
 		if err != nil {
-			log.Fatal("teaserve: ", err)
+			fatal("bad cache policy", err)
 		}
 		w, err := sampling.BuildGraphWeights(g, app.Weight, 0)
 		if err != nil {
-			log.Fatal("teaserve: ", err)
+			fatal("weight build failed", err)
 		}
 		var store *ooc.Store
 		if *oocStorePath != "" {
@@ -141,12 +168,12 @@ func main() {
 			store, err = ooc.NewTempStore()
 		}
 		if err != nil {
-			log.Fatal("teaserve: ", err)
+			fatal("store open failed", err)
 		}
 		defer store.Close()
 		dp, err := ooc.BuildDiskPAT(w, store, *oocTrunk)
 		if err != nil {
-			log.Fatal("teaserve: ", err)
+			fatal("disk PAT build failed", err)
 		}
 		store.ResetCounters() // device counters report serving traffic, not the build
 		if *oocCacheBytes > 0 {
@@ -161,17 +188,35 @@ func main() {
 	}
 	eng, err := tea.NewEngine(g, app, opts)
 	if err != nil {
-		log.Fatal("teaserve: ", err)
+		fatal("engine build failed", err)
 	}
-	fmt.Printf("teaserve: %s over %d vertices / %d edges (preprocessed in %v)\n",
-		app.Name, g.NumVertices(), g.NumEdges(), time.Since(start).Round(time.Millisecond))
-	fmt.Printf("teaserve: listening on %s (timeout=%v, max-inflight=%d)\n",
-		*addr, *reqTimeout, *maxFlight)
+	logger.Info("preprocessed",
+		"application", app.Name,
+		"vertices", g.NumVertices(),
+		"edges", g.NumEdges(),
+		"elapsed", time.Since(start).Round(time.Millisecond))
+	logger.Info("listening",
+		"addr", *addr,
+		"timeout", *reqTimeout,
+		"max_inflight", *maxFlight)
 
+	tracer := trace.New(trace.Config{
+		SampleFraction: *traceFraction,
+		FlightSpans:    *flightSpans,
+	})
+	if tracer.Enabled() {
+		logger.Info("tracing enabled",
+			"trace_fraction", *traceFraction,
+			"flight_spans", *flightSpans,
+			"trace_endpoint", "/debug/tea/trace",
+			"flight_endpoint", "/debug/tea/flight")
+	}
 	handler := server.NewWithConfig(eng, server.Config{
 		RequestTimeout: *reqTimeout,
 		MaxInFlight:    *maxFlight,
 		MaxWalkLength:  *maxLength,
+		Trace:          tracer,
+		Logger:         logger,
 	}).Handler()
 	if *withPprof {
 		// Opt-in profiling: the pprof endpoints expose stacks and heap
@@ -184,7 +229,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = mux
-		fmt.Println("teaserve: pprof enabled at /debug/pprof/")
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -200,19 +245,19 @@ func main() {
 
 	select {
 	case err := <-errCh:
-		log.Fatal("teaserve: ", err)
+		fatal("serve failed", err)
 	case <-ctx.Done():
 		stop() // restore default signal behavior: a second signal kills hard
-		fmt.Printf("teaserve: shutting down (draining for up to %v)\n", *drain)
+		logger.Info("shutting down", "drain", *drain)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("teaserve: drain incomplete: %v", err)
+			logger.Error("drain incomplete", "error", err)
 			os.Exit(1)
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Printf("teaserve: %v", err)
+			logger.Error("serve error", "error", err)
 		}
-		fmt.Println("teaserve: bye")
+		logger.Info("bye")
 	}
 }

@@ -227,11 +227,49 @@ func (c *CachedStore) shardFor(k key) *shard {
 	return c.shards[h&c.mask]
 }
 
+// ReadSource classifies how one ReadAt was served, for per-fetch trace
+// annotations (see ReadAtSource).
+type ReadSource int8
+
+const (
+	// SourceDevice: a miss — the block came from the wrapped store.
+	SourceDevice ReadSource = iota
+	// SourceCache: a hit on a resident block.
+	SourceCache
+	// SourceCoalesced: the read piggybacked on another caller's in-flight
+	// device fetch of the same block.
+	SourceCoalesced
+	// SourceBypass: the cache is in bypass mode (zero capacity).
+	SourceBypass
+)
+
+// String renders the source the way trace annotations and tests expect.
+func (s ReadSource) String() string {
+	switch s {
+	case SourceCache:
+		return "hit"
+	case SourceCoalesced:
+		return "coalesced"
+	case SourceBypass:
+		return "bypass"
+	default:
+		return "miss"
+	}
+}
+
 // ReadAt serves p from cache when resident, otherwise fetches it from the
 // wrapped store (coalescing concurrent fetches of the same block) and caches
 // the result. Cache hits do not touch the wrapped store, so its device
 // counters and latency histograms only see real I/O.
 func (c *CachedStore) ReadAt(p []byte, off int64) error {
+	_, err := c.ReadAtSource(p, off)
+	return err
+}
+
+// ReadAtSource is ReadAt plus the classification of how the block was
+// served; the out-of-core samplers annotate their block-fetch trace spans
+// with it.
+func (c *CachedStore) ReadAtSource(p []byte, off int64) (ReadSource, error) {
 	if c.shards == nil { // bypass mode
 		c.misses.Add(1)
 		mMisses.Inc()
@@ -240,7 +278,7 @@ func (c *CachedStore) ReadAt(p []byte, off int64) error {
 			c.bytesDevice.Add(int64(len(p)))
 			mDeviceBytes.Add(int64(len(p)))
 		}
-		return err
+		return SourceBypass, err
 	}
 	start := time.Now()
 	k := key{off: off, n: len(p)}
@@ -256,7 +294,7 @@ func (c *CachedStore) ReadAt(p []byte, off int64) error {
 		c.bytesCache.Add(int64(len(p)))
 		mCacheBytes.Add(int64(len(p)))
 		mHitSeconds.ObserveSince(start)
-		return nil
+		return SourceCache, nil
 	}
 	if f := sh.flights[k]; f != nil {
 		sh.mu.Unlock()
@@ -264,13 +302,13 @@ func (c *CachedStore) ReadAt(p []byte, off int64) error {
 		mCoalesced.Inc()
 		<-f.done
 		if f.err != nil {
-			return f.err
+			return SourceCoalesced, f.err
 		}
 		copy(p, f.data)
 		c.bytesCache.Add(int64(len(p)))
 		mCacheBytes.Add(int64(len(p)))
 		mHitSeconds.ObserveSince(start)
-		return nil
+		return SourceCoalesced, nil
 	}
 	f := &flight{done: make(chan struct{})}
 	sh.flights[k] = f
@@ -296,13 +334,13 @@ func (c *CachedStore) ReadAt(p []byte, off int64) error {
 	close(f.done)
 
 	if err != nil {
-		return err
+		return SourceDevice, err
 	}
 	copy(p, buf)
 	c.bytesDevice.Add(int64(len(p)))
 	mDeviceBytes.Add(int64(len(p)))
 	mMissSeconds.ObserveSince(start)
-	return nil
+	return SourceDevice, nil
 }
 
 // insertLocked adds a block to sh, evicting until it fits. Blocks larger

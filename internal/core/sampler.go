@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"github.com/tea-graph/tea/internal/sampling"
 	"github.com/tea-graph/tea/internal/temporal"
 	"github.com/tea-graph/tea/internal/xrand"
@@ -23,6 +25,18 @@ type Sampler interface {
 	Sample(u temporal.Vertex, k int, r *xrand.Rand) (edgeIdx int, evaluated int64, ok bool)
 	// MemoryBytes reports the sampler's index footprint (Figures 9, 12b).
 	MemoryBytes() int64
+}
+
+// ContextSampler is optionally implemented by samplers that can thread a
+// request context into their sampling path. The disk-backed samplers use it
+// to open per-block-fetch trace spans under the caller's walk-batch span;
+// in-memory samplers have no I/O worth a span and skip it. RunContext only
+// routes through SampleCtx when the run is actually being traced, so the
+// untraced hot path is byte-for-byte the old Sample call.
+type ContextSampler interface {
+	Sampler
+	// SampleCtx is Sample with the run's context attached.
+	SampleCtx(ctx context.Context, u temporal.Vertex, k int, r *xrand.Rand) (edgeIdx int, evaluated int64, ok bool)
 }
 
 // ITSSampler samples candidate prefixes by inverse transform sampling over

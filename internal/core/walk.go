@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -9,6 +10,7 @@ import (
 
 	"github.com/tea-graph/tea/internal/stats"
 	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/trace"
 	"github.com/tea-graph/tea/internal/xrand"
 )
 
@@ -121,10 +123,26 @@ func (e *Engine) RunContext(ctx context.Context, cfg WalkConfig) (*Result, error
 	}
 	totalWalks := len(sources) * cfg.WalksPerVertex
 
+	// Tracing: nil runSpan (the overwhelmingly common case) keeps the run on
+	// the exact pre-trace path — workers skip batch spans and the sampler is
+	// called without a context. The context-threaded sampler route is only
+	// resolved when this run is actually recorded.
+	ctx, runSpan := trace.Start(ctx, "engine.run")
+	var ctxSampler ContextSampler
+	if runSpan != nil {
+		runSpan.SetStr("sampler", e.sampler.Name())
+		runSpan.SetInt("walks", int64(totalWalks))
+		runSpan.SetInt("length", int64(cfg.Length))
+		runSpan.SetInt("threads", int64(threads))
+		ctxSampler, _ = e.sampler.(ContextSampler)
+	}
+
 	root := xrand.New(cfg.Seed)
 	result := &Result{Lengths: stats.NewHistogram(cfg.Length + 1)}
 	if err := ctx.Err(); err != nil {
 		publishRun(result.Cost, 0, err)
+		runSpan.SetError(err)
+		runSpan.End()
 		return result, err
 	}
 	if cfg.KeepPaths {
@@ -167,22 +185,39 @@ func (e *Engine) RunContext(ctx context.Context, cfg WalkConfig) (*Result, error
 		wg.Add(1)
 		go func(worker, lo, hi int) {
 			defer wg.Done()
+			bctx := runCtx
+			var bsp *trace.Span
+			if runSpan != nil {
+				bctx, bsp = trace.Start(runCtx, "walk_batch")
+				bsp.SetInt("worker", int64(worker))
+				bsp.SetInt("walks", int64(hi-lo))
+			}
 			st := &results[worker]
 			st.lengths = stats.NewHistogram(cfg.Length + 1)
 			for wi := lo; wi < hi; wi++ {
 				if runCtx.Err() != nil {
-					return
+					break
 				}
 				src := sources[wi/cfg.WalksPerVertex]
 				r := root.Split(uint64(wi))
-				p, err := e.walkOneSafe(wi, src, cfg, r, st)
+				p, err := e.walkOneSafe(bctx, ctxSampler, wi, src, cfg, r, st)
 				if err != nil {
 					fail(err)
-					return
+					break
 				}
 				if cfg.KeepPaths {
 					result.Paths[wi] = p
 				}
+			}
+			if bsp != nil {
+				// Per-batch hot-layer aggregates: sampled steps, slots the
+				// sampler examined (trunk/level traffic for HPAT/PAT), and
+				// the Dynamic_parameter rejection counters.
+				bsp.SetInt("steps", st.cost.Steps)
+				bsp.SetInt("edges_evaluated", st.cost.EdgesEvaluated)
+				bsp.SetInt("trials", st.cost.Trials)
+				bsp.SetInt("rejected", st.cost.Rejected)
+				bsp.End()
 			}
 		}(w, lo, hi)
 	}
@@ -202,6 +237,20 @@ func (e *Engine) RunContext(ctx context.Context, cfg WalkConfig) (*Result, error
 		err = ctx.Err()
 	}
 	publishRun(result.Cost, result.Duration, err)
+	if runSpan != nil {
+		runSpan.SetInt("steps", result.Cost.Steps)
+		runSpan.SetInt("edges_evaluated", result.Cost.EdgesEvaluated)
+		runSpan.SetInt("walks_dead_ended", result.Cost.WalksDeadEnded)
+		if err != nil {
+			runSpan.SetError(err)
+			kind := trace.KindError
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				kind = trace.KindCancel
+			}
+			trace.EventCtx(ctx, kind, "engine.run aborted", trace.Str("cause", err.Error()))
+		}
+		runSpan.End()
+	}
 	if err != nil {
 		return result, err
 	}
@@ -210,13 +259,13 @@ func (e *Engine) RunContext(ctx context.Context, cfg WalkConfig) (*Result, error
 
 // walkOneSafe runs one walk, converting a panic in user code into an error
 // that names the walk instead of crashing the process.
-func (e *Engine) walkOneSafe(walkID int, src temporal.Vertex, cfg WalkConfig, r *xrand.Rand, st *walkerState) (p Path, err error) {
+func (e *Engine) walkOneSafe(ctx context.Context, cs ContextSampler, walkID int, src temporal.Vertex, cfg WalkConfig, r *xrand.Rand, st *walkerState) (p Path, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			err = fmt.Errorf("core: walk %d from vertex %d panicked: %v", walkID, src, rec)
 		}
 	}()
-	return e.walkOne(walkID, src, cfg, r, st), nil
+	return e.walkOne(ctx, cs, walkID, src, cfg, r, st), nil
 }
 
 // walkerState is one worker's private accumulator. Workers update their
@@ -236,8 +285,10 @@ type walkerState struct {
 
 // walkOne runs a single temporal walk from src, implementing the main loop of
 // Algorithm 2: sample an edge from the candidate set via the engine's
-// sampler, apply the Dynamic_parameter rejection test, advance.
-func (e *Engine) walkOne(walkID int, src temporal.Vertex, cfg WalkConfig, r *xrand.Rand, st *walkerState) Path {
+// sampler, apply the Dynamic_parameter rejection test, advance. cs is non-nil
+// only when the run is traced and the sampler supports context threading; on
+// the untraced path the sampler is called exactly as before.
+func (e *Engine) walkOne(ctx context.Context, cs ContextSampler, walkID int, src temporal.Vertex, cfg WalkConfig, r *xrand.Rand, st *walkerState) Path {
 	var p Path
 	if cfg.KeepPaths {
 		p.Vertices = make([]temporal.Vertex, 1, cfg.Length+1)
@@ -264,7 +315,11 @@ func (e *Engine) walkOne(walkID int, src temporal.Vertex, cfg WalkConfig, r *xra
 		accepted := false
 		for trial := 0; trial < betaTrialCap; trial++ {
 			var ev int64
-			edgeIdx, ev, ok = e.sampler.Sample(u, k, r)
+			if cs != nil {
+				edgeIdx, ev, ok = cs.SampleCtx(ctx, u, k, r)
+			} else {
+				edgeIdx, ev, ok = e.sampler.Sample(u, k, r)
+			}
 			st.cost.EdgesEvaluated += ev
 			if !ok {
 				break

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"github.com/tea-graph/tea/internal/core"
+	"github.com/tea-graph/tea/internal/trace"
 )
 
 // BenchSchema versions the BENCH_walks.json layout so future PRs can detect
@@ -68,6 +70,48 @@ type BenchResult struct {
 // aggregates throughput plus the run-latency distribution. One untimed
 // warmup run precedes the measured ones.
 func WalkBench(cfg Config, runs int) (*BenchResult, error) {
+	res, _, _, err := walkBench(cfg, runs)
+	return res, err
+}
+
+// WalkBenchTrace is WalkBench plus one extra, fully-traced run executed
+// after the measured ones — tracing never touches the measured numbers — and
+// written to traceOut as a Chrome trace_event document loadable in
+// chrome://tracing or Perfetto.
+func WalkBenchTrace(cfg Config, runs int, traceOut string) (*BenchResult, error) {
+	res, eng, wcfg, err := walkBench(cfg, runs)
+	if err != nil {
+		return nil, err
+	}
+	tr := trace.New(trace.Config{SampleFraction: 1})
+	id := tr.NewID()
+	ctx, root := tr.StartRoot(context.Background(), "teabench.bench", id)
+	root.SetStr("dataset", res.Config.Dataset)
+	_, runErr := eng.RunContext(ctx, wcfg)
+	root.SetError(runErr)
+	root.End()
+	if runErr != nil {
+		return nil, fmt.Errorf("traced bench run: %w", runErr)
+	}
+	spans, _, ok := tr.Trace(id)
+	if !ok {
+		return nil, fmt.Errorf("traced bench run recorded no spans")
+	}
+	f, err := os.Create(traceOut)
+	if err != nil {
+		return nil, err
+	}
+	if err := trace.WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("writing %s: %w", traceOut, err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func walkBench(cfg Config, runs int) (*BenchResult, *core.Engine, core.WalkConfig, error) {
 	cfg = cfg.normalized()
 	if runs <= 0 {
 		runs = 5
@@ -75,13 +119,13 @@ func WalkBench(cfg Config, runs int) (*BenchResult, error) {
 	p := cfg.Profiles[0]
 	g, err := p.Build()
 	if err != nil {
-		return nil, err
+		return nil, nil, core.WalkConfig{}, err
 	}
 	app := core.ExponentialWalk(p.Lambda(cfg.Contrast))
 	prepStart := time.Now()
 	eng, err := core.NewEngine(g, app, core.Options{Threads: cfg.Threads})
 	if err != nil {
-		return nil, err
+		return nil, nil, core.WalkConfig{}, err
 	}
 	prep := time.Since(prepStart)
 
@@ -92,7 +136,7 @@ func WalkBench(cfg Config, runs int) (*BenchResult, error) {
 		Seed:           cfg.Seed,
 	}
 	if _, err := eng.Run(wcfg); err != nil { // warmup
-		return nil, err
+		return nil, nil, core.WalkConfig{}, err
 	}
 
 	res := &BenchResult{
@@ -117,7 +161,7 @@ func WalkBench(cfg Config, runs int) (*BenchResult, error) {
 	for i := 0; i < runs; i++ {
 		r, err := eng.Run(wcfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, core.WalkConfig{}, err
 		}
 		secs := r.Duration.Seconds()
 		res.RunSeconds = append(res.RunSeconds, secs)
@@ -139,7 +183,7 @@ func WalkBench(cfg Config, runs int) (*BenchResult, error) {
 	res.P50RunSeconds = nearestRank(res.RunSeconds, 0.50)
 	res.P95RunSeconds = nearestRank(res.RunSeconds, 0.95)
 	res.P99RunSeconds = nearestRank(res.RunSeconds, 0.99)
-	return res, nil
+	return res, eng, wcfg, nil
 }
 
 // nearestRank returns the q-quantile of sorted samples by the nearest-rank

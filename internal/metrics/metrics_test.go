@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"strings"
 	"sync"
@@ -208,4 +209,87 @@ func findHist(t *testing.T, r *Registry, name string) HistogramSnap {
 	}
 	t.Fatalf("histogram %q not in snapshot", name)
 	return HistogramSnap{}
+}
+
+// Concurrent writers interleaved with snapshot readers: every snapshot must
+// be internally consistent and isolated — counter values monotonically
+// non-decreasing across successive snapshots, histogram counts never running
+// ahead of what writers could have produced, and new-metric registration
+// racing Snapshot() must not corrupt either side (run under -race in CI).
+func TestConcurrentSnapshotIsolation(t *testing.T) {
+	r := NewRegistry()
+	const writers, perWriter = 4, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("rw_total")
+			h := r.Histogram("rw_seconds")
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				r.Gauge("rw_gauge").Set(float64(i))
+				h.Observe(0.001 * float64(i%7+1))
+				if i%500 == 0 {
+					// Registration racing Snapshot: the registry map grows
+					// while readers iterate it.
+					r.Counter(fmt.Sprintf("rw_extra_total{writer=\"%d\",i=\"%d\"}", w, i)).Inc()
+				}
+			}
+		}(w)
+	}
+
+	var lastCount int64
+	readerDone := make(chan error, 1)
+	go func() {
+		defer close(readerDone)
+		for {
+			snap := r.Snapshot()
+			var cur int64
+			for _, c := range snap.Counters {
+				if c.Name == "rw_total" {
+					cur = c.Value
+				}
+			}
+			if cur < lastCount {
+				readerDone <- fmt.Errorf("counter went backwards across snapshots: %d -> %d", lastCount, cur)
+				return
+			}
+			if cur > writers*perWriter {
+				readerDone <- fmt.Errorf("counter overshoot: %d > %d", cur, writers*perWriter)
+				return
+			}
+			lastCount = cur
+			for _, h := range snap.Histograms {
+				if h.Name == "rw_seconds" && h.Count > writers*perWriter {
+					readerDone <- fmt.Errorf("histogram count overshoot: %d", h.Count)
+					return
+				}
+			}
+			if _, err := json.Marshal(snap); err != nil {
+				readerDone <- fmt.Errorf("snapshot not JSON-encodable mid-write: %v", err)
+				return
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	if err, ok := <-readerDone; ok && err != nil {
+		t.Fatal(err)
+	}
+
+	// The final snapshot sees everything.
+	snap := r.Snapshot()
+	for _, c := range snap.Counters {
+		if c.Name == "rw_total" && c.Value != writers*perWriter {
+			t.Fatalf("final counter = %d, want %d", c.Value, writers*perWriter)
+		}
+	}
 }

@@ -10,6 +10,7 @@ import (
 	"github.com/tea-graph/tea/internal/blockcache"
 	"github.com/tea-graph/tea/internal/stats"
 	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/trace"
 	"github.com/tea-graph/tea/internal/xrand"
 )
 
@@ -27,6 +28,14 @@ type Sampler interface {
 	Name() string
 	Sample(u temporal.Vertex, k int, r *xrand.Rand) (int, int64, bool)
 	MemoryBytes() int64
+}
+
+// ctxSampler is the optional context-threaded sampling hook (the ooc twin of
+// core.ContextSampler). DiskPAT and DiskGraphWalker implement it so traced
+// runs get per-block-fetch spans; it is only resolved — and SampleCtx only
+// called — when the run's context actually carries an active trace span.
+type ctxSampler interface {
+	SampleCtx(ctx context.Context, u temporal.Vertex, k int, r *xrand.Rand) (int, int64, bool)
 }
 
 // Engine drives temporal walks whose sampling structure lives on disk,
@@ -135,6 +144,49 @@ func (e *Engine) runWalks(ctx context.Context, total uint64, startOf func(uint64
 		}
 	}
 
+	// Tracing: the run span and the per-flush-group batch spans exist only
+	// when the caller's context is being traced; cs stays nil otherwise so the
+	// untraced walk loop is the plain Sample call.
+	ctx, runSpan := trace.Start(ctx, "ooc.run")
+	var cs ctxSampler
+	if runSpan != nil {
+		runSpan.SetStr("sampler", e.sampler.Name())
+		runSpan.SetInt("walks", int64(total))
+		runSpan.SetInt("length", int64(length))
+		cs, _ = e.sampler.(ctxSampler)
+	}
+	walkCtx := ctx
+	var batchSpan *trace.Span
+	batchIdx, batchStart := int64(0), uint64(0)
+	endBatch := func(walkID uint64) {
+		if batchSpan == nil {
+			return
+		}
+		batchSpan.SetInt("walks", int64(walkID-batchStart))
+		batchSpan.End()
+		batchSpan = nil
+		walkCtx = ctx
+	}
+	finish := func(walkID uint64, err error) {
+		finishRetries()
+		endBatch(walkID)
+		if runSpan != nil {
+			runSpan.SetInt("steps", res.Cost.Steps)
+			runSpan.SetInt("edges_evaluated", res.Cost.EdgesEvaluated)
+			runSpan.SetInt("flushes", int64(res.Flushes))
+			runSpan.SetInt("read_retries", res.Cost.ReadRetries)
+			runSpan.SetError(err)
+			runSpan.End()
+		}
+		if err != nil {
+			kind := trace.KindError
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				kind = trace.KindCancel
+			}
+			trace.EventCtx(ctx, kind, "ooc.run aborted", trace.Str("cause", err.Error()))
+		}
+	}
+
 	buffer := make([]Path, 0, WalkFlushThreshold)
 	flush := func() error {
 		if len(buffer) == 0 || e.out == nil {
@@ -150,30 +202,37 @@ func (e *Engine) runWalks(ctx context.Context, total uint64, startOf func(uint64
 
 	for walkID := uint64(0); walkID < total; walkID++ {
 		if err := ctx.Err(); err != nil {
-			finishRetries()
+			finish(walkID, err)
 			return res, err
 		}
+		if runSpan != nil && batchSpan == nil {
+			walkCtx, batchSpan = trace.Start(ctx, "walk_batch")
+			batchSpan.SetInt("batch", batchIdx)
+			batchIdx++
+			batchStart = walkID
+		}
 		r := root.Split(walkID)
-		p := e.walkOne(startOf(walkID), length, r, &res.Cost)
+		p := e.walkOne(walkCtx, cs, startOf(walkID), length, r, &res.Cost)
 		if samplerErr != nil {
 			if err := samplerErr.Err(); err != nil {
-				finishRetries()
+				finish(walkID+1, err)
 				return res, err
 			}
 		}
 		buffer = append(buffer, p)
 		if len(buffer) >= WalkFlushThreshold {
+			endBatch(walkID + 1)
 			if err := flush(); err != nil {
-				finishRetries()
+				finish(walkID+1, err)
 				return res, err
 			}
 		}
 	}
 	if err := flush(); err != nil {
-		finishRetries()
+		finish(total, err)
 		return res, err
 	}
-	finishRetries()
+	finish(total, nil)
 	return res, nil
 }
 
@@ -183,14 +242,23 @@ type Path struct {
 	Times    []temporal.Time
 }
 
-func (e *Engine) walkOne(src temporal.Vertex, length int, r *xrand.Rand, cost *stats.Cost) Path {
+func (e *Engine) walkOne(ctx context.Context, cs ctxSampler, src temporal.Vertex, length int, r *xrand.Rand, cost *stats.Cost) Path {
 	cost.WalksStarted++
 	p := Path{Vertices: []temporal.Vertex{src}}
 	u := src
 	k := e.g.CandidateCount(u, temporal.MinTime)
 	steps := 0
 	for steps < length && k > 0 {
-		idx, ev, ok := e.sampler.Sample(u, k, r)
+		var (
+			idx int
+			ev  int64
+			ok  bool
+		)
+		if cs != nil {
+			idx, ev, ok = cs.SampleCtx(ctx, u, k, r)
+		} else {
+			idx, ev, ok = e.sampler.Sample(u, k, r)
+		}
 		cost.EdgesEvaluated += ev
 		if !ok {
 			break

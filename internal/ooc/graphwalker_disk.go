@@ -1,6 +1,7 @@
 package ooc
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -9,6 +10,7 @@ import (
 	"github.com/tea-graph/tea/internal/blockcache"
 	"github.com/tea-graph/tea/internal/sampling"
 	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/trace"
 	"github.com/tea-graph/tea/internal/xrand"
 )
 
@@ -109,6 +111,17 @@ func (d *DiskGraphWalker) Name() string { return "GraphWalker-OOC" }
 // adjacency block (it has no time-ordered index to know where the candidates
 // stop), then filters to the k candidates and inverse-transform samples.
 func (d *DiskGraphWalker) Sample(u temporal.Vertex, k int, r *xrand.Rand) (int, int64, bool) {
+	return d.sample(context.Background(), u, k, r)
+}
+
+// SampleCtx is Sample with the run's context attached: when the run is being
+// traced, the adjacency load opens an "ooc.block_fetch" span annotated with
+// the vertex, the bytes read, and the cache source when a cache is enabled.
+func (d *DiskGraphWalker) SampleCtx(ctx context.Context, u temporal.Vertex, k int, r *xrand.Rand) (int, int64, bool) {
+	return d.sample(ctx, u, k, r)
+}
+
+func (d *DiskGraphWalker) sample(ctx context.Context, u temporal.Vertex, k int, r *xrand.Rand) (int, int64, bool) {
 	if k <= 0 {
 		return 0, 0, false
 	}
@@ -120,15 +133,34 @@ func (d *DiskGraphWalker) Sample(u temporal.Vertex, k int, r *xrand.Rand) (int, 
 		k = deg
 	}
 	buf := make([]byte, deg*edgeRecBytes)
-	if err := d.store.ReadAt(buf, d.edgeBase+d.edgeOff[u]*edgeRecBytes); err != nil {
+	off := d.edgeBase + d.edgeOff[u]*edgeRecBytes
+	sp := trace.StartSpan(ctx, "ooc.block_fetch")
+	var err error
+	if sp != nil && d.cache != nil {
+		var src blockcache.ReadSource
+		src, err = d.cache.ReadAtSource(buf, off)
+		sp.SetStr("source", src.String())
+	} else {
+		err = d.store.ReadAt(buf, off)
+	}
+	if sp != nil {
+		sp.SetInt("vertex", int64(u))
+		sp.SetInt("bytes", int64(len(buf)))
+	}
+	if err != nil {
 		err = fmt.Errorf("ooc: adjacency read for vertex %d failed: %w", u, err)
 		d.errMu.Lock()
 		if d.firstErr == nil {
 			d.firstErr = err
 		}
 		d.errMu.Unlock()
+		if sp != nil {
+			sp.SetError(err)
+			sp.End()
+		}
 		return 0, 0, false
 	}
+	sp.End()
 	newest := temporal.Time(int64(binary.LittleEndian.Uint64(buf)))
 	w := make([]float64, k)
 	total := 0.0

@@ -1,6 +1,7 @@
 package ooc
 
 import (
+	"context"
 	"testing"
 )
 
@@ -61,7 +62,7 @@ func TestRetryAndFaultMetrics(t *testing.T) {
 	injected0 := mInjected.Value()
 
 	d := &DiskPAT{store: inj, retry: RetryPolicy{MaxRetries: 3}, trunkOff: []int64{0}, trunkSize: 1}
-	if err := d.trunkRecord(0, 0, make([]byte, 16)); err == nil {
+	if err := d.trunkRecord(context.Background(), 0, 0, make([]byte, 16)); err == nil {
 		t.Fatal("read through a 100% transient fault injector succeeded")
 	}
 	if delta := mRetries.Value() - retries0; delta != 3 {

@@ -1,6 +1,7 @@
 package ooc
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"github.com/tea-graph/tea/internal/blockcache"
 	"github.com/tea-graph/tea/internal/sampling"
 	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/trace"
 	"github.com/tea-graph/tea/internal/xrand"
 )
 
@@ -147,16 +149,40 @@ func (d *DiskPAT) Name() string { return "TEA-OOC" }
 // vertex/trunk coordinates and recorded as the sampler's sticky first error,
 // because the Sampler contract can only signal "no candidate" — Err() is how
 // the engine distinguishes a dead-ended walk from a dead device.
-func (d *DiskPAT) trunkRecord(u temporal.Vertex, t int, buf []byte) error {
+//
+// When ctx carries an active trace span (the SampleCtx path of a traced
+// run), the fetch is wrapped in an "ooc.block_fetch" span annotated with the
+// block coordinates, the cache source (hit/miss/coalesced/bypass) when a
+// block cache is enabled, and the retry count; each retry additionally drops
+// a KindRetry event into the flight recorder. Untraced runs pass
+// context.Background() and skip all of it on the nil-span fast path.
+func (d *DiskPAT) trunkRecord(ctx context.Context, u temporal.Vertex, t int, buf []byte) error {
+	sp := trace.StartSpan(ctx, "ooc.block_fetch")
 	off := d.diskBase + (d.trunkOff[u]+int64(t))*int64(d.trunkSize*slotBytes)
-	err := d.store.ReadAt(buf, off)
+	var src blockcache.ReadSource
+	srcKnown := false
+	readOnce := func() error {
+		if sp != nil && d.cache != nil {
+			s, err := d.cache.ReadAtSource(buf, off)
+			src, srcKnown = s, true
+			return err
+		}
+		return d.store.ReadAt(buf, off)
+	}
+	retries := 0
+	err := readOnce()
 	for attempt := 0; err != nil && errors.Is(err, ErrTransient) && attempt < d.retry.MaxRetries; attempt++ {
 		d.retries.Add(1)
 		mRetries.Inc()
+		retries++
+		if sp != nil {
+			trace.EventCtx(ctx, trace.KindRetry, "ooc.trunk_retry",
+				trace.Int("vertex", int64(u)), trace.Int("trunk", int64(t)), trace.Int("attempt", int64(attempt+1)))
+		}
 		if d.retry.BaseDelay > 0 {
 			time.Sleep(d.retry.BaseDelay << attempt)
 		}
-		err = d.store.ReadAt(buf, off)
+		err = readOnce()
 	}
 	if err != nil {
 		err = fmt.Errorf("ooc: trunk read for vertex %d trunk %d failed: %w", u, t, err)
@@ -165,6 +191,19 @@ func (d *DiskPAT) trunkRecord(u temporal.Vertex, t int, buf []byte) error {
 			d.firstErr = err
 		}
 		d.errMu.Unlock()
+	}
+	if sp != nil {
+		sp.SetInt("vertex", int64(u))
+		sp.SetInt("trunk", int64(t))
+		sp.SetInt("bytes", int64(len(buf)))
+		if srcKnown {
+			sp.SetStr("source", src.String())
+		}
+		if retries > 0 {
+			sp.SetInt("retries", int64(retries))
+		}
+		sp.SetError(err)
+		sp.End()
 	}
 	return err
 }
@@ -192,6 +231,17 @@ func (d *DiskPAT) Err() error {
 // rejection against the candidate portion, which keeps the draw unbiased
 // with one I/O per accepted proposal.
 func (d *DiskPAT) Sample(u temporal.Vertex, k int, r *xrand.Rand) (int, int64, bool) {
+	return d.sample(context.Background(), u, k, r)
+}
+
+// SampleCtx implements the engines' context-threaded sampling contract: the
+// same draw as Sample, but trunk fetches open block-fetch trace spans under
+// the caller's span when the run is traced.
+func (d *DiskPAT) SampleCtx(ctx context.Context, u temporal.Vertex, k int, r *xrand.Rand) (int, int64, bool) {
+	return d.sample(ctx, u, k, r)
+}
+
+func (d *DiskPAT) sample(ctx context.Context, u temporal.Vertex, k int, r *xrand.Rand) (int, int64, bool) {
 	if k <= 0 {
 		return 0, 0, false
 	}
@@ -233,7 +283,7 @@ func (d *DiskPAT) Sample(u temporal.Vertex, k int, r *xrand.Rand) (int, int64, b
 				lo = mid + 1
 			}
 		}
-		if err := d.trunkRecord(u, lo, buf); err != nil {
+		if err := d.trunkRecord(ctx, u, lo, buf); err != nil {
 			return 0, evaluated, false
 		}
 		if lo < full {
@@ -281,7 +331,7 @@ func (d *DiskPAT) Sample(u temporal.Vertex, k int, r *xrand.Rand) (int, int64, b
 	// dominates its trunk. Fall back to the exact two-read path — fetch the
 	// partial weights, compute the true candidate total, and sample without
 	// rejection.
-	if err := d.trunkRecord(u, full, buf); err != nil {
+	if err := d.trunkRecord(ctx, u, full, buf); err != nil {
 		return 0, evaluated, false
 	}
 	partialW := 0.0
@@ -315,7 +365,7 @@ func (d *DiskPAT) Sample(u temporal.Vertex, k int, r *xrand.Rand) (int, int64, b
 			lo = mid + 1
 		}
 	}
-	if err := d.trunkRecord(u, lo, buf); err != nil {
+	if err := d.trunkRecord(ctx, u, lo, buf); err != nil {
 		return 0, evaluated, false
 	}
 	n := ts

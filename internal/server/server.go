@@ -26,7 +26,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -34,6 +36,7 @@ import (
 	"github.com/tea-graph/tea/internal/core"
 	"github.com/tea-graph/tea/internal/metrics"
 	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/trace"
 )
 
 // Default caps on client-supplied sizing parameters; all are overridable via
@@ -85,6 +88,17 @@ type Config struct {
 	// /metrics and /metrics.json endpoints; nil means metrics.Default (so
 	// engine and out-of-core families rendered there too).
 	Metrics *metrics.Registry
+
+	// Trace, when non-nil and enabled, correlates requests end to end: every
+	// request gets (or keeps) an X-Request-ID, a "server.request" root span
+	// opens under that ID, and GET /debug/tea/trace + /debug/tea/flight
+	// expose sampled traces and the flight recorder. A nil tracer costs one
+	// ID mint per request and nothing else.
+	Trace *trace.Tracer
+	// Logger, when non-nil, receives one structured record per request with
+	// endpoint, status, and latency; request and trace IDs ride along when
+	// the handler chain is wrapped with trace.NewLogHandler.
+	Logger *slog.Logger
 }
 
 // Server answers walk queries for one engine. Engines are safe for
@@ -95,10 +109,14 @@ type Server struct {
 	cfg      Config
 	inflight chan struct{}
 	metrics  *metrics.Registry
+	tracer   *trace.Tracer
+	logger   *slog.Logger
+	started  time.Time
 
 	inflightGauge *metrics.Gauge
 	shedTotal     *metrics.Counter
 	timeoutTotal  *metrics.Counter
+	uptime        *metrics.Gauge
 
 	// prepWalk, when non-nil, may adjust the WalkConfig before a /walk run
 	// starts. Test seam: lets tests install a Visitor to observe and pace
@@ -129,10 +147,16 @@ func NewWithConfig(eng *core.Engine, cfg Config) *Server {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.Default
 	}
-	s := &Server{eng: eng, mux: http.NewServeMux(), cfg: cfg, metrics: cfg.Metrics}
+	s := &Server{
+		eng: eng, mux: http.NewServeMux(), cfg: cfg, metrics: cfg.Metrics,
+		tracer: cfg.Trace, logger: cfg.Logger, started: time.Now(),
+	}
 	s.inflightGauge = s.metrics.Gauge("tea_server_inflight")
 	s.shedTotal = s.metrics.Counter("tea_server_shed_total")
 	s.timeoutTotal = s.metrics.Counter("tea_server_timeout_total")
+	s.uptime = s.metrics.Gauge("tea_uptime_seconds")
+	s.metrics.Gauge(fmt.Sprintf("tea_build_info{version=%q,go_version=%q}",
+		buildVersion(), runtime.Version())).Set(1)
 	if cfg.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInFlight)
 	}
@@ -143,6 +167,8 @@ func NewWithConfig(eng *core.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("GET /reach", s.instrument("reach", s.limited(s.handleReach)))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	s.mux.HandleFunc("GET /debug/tea/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /debug/tea/flight", s.handleFlight)
 	return s
 }
 
@@ -178,6 +204,12 @@ func statusClass(status int) string {
 // latency histogram, and per-status-class response counters; 503 and 504
 // responses additionally feed the shed and timeout counters wherever they
 // were produced.
+//
+// It is also where request correlation starts: the client's X-Request-ID is
+// adopted (or one is minted) and echoed back, stamped on the request context
+// for structured logs, and — when tracing is enabled — doubles as the trace
+// ID of the request's root span, so /debug/tea/trace?id=<X-Request-ID>
+// resolves directly.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	requests := s.metrics.Counter(fmt.Sprintf("tea_server_requests_total{endpoint=%q}", endpoint))
 	latency := s.metrics.Histogram(fmt.Sprintf("tea_server_request_seconds{endpoint=%q}", endpoint))
@@ -185,10 +217,32 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		requests.Inc()
 		s.inflightGauge.Add(1)
 		defer s.inflightGauge.Add(-1)
+
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = trace.GenID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		ctx := trace.WithRequestID(r.Context(), reqID)
+		var sp *trace.Span
+		if s.tracer.Enabled() {
+			ctx = trace.WithTracer(ctx, s.tracer)
+			ctx, sp = s.tracer.StartRoot(ctx, "server.request", reqID)
+			sp.SetStr("endpoint", endpoint)
+			sp.SetStr("method", r.Method)
+			sp.SetStr("path", r.URL.RequestURI())
+		}
+		r = r.WithContext(ctx)
+
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h(sw, r)
+		elapsed := time.Since(start)
 		latency.ObserveSince(start)
+		if sp != nil {
+			sp.SetInt("status", int64(sw.status))
+			sp.End()
+		}
 		s.metrics.Counter(fmt.Sprintf("tea_server_responses_total{endpoint=%q,class=%q}",
 			endpoint, statusClass(sw.status))).Inc()
 		switch sw.status {
@@ -197,18 +251,33 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		case http.StatusGatewayTimeout:
 			s.timeoutTotal.Inc()
 		}
+		if s.logger != nil {
+			s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
+				slog.String("endpoint", endpoint),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.RequestURI()),
+				slog.Int("status", sw.status),
+				slog.Duration("elapsed", elapsed),
+			)
+		}
 	}
 }
 
 // handleMetrics renders the registry in the Prometheus text exposition
-// format.
+// format. Cache-Control: no-store keeps intermediaries from serving a stale
+// scrape; the uptime gauge is refreshed at render time so it is accurate in
+// every scrape without a background ticker.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.uptime.Set(time.Since(s.started).Seconds())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
 	_ = s.metrics.Snapshot().WritePrometheus(w)
 }
 
 // handleMetricsJSON renders the same snapshot as JSON.
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	s.uptime.Set(time.Since(s.started).Seconds())
+	w.Header().Set("Cache-Control", "no-store")
 	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
 }
 

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ChromeEvent is one trace_event entry in the Chrome/Perfetto JSON format:
+// complete ("ph":"X") events with microsecond timestamps. The field set is
+// the documented minimum that chrome://tracing and Perfetto load.
+type ChromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`  // start, microseconds
+	Dur   int64          `json:"dur"` // duration, microseconds
+	PID   int            `json:"pid"`
+	TID   int64          `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the top-level trace_event JSON object form.
+type chromeDoc struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeEvents converts completed spans to trace_event entries. Lanes (tid)
+// group spans by worker: a span annotated with an integer "worker" attribute
+// lands in lane worker+1, everything else (request, run, ooc spans riding a
+// worker's context keep their worker lane via their own annotation) in lane
+// 0, so per-worker walk batches render side by side.
+func ChromeEvents(spans []SpanRecord) []ChromeEvent {
+	events := make([]ChromeEvent, 0, len(spans))
+	for _, s := range spans {
+		ev := ChromeEvent{
+			Name:  s.Name,
+			Cat:   "tea",
+			Phase: "X",
+			TS:    s.StartMicros,
+			Dur:   s.DurMicros,
+			PID:   1,
+		}
+		if len(s.Attrs) > 0 || s.Error != "" {
+			ev.Args = make(map[string]any, len(s.Attrs)+2)
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Value
+				if a.Key == "worker" {
+					if w, ok := a.Value.(int64); ok {
+						ev.TID = w + 1
+					}
+				}
+			}
+			if s.Error != "" {
+				ev.Args["error"] = s.Error
+			}
+			ev.Args["trace_id"] = s.TraceID
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// WriteChromeTrace renders spans as a Chrome trace_event JSON document
+// (object form, displayTimeUnit ms) loadable in chrome://tracing and
+// Perfetto.
+func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
+	doc := chromeDoc{TraceEvents: ChromeEvents(spans), DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("trace: encoding chrome trace: %w", err)
+	}
+	return nil
+}
+
+// WriteJSONLines renders spans one JSON object per line — the compact form
+// for piping into jq or shipping to a log store.
+func WriteJSONLines(w io.Writer, spans []SpanRecord) error {
+	enc := json.NewEncoder(w)
+	for _, s := range spans {
+		if err := enc.Encode(s); err != nil {
+			return fmt.Errorf("trace: encoding span: %w", err)
+		}
+	}
+	return nil
+}
+
+// Node is one span with its children resolved — the tree form served by
+// GET /debug/tea/trace.
+type Node struct {
+	SpanRecord
+	Children []*Node `json:"children,omitempty"`
+}
+
+// BuildTree links spans into parent→child trees. Spans whose parent is
+// missing (evicted or still open) become roots. Input order is preserved
+// within each child list, so pass spans sorted by start time (Tracer.Trace
+// returns them that way).
+func BuildTree(spans []SpanRecord) []*Node {
+	nodes := make(map[uint64]*Node, len(spans))
+	for i := range spans {
+		nodes[spans[i].SpanID] = &Node{SpanRecord: spans[i]}
+	}
+	var roots []*Node
+	for i := range spans {
+		n := nodes[spans[i].SpanID]
+		if p := nodes[spans[i].ParentID]; p != nil && spans[i].ParentID != spans[i].SpanID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}

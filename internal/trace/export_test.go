@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestChromeTraceGolden is the schema regression test for the Chrome
+// trace_event exporter: the document must round-trip through encoding/json
+// with the fields chrome://tracing and Perfetto require (ph, ts, dur, pid,
+// tid, args) carrying the right kinds of values.
+func TestChromeTraceGolden(t *testing.T) {
+	spans := []SpanRecord{
+		{
+			TraceID:     "req-42",
+			SpanID:      1,
+			Name:        "server.request",
+			StartMicros: 1_000_000,
+			DurMicros:   5000,
+			Attrs:       []Attr{Str("endpoint", "walk"), Int("status", 200)},
+		},
+		{
+			TraceID:     "req-42",
+			SpanID:      2,
+			ParentID:    1,
+			Name:        "walk_batch",
+			StartMicros: 1_000_100,
+			DurMicros:   4000,
+			Attrs:       []Attr{Int("worker", 3), Int("steps", 160)},
+		},
+		{
+			TraceID:     "req-42",
+			SpanID:      3,
+			ParentID:    2,
+			Name:        "ooc.block_fetch",
+			StartMicros: 1_000_200,
+			DurMicros:   90,
+			Error:       "transient fault",
+		},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip through the generic decoder: exactly what a viewer does.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("traceEvents = %d, want 3", len(doc.TraceEvents))
+	}
+
+	for i, ev := range doc.TraceEvents {
+		for _, field := range []string{"name", "ph", "ts", "dur", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, field, ev)
+			}
+		}
+		if ev["ph"] != "X" {
+			t.Fatalf("event %d ph = %v, want X (complete event)", i, ev["ph"])
+		}
+		for _, num := range []string{"ts", "dur", "pid", "tid"} {
+			if _, ok := ev[num].(float64); !ok {
+				t.Fatalf("event %d field %q is %T, want number", i, ev[num], ev[num])
+			}
+		}
+	}
+
+	// Spot-check the values that anchor the timeline.
+	first := doc.TraceEvents[0]
+	if first["ts"].(float64) != 1_000_000 || first["dur"].(float64) != 5000 {
+		t.Fatalf("root ts/dur = %v/%v", first["ts"], first["dur"])
+	}
+	args := first["args"].(map[string]any)
+	if args["endpoint"] != "walk" || args["status"].(float64) != 200 || args["trace_id"] != "req-42" {
+		t.Fatalf("root args = %v", args)
+	}
+
+	// Worker lanes: the batch span's tid follows its worker annotation.
+	batch := doc.TraceEvents[1]
+	if batch["tid"].(float64) != 4 {
+		t.Fatalf("batch tid = %v, want worker+1 = 4", batch["tid"])
+	}
+
+	// Errors surface in args so the viewer shows them.
+	fetch := doc.TraceEvents[2]
+	if fetch["args"].(map[string]any)["error"] != "transient fault" {
+		t.Fatalf("fetch args = %v", fetch["args"])
+	}
+
+	// Re-encode: the document must survive a decode/encode cycle intact.
+	again, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatalf("re-encoding decoded trace: %v", err)
+	}
+	if !strings.Contains(string(again), "ooc.block_fetch") {
+		t.Fatal("span name lost in round trip")
+	}
+}
+
+// TestWriteJSONLines verifies one valid JSON object per line.
+func TestWriteJSONLines(t *testing.T) {
+	tr := New(Config{SampleFraction: 1})
+	ctx, root := tr.StartRoot(context.Background(), "r", "jl")
+	_, sp := Start(ctx, "child")
+	sp.End()
+	root.End()
+	spans, _, _ := tr.Trace("jl")
+
+	var buf bytes.Buffer
+	if err := WriteJSONLines(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	for _, line := range lines {
+		var rec SpanRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if rec.TraceID != "jl" {
+			t.Fatalf("line %q trace id = %q", line, rec.TraceID)
+		}
+	}
+}
+
+// TestBuildTreeOrphans: spans with missing parents become roots instead of
+// disappearing.
+func TestBuildTreeOrphans(t *testing.T) {
+	spans := []SpanRecord{
+		{SpanID: 7, ParentID: 99, Name: "orphan", StartMicros: 2},
+		{SpanID: 8, Name: "root", StartMicros: 1},
+	}
+	roots := BuildTree(spans)
+	if len(roots) != 2 {
+		t.Fatalf("roots = %d, want 2 (orphan promoted)", len(roots))
+	}
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"context"
+	"sort"
+	"time"
+)
+
+// Event kinds recorded by the flight recorder. KindSpan entries mirror
+// completed spans; the others are discrete occurrences reported via EventCtx
+// (and also appended to the sampled trace as zero-duration spans, so they
+// show up as instants in the exported timeline).
+const (
+	KindSpan   = "span"
+	KindError  = "error"
+	KindCancel = "cancel"
+	KindRetry  = "retry"
+)
+
+// Event is one flight-recorder entry: a completed span or a discrete
+// error/cancel/retry occurrence.
+type Event struct {
+	Seq        uint64 `json:"seq"`
+	TimeMicros int64  `json:"time_us"` // Unix microseconds
+	Kind       string `json:"kind"`
+	Name       string `json:"name"`
+	TraceID    string `json:"trace_id,omitempty"`
+	SpanID     uint64 `json:"span_id,omitempty"`
+	DurMicros  int64  `json:"dur_us,omitempty"`
+	Attrs      []Attr `json:"attrs,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// record publishes e into the ring: claim a slot with one atomic add, store
+// an immutable pointer. Concurrent writers never block each other; a reader
+// racing a lapped writer sees either the old or the new event, both valid.
+func (t *Tracer) record(e *Event) {
+	if t == nil || len(t.ring) == 0 {
+		return
+	}
+	i := t.ringPos.Add(1) - 1
+	e.Seq = i
+	t.ring[i&t.ringMask].Store(e)
+}
+
+// recordSpan mirrors a completed span into the flight recorder.
+func (t *Tracer) recordSpan(rec SpanRecord) {
+	if t == nil || len(t.ring) == 0 {
+		return
+	}
+	t.record(&Event{
+		TimeMicros: rec.StartMicros,
+		Kind:       KindSpan,
+		Name:       rec.Name,
+		TraceID:    rec.TraceID,
+		SpanID:     rec.SpanID,
+		DurMicros:  rec.DurMicros,
+		Attrs:      rec.Attrs,
+		Error:      rec.Error,
+	})
+}
+
+// EventCtx records a discrete occurrence (use the Kind* constants) against
+// the context's trace: always into the flight recorder, and into the sampled
+// trace as a zero-duration span when the current trace is sampled. With no
+// tracer or span in ctx the event is dropped. Event call sites are cold
+// paths (errors, cancellations, retries), so the variadic attrs are fine.
+func EventCtx(ctx context.Context, kind, name string, attrs ...Attr) {
+	sp := SpanFromContext(ctx)
+	var t *Tracer
+	if sp != nil {
+		t = sp.tracer
+	} else if t = FromContext(ctx); t == nil || !t.Enabled() {
+		return
+	}
+	now := time.Now()
+	e := &Event{TimeMicros: now.UnixMicro(), Kind: kind, Name: name, Attrs: attrs}
+	if sp != nil {
+		e.TraceID = sp.traceID
+		e.SpanID = sp.id
+		if sp.sampled {
+			sp.tracer.keep(SpanRecord{
+				TraceID:     sp.traceID,
+				SpanID:      sp.tracer.seq.Add(1),
+				ParentID:    sp.id,
+				Name:        name,
+				StartMicros: now.UnixMicro(),
+				Attrs:       append([]Attr{Str("kind", kind)}, attrs...),
+			})
+		}
+	}
+	t.record(e)
+}
+
+// Flight snapshots the flight recorder, oldest event first. It is safe to
+// call at any time, including while spans are completing.
+func (t *Tracer) Flight() []Event {
+	if t == nil || len(t.ring) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(t.ring))
+	for i := range t.ring {
+		if e := t.ring[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

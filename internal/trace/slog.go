@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"context"
+	"log/slog"
+)
+
+// logHandler decorates another slog.Handler with the request and trace IDs
+// carried by each record's context, so every log line emitted under a traced
+// request is greppable by either ID without call sites threading them
+// through by hand.
+type logHandler struct {
+	inner slog.Handler
+}
+
+// NewLogHandler wraps inner so that records logged with a context carrying a
+// request ID (WithRequestID) or an active span gain request_id and trace_id
+// attributes.
+func NewLogHandler(inner slog.Handler) slog.Handler { return logHandler{inner: inner} }
+
+func (h logHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h logHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if id := RequestID(ctx); id != "" {
+		rec.AddAttrs(slog.String("request_id", id))
+	}
+	if sp := SpanFromContext(ctx); sp != nil {
+		rec.AddAttrs(slog.String("trace_id", sp.traceID))
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h logHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return logHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h logHandler) WithGroup(name string) slog.Handler {
+	return logHandler{inner: h.inner.WithGroup(name)}
+}
