@@ -5,6 +5,20 @@
 //
 //	teaserve -input graph.teag -algo exp -addr :8080
 //
+// Durable-ingest mode (mutually exclusive with -input): instead of a static
+// preprocessed index, serve a live write-ahead-logged streaming graph.
+// POST /edges and POST /expire mutate it, /walk and /stats read it, and on
+// boot the WAL directory is recovered automatically — the listener binds
+// immediately and GET /readyz answers 503 until replay completes.
+//
+//	teaserve -wal-dir /var/lib/tea -fsync always -snapshot-every 10000
+//
+//	-wal-dir            WAL + snapshot directory; enables durable mode
+//	-fsync              durability policy: always|interval|never
+//	-fsync-interval     flush cadence for -fsync interval
+//	-snapshot-every     snapshot (and trim the log) every N mutations; 0 off
+//	-wal-segment-bytes  segment rotation threshold (0 = default)
+//
 // Operational flags:
 //
 //	-request-timeout   per-query deadline (0 disables; exceeded queries get 504)
@@ -40,12 +54,15 @@
 // Endpoints:
 //
 //	GET /healthz
+//	GET /readyz             503 while recovering a WAL, 200 once serving
 //	GET /stats
 //	GET /metrics            Prometheus text exposition format
 //	GET /metrics.json       the same snapshot as JSON
 //	GET /walk?from=ID&length=80&count=1&seed=1
 //	GET /ppr?from=ID&walks=10000&alpha=0.15&topk=20
 //	GET /reach?from=ID&after=T
+//	POST /edges             durable mode: JSON {"edges":[{"src","dst","t"},...]}
+//	POST /expire?before=T   durable mode: drop edges older than T
 package main
 
 import (
@@ -59,6 +76,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -67,8 +85,32 @@ import (
 	"github.com/tea-graph/tea/internal/ooc"
 	"github.com/tea-graph/tea/internal/sampling"
 	"github.com/tea-graph/tea/internal/server"
+	"github.com/tea-graph/tea/internal/stream"
 	"github.com/tea-graph/tea/internal/trace"
+	"github.com/tea-graph/tea/internal/wal"
 )
+
+// streamWeightSpec maps the -algo flag onto a streaming weight spec.
+// node2vec needs second-order state the streaming sampler does not keep.
+func streamWeightSpec(algo string, lambda float64) (sampling.WeightSpec, error) {
+	switch algo {
+	case "uniform":
+		return sampling.WeightSpec{Kind: sampling.WeightUniform}, nil
+	case "linear":
+		return sampling.WeightSpec{Kind: sampling.WeightLinearTime}, nil
+	case "rank":
+		return sampling.WeightSpec{Kind: sampling.WeightLinearRank}, nil
+	case "exp":
+		if lambda == 0 {
+			lambda = 0.01 // no preloaded timespan to derive it from
+		}
+		return sampling.Exponential(lambda), nil
+	case "node2vec":
+		return sampling.WeightSpec{}, fmt.Errorf("node2vec is not supported in durable-ingest mode")
+	default:
+		return sampling.WeightSpec{}, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
 
 func main() {
 	var (
@@ -90,6 +132,12 @@ func main() {
 		oocCacheBytes  = flag.Int64("ooc-cache-bytes", 64<<20, "block cache capacity over -ooc trunk reads, 0 disables")
 		oocCachePolicy = flag.String("ooc-cache-policy", "lru", "block cache eviction policy: lru|clock")
 
+		walDir        = flag.String("wal-dir", "", "durable-ingest mode: WAL + snapshot directory (mutually exclusive with -input)")
+		fsyncPolicy   = flag.String("fsync", "always", "WAL durability policy: always|interval|never")
+		fsyncInterval = flag.Duration("fsync-interval", 100*time.Millisecond, "flush cadence for -fsync interval")
+		snapEvery     = flag.Int("snapshot-every", 10000, "snapshot and trim the WAL every N mutations, 0 disables")
+		walSegBytes   = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold, 0 = default")
+
 		traceFraction = flag.Float64("trace-fraction", 0, "fraction of requests head-sampled into full traces (0 disables, 1 traces every request)")
 		flightSpans   = flag.Int("flight-spans", 1024, "flight recorder capacity (recent spans and error/cancel/retry events), 0 disables")
 		logJSON       = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
@@ -109,9 +157,88 @@ func main() {
 		logger.Error(msg, "error", err)
 		os.Exit(1)
 	}
-	if *input == "" {
+	durableMode := *walDir != ""
+	if durableMode && *input != "" {
+		fatal("flags", errors.New("-input and -wal-dir are mutually exclusive: serve a static index or a live stream, not both"))
+	}
+	if !durableMode && *input == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	tracer := trace.New(trace.Config{
+		SampleFraction: *traceFraction,
+		FlightSpans:    *flightSpans,
+	})
+	if tracer.Enabled() {
+		logger.Info("tracing enabled",
+			"trace_fraction", *traceFraction,
+			"flight_spans", *flightSpans,
+			"trace_endpoint", "/debug/tea/trace",
+			"flight_endpoint", "/debug/tea/flight")
+	}
+	scfg := server.Config{
+		RequestTimeout: *reqTimeout,
+		MaxInFlight:    *maxFlight,
+		MaxWalkLength:  *maxLength,
+		Trace:          tracer,
+		Logger:         logger,
+	}
+
+	var handler http.Handler
+	var durableGraph atomic.Pointer[stream.DurableGraph]
+	if durableMode {
+		spec, err := streamWeightSpec(*algo, *lambda)
+		if err != nil {
+			fatal("bad algorithm for ingest mode", err)
+		}
+		policy, err := wal.ParsePolicy(*fsyncPolicy)
+		if err != nil {
+			fatal("bad fsync policy", err)
+		}
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			fatal("wal dir", err)
+		}
+		s := server.NewDurable(scfg)
+		handler = s.Handler()
+		// Recover in the background so the listener binds immediately;
+		// /readyz answers 503 until SetDurable flips the server ready.
+		go func() {
+			start := time.Now()
+			d, err := stream.OpenDurable(*walDir, stream.DurableConfig{
+				Graph:         stream.Config{Weight: spec},
+				WAL:           wal.Options{Policy: policy, Interval: *fsyncInterval, SegmentBytes: *walSegBytes},
+				SnapshotEvery: *snapEvery,
+				Tracer:        tracer,
+			})
+			if err != nil {
+				fatal("recovery failed", err)
+			}
+			durableGraph.Store(d)
+			s.SetDurable(d)
+			ri := d.Recovery()
+			logger.Info("recovered",
+				"wal_dir", *walDir,
+				"fsync", policy.String(),
+				"edges", d.NumEdges(),
+				"replayed_records", ri.Replayed,
+				"snapshot_lsn", ri.SnapshotLSN,
+				"truncated_bytes", ri.TruncatedBytes,
+				"elapsed", time.Since(start).Round(time.Millisecond))
+		}()
+		logger.Info("listening",
+			"addr", *addr,
+			"mode", "durable-ingest",
+			"timeout", *reqTimeout,
+			"max_inflight", *maxFlight)
+		serveHTTP(handler, srvParams{addr: *addr, drain: *drain, pprof: *withPprof, logger: logger, onShutdown: func() {
+			if d := durableGraph.Load(); d != nil {
+				if err := d.Close(); err != nil {
+					logger.Error("wal close", "error", err)
+				}
+			}
+		}})
+		return
 	}
 
 	var (
@@ -200,25 +327,24 @@ func main() {
 		"timeout", *reqTimeout,
 		"max_inflight", *maxFlight)
 
-	tracer := trace.New(trace.Config{
-		SampleFraction: *traceFraction,
-		FlightSpans:    *flightSpans,
-	})
-	if tracer.Enabled() {
-		logger.Info("tracing enabled",
-			"trace_fraction", *traceFraction,
-			"flight_spans", *flightSpans,
-			"trace_endpoint", "/debug/tea/trace",
-			"flight_endpoint", "/debug/tea/flight")
-	}
-	handler := server.NewWithConfig(eng, server.Config{
-		RequestTimeout: *reqTimeout,
-		MaxInFlight:    *maxFlight,
-		MaxWalkLength:  *maxLength,
-		Trace:          tracer,
-		Logger:         logger,
-	}).Handler()
-	if *withPprof {
+	handler = server.NewWithConfig(eng, scfg).Handler()
+	serveHTTP(handler, srvParams{addr: *addr, drain: *drain, pprof: *withPprof, logger: logger})
+}
+
+// srvParams carries the operational knobs serveHTTP needs.
+type srvParams struct {
+	addr   string
+	drain  time.Duration
+	pprof  bool
+	logger *slog.Logger
+	// onShutdown runs after the listener drains, before exit — durable mode
+	// flushes and closes the WAL here.
+	onShutdown func()
+}
+
+// serveHTTP runs the listener until SIGINT/SIGTERM, then drains gracefully.
+func serveHTTP(handler http.Handler, p srvParams) {
+	if p.pprof {
 		// Opt-in profiling: the pprof endpoints expose stacks and heap
 		// contents, so they stay off unless explicitly requested.
 		mux := http.NewServeMux()
@@ -229,10 +355,10 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = mux
-		logger.Info("pprof enabled", "path", "/debug/pprof/")
+		p.logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 	srv := &http.Server{
-		Addr:              *addr,
+		Addr:              p.addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
@@ -245,19 +371,23 @@ func main() {
 
 	select {
 	case err := <-errCh:
-		fatal("serve failed", err)
+		p.logger.Error("serve failed", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
 		stop() // restore default signal behavior: a second signal kills hard
-		logger.Info("shutting down", "drain", *drain)
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		p.logger.Info("shutting down", "drain", p.drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), p.drain)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			logger.Error("drain incomplete", "error", err)
+			p.logger.Error("drain incomplete", "error", err)
 			os.Exit(1)
 		}
-		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			logger.Error("serve error", "error", err)
+		if p.onShutdown != nil {
+			p.onShutdown()
 		}
-		logger.Info("bye")
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			p.logger.Error("serve error", "error", err)
+		}
+		p.logger.Info("bye")
 	}
 }

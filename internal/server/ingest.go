@@ -1,0 +1,301 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/tea-graph/tea/internal/stream"
+	"github.com/tea-graph/tea/internal/temporal"
+)
+
+// The durable-ingest serving mode: instead of a preprocessed read-only
+// engine, the server fronts a stream.DurableGraph — a WAL-backed live graph.
+// POST /edges and POST /expire mutate it; GET /walk and GET /stats read it
+// (walks run concurrently with ingest); GET /readyz distinguishes "still
+// recovering" from "serving". The durable graph arrives asynchronously via
+// SetDurable so the listener can bind immediately while recovery replays the
+// log — until then every durable endpoint sheds with 503 + Retry-After, and
+// after a WAL failure flips the graph into its sticky degraded state, writes
+// (but not reads) shed the same way.
+
+// defaultMaxIngestBatch bounds edges per POST /edges request.
+const defaultMaxIngestBatch = 100_000
+
+// maxIngestBody bounds the JSON body size accepted by the ingest endpoints;
+// generous for a full-size batch, small enough to shrug off abuse.
+const maxIngestBody = 16 << 20
+
+// errIngestOnly answers query endpoints that need a preprocessed engine.
+var errIngestOnly = errors.New("endpoint unavailable in durable-ingest mode (serving a live stream, not a preprocessed index)")
+
+// errQueryOnly answers ingest endpoints on a read-only query server.
+var errQueryOnly = errors.New("server is not in durable-ingest mode (start with -wal-dir to ingest)")
+
+// NewDurable builds a server in durable-ingest mode. The durable graph is
+// attached later with SetDurable (typically after crash recovery completes
+// in the background); until then /readyz reports recovering and write
+// endpoints shed.
+func NewDurable(cfg Config) *Server {
+	s := NewWithConfig(nil, cfg)
+	s.durableMode = true
+	return s
+}
+
+// SetDurable attaches the recovered durable graph and flips the server
+// ready. Safe to call at most once, from any goroutine.
+func (s *Server) SetDurable(d *stream.DurableGraph) { s.durable.Store(d) }
+
+// retryUnavailable sheds with 503 + Retry-After, the same contract the load
+// shedder uses, so ingest clients back off instead of hammering a server
+// that is still replaying its log.
+func (s *Server) retryUnavailable(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	writeErr(w, http.StatusServiceUnavailable, err)
+}
+
+// durableForWrite resolves the durable graph for a mutation, shedding while
+// recovering and while degraded. A nil return means the response was sent.
+func (s *Server) durableForWrite(w http.ResponseWriter) *stream.DurableGraph {
+	if !s.durableMode {
+		writeErr(w, http.StatusNotImplemented, errQueryOnly)
+		return nil
+	}
+	d := s.durable.Load()
+	if d == nil {
+		s.retryUnavailable(w, errors.New("recovering: WAL replay in progress"))
+		return nil
+	}
+	if err := d.Err(); err != nil {
+		s.retryUnavailable(w, err)
+		return nil
+	}
+	return d
+}
+
+// durableForRead resolves the durable graph for a query. Reads are served
+// even while degraded (the in-memory graph is intact); only recovery blocks
+// them.
+func (s *Server) durableForRead(w http.ResponseWriter) *stream.DurableGraph {
+	d := s.durable.Load()
+	if d == nil {
+		s.retryUnavailable(w, errors.New("recovering: WAL replay in progress"))
+		return nil
+	}
+	return d
+}
+
+// handleReady implements GET /readyz. An engine-mode server is ready as soon
+// as it is constructed; a durable server is ready once recovery has
+// completed and SetDurable ran, and reports degraded (still 200 — reads
+// work) thereafter if the WAL failed.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if !s.durableMode {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
+	}
+	d := s.durable.Load()
+	if d == nil {
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
+		return
+	}
+	ri := d.Recovery()
+	status := "ready"
+	if d.Err() != nil {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":                   status,
+		"recovery_duration":        ri.Duration.String(),
+		"recovery_replayed":        ri.Replayed,
+		"recovery_snapshot_lsn":    ri.SnapshotLSN,
+		"recovery_truncated_bytes": ri.TruncatedBytes,
+	})
+}
+
+// ingestEdge is the wire form of one edge in a POST /edges batch.
+type ingestEdge struct {
+	Src uint32 `json:"src"`
+	Dst uint32 `json:"dst"`
+	T   int64  `json:"t"`
+}
+
+type ingestRequest struct {
+	Edges []ingestEdge `json:"edges"`
+}
+
+type ingestResponse struct {
+	Appended int   `json:"appended"`
+	Edges    int   `json:"edges"`
+	Frontier int64 `json:"frontier"`
+}
+
+// handleIngestEdges implements POST /edges: a JSON batch of strictly newer
+// edges, WAL-logged before it is applied. Non-increasing timestamps are the
+// client's bug → 400; an unrecovered or degraded server sheds → 503.
+func (s *Server) handleIngestEdges(w http.ResponseWriter, r *http.Request) {
+	d := s.durableForWrite(w)
+	if d == nil {
+		return
+	}
+	var req ingestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("body: %v", err))
+		return
+	}
+	if len(req.Edges) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	if len(req.Edges) > s.cfg.MaxIngestBatch {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d edges exceeds per-request limit %d", len(req.Edges), s.cfg.MaxIngestBatch))
+		return
+	}
+	edges := make([]temporal.Edge, len(req.Edges))
+	for i, e := range req.Edges {
+		edges[i] = temporal.Edge{Src: temporal.Vertex(e.Src), Dst: temporal.Vertex(e.Dst), Time: temporal.Time(e.T)}
+	}
+	if err := d.AppendBatch(edges); err != nil {
+		writeErr(w, ingestStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Appended: len(edges),
+		Edges:    d.NumEdges(),
+		Frontier: int64(d.Frontier()),
+	})
+}
+
+type expireResponse struct {
+	Dropped int `json:"dropped"`
+	Edges   int `json:"edges"`
+}
+
+// handleIngestExpire implements POST /expire?before=<t>: drop every edge
+// older than the horizon, WAL-logged like any other mutation.
+func (s *Server) handleIngestExpire(w http.ResponseWriter, r *http.Request) {
+	d := s.durableForWrite(w)
+	if d == nil {
+		return
+	}
+	raw := r.URL.Query().Get("before")
+	if raw == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("missing required parameter \"before\""))
+		return
+	}
+	horizon, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("parameter \"before\": %v", err))
+		return
+	}
+	dropped, err := d.ExpireBefore(temporal.Time(horizon))
+	if err != nil {
+		writeErr(w, ingestStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, expireResponse{Dropped: dropped, Edges: d.NumEdges()})
+}
+
+// ingestStatus maps a durable-write error to an HTTP status: client bugs
+// (stale timestamps, unknown edges) are 400, infrastructure failures are
+// 503.
+func ingestStatus(err error) int {
+	switch {
+	case errors.Is(err, stream.ErrStaleBatch), errors.Is(err, stream.ErrEdgeNotFound):
+		return http.StatusBadRequest
+	case errors.Is(err, stream.ErrDegraded), errors.Is(err, stream.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handleDurableStats serves GET /stats from the live graph.
+func (s *Server) handleDurableStats(w http.ResponseWriter, _ *http.Request) {
+	d := s.durableForRead(w)
+	if d == nil {
+		return
+	}
+	st := d.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Vertices:    st.Vertices,
+		Edges:       st.Edges,
+		MaxDegree:   st.MaxDegree,
+		TimeLo:      int64(st.TimeLo),
+		TimeHi:      int64(st.TimeHi),
+		Application: "ingest",
+		Sampler:     "stream/" + st.Weight,
+		IndexBytes:  st.MemoryBytes,
+	})
+}
+
+// handleDurableWalk serves GET /walk from the live graph: seeded temporal
+// walks under the read lock, concurrent with ingest.
+func (s *Server) handleDurableWalk(w http.ResponseWriter, r *http.Request) {
+	d := s.durableForRead(w)
+	if d == nil {
+		return
+	}
+	from, err := vertexParam(r, "from", d.NumVertices())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	length, err := intParam(r, "length", 80)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	count, err := intParam(r, "count", 1)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	seed, err := intParam(r, "seed", 1)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if length <= 0 || count <= 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("length and count must be positive"))
+		return
+	}
+	if length > s.cfg.MaxWalkLength {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("length %d exceeds per-request limit %d", length, s.cfg.MaxWalkLength))
+		return
+	}
+	if count > s.cfg.MaxWalkCount {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("count %d exceeds per-request limit %d", count, s.cfg.MaxWalkCount))
+		return
+	}
+	start, err := int64Param(r, "start", int64(temporal.MinTime))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	out := walkResponse{From: from, Cost: map[string]string{}}
+	began := time.Now()
+	steps := 0
+	for i := 0; i < count; i++ {
+		verts, times := d.WalkSeeded(from, temporal.Time(start), length, uint64(seed)+uint64(i))
+		hops := make([]walkHop, len(verts))
+		for j, v := range verts {
+			hops[j] = walkHop{Vertex: v}
+			if j > 0 {
+				t := int64(times[j-1])
+				hops[j].Time = &t
+			}
+		}
+		steps += len(times)
+		out.Walks = append(out.Walks, hops)
+	}
+	out.Cost["steps"] = strconv.Itoa(steps)
+	out.Cost["duration"] = time.Since(began).String()
+	writeJSON(w, http.StatusOK, out)
+}

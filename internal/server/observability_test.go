@@ -78,6 +78,17 @@ func TestMetricsEndpointFamilies(t *testing.T) {
 		"tea_blockcache_resident_bytes",
 		`tea_blockcache_served_bytes_total{source="cache"}`,
 		`# TYPE tea_blockcache_fetch_seconds histogram`,
+		"tea_wal_appended_records_total",
+		"tea_wal_appended_bytes_total",
+		"tea_wal_fsyncs_total",
+		"tea_wal_fsync_errors_total",
+		"# TYPE tea_wal_fsync_seconds histogram",
+		"tea_wal_segments",
+		"# TYPE tea_wal_group_commit_records histogram",
+		"tea_wal_snapshots_total",
+		"tea_wal_recovery_seconds",
+		"tea_wal_recovery_replayed_records",
+		"tea_wal_recovery_truncated_bytes",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, out)

@@ -30,11 +30,13 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"github.com/tea-graph/tea/internal/apps"
 	"github.com/tea-graph/tea/internal/core"
 	"github.com/tea-graph/tea/internal/metrics"
+	"github.com/tea-graph/tea/internal/stream"
 	"github.com/tea-graph/tea/internal/temporal"
 	"github.com/tea-graph/tea/internal/trace"
 )
@@ -83,6 +85,9 @@ type Config struct {
 	MaxPPRWalks int
 	// MaxTopK caps the topk parameter of /ppr; 0 means the default (10000).
 	MaxTopK int
+	// MaxIngestBatch caps the number of edges one POST /edges may carry;
+	// 0 means the default (100000). Only meaningful in durable-ingest mode.
+	MaxIngestBatch int
 
 	// Metrics receives the server's operational metrics and backs the
 	// /metrics and /metrics.json endpoints; nil means metrics.Default (so
@@ -122,6 +127,14 @@ type Server struct {
 	// starts. Test seam: lets tests install a Visitor to observe and pace
 	// in-flight runs.
 	prepWalk func(*core.WalkConfig)
+
+	// durableMode switches the server to live-ingest serving: queries hit the
+	// durable streaming graph instead of a preprocessed engine, and the
+	// ingest endpoints (POST /edges, POST /expire) accept writes. durable is
+	// nil until recovery completes — handlers answer 503 + Retry-After until
+	// SetDurable is called (see ingest.go).
+	durableMode bool
+	durable     atomic.Pointer[stream.DurableGraph]
 }
 
 // New builds a server around a preprocessed engine with default Config.
@@ -144,6 +157,9 @@ func NewWithConfig(eng *core.Engine, cfg Config) *Server {
 	if cfg.MaxTopK <= 0 {
 		cfg.MaxTopK = defaultMaxTopK
 	}
+	if cfg.MaxIngestBatch <= 0 {
+		cfg.MaxIngestBatch = defaultMaxIngestBatch
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.Default
 	}
@@ -161,6 +177,9 @@ func NewWithConfig(eng *core.Engine, cfg Config) *Server {
 		s.inflight = make(chan struct{}, cfg.MaxInFlight)
 	}
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	s.mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReady))
+	s.mux.HandleFunc("POST /edges", s.instrument("edges", s.handleIngestEdges))
+	s.mux.HandleFunc("POST /expire", s.instrument("expire", s.handleIngestExpire))
 	s.mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
 	s.mux.HandleFunc("GET /walk", s.instrument("walk", s.limited(s.handleWalk)))
 	s.mux.HandleFunc("GET /ppr", s.instrument("ppr", s.limited(s.handlePPR)))
@@ -320,7 +339,11 @@ type statsResponse struct {
 	IndexBytes  int64  `json:"index_bytes"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if s.durableMode {
+		s.handleDurableStats(w, r)
+		return
+	}
 	g := s.eng.Graph()
 	lo, hi := g.TimeRange()
 	writeJSON(w, http.StatusOK, statsResponse{
@@ -347,6 +370,10 @@ type walkHop struct {
 }
 
 func (s *Server) handleWalk(w http.ResponseWriter, r *http.Request) {
+	if s.durableMode {
+		s.handleDurableWalk(w, r)
+		return
+	}
 	from, err := vertexParam(r, "from", s.eng.Graph().NumVertices())
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -420,6 +447,10 @@ type pprResponse struct {
 }
 
 func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
+	if s.durableMode {
+		writeErr(w, http.StatusNotImplemented, errIngestOnly)
+		return
+	}
 	from, err := vertexParam(r, "from", s.eng.Graph().NumVertices())
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -481,6 +512,10 @@ type reachResponse struct {
 }
 
 func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
+	if s.durableMode {
+		writeErr(w, http.StatusNotImplemented, errIngestOnly)
+		return
+	}
 	from, err := vertexParam(r, "from", s.eng.Graph().NumVertices())
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)

@@ -42,15 +42,35 @@ const CompactionThreshold = 0.25
 // deleteRetryCap bounds tombstone rejection before the exact fallback scan.
 const deleteRetryCap = 64
 
+// BatchError reports a batch mutation that stopped partway: operations
+// before Applied succeeded and are in effect; the one at index Applied
+// failed with Err. errors.Is/As see through to the cause.
+type BatchError struct {
+	// Applied is the count of batch entries applied before the failure —
+	// equivalently, the index of the entry that failed.
+	Applied int
+	// Err is the failure for entry Applied.
+	Err error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("stream: batch entry %d failed (first %d applied): %v", e.Applied, e.Applied, e.Err)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
 // DeleteEdges tombstones the given edges (matched by exact src, dst, and
-// time; one occurrence per request entry). All-or-nothing per edge: the
-// first unmatched edge aborts with ErrEdgeNotFound, with prior deletions of
-// this call already applied (deletions are idempotent to retry after fixing
-// the batch).
+// time; one occurrence per request entry). The first unmatched edge aborts
+// with a *BatchError wrapping ErrEdgeNotFound and reporting how many entries
+// of the batch were applied. Deletions are idempotent while the tombstones
+// survive — re-deleting an already-deleted edge is a no-op — so retrying the
+// whole batch after fixing the offending entry is safe. (Compaction
+// eventually discards tombstones, after which a re-delete of that edge
+// reports ErrEdgeNotFound again; retry promptly.)
 func (g *Graph) DeleteEdges(edges []temporal.Edge) error {
-	for _, e := range edges {
+	for i, e := range edges {
 		if err := g.deleteOne(e); err != nil {
-			return fmt.Errorf("%w: %v", err, e)
+			return &BatchError{Applied: i, Err: fmt.Errorf("%w: %v", err, e)}
 		}
 	}
 	return nil
@@ -61,6 +81,7 @@ func (g *Graph) deleteOne(e temporal.Edge) error {
 		return ErrEdgeNotFound
 	}
 	vs := &g.verts[e.Src]
+	tombstoned := false
 	for si := range vs.segs {
 		s := &vs.segs[si]
 		if s.len() == 0 || e.Time > s.newestTime() || e.Time < s.oldestTime() {
@@ -70,7 +91,14 @@ func (g *Graph) deleteOne(e temporal.Edge) error {
 		// timestamp, then match the destination among live slots.
 		lo := sort.Search(s.len(), func(i int) bool { return s.ts[i] <= e.Time })
 		for i := lo; i < s.len() && s.ts[i] == e.Time; i++ {
-			if s.dst[i] != e.Dst || s.isDeleted(i) {
+			if s.dst[i] != e.Dst {
+				continue
+			}
+			if s.isDeleted(i) {
+				// An exact match that is already tombstoned: remember it so a
+				// retried batch treats the re-delete as an idempotent no-op
+				// instead of a spurious ErrEdgeNotFound.
+				tombstoned = true
 				continue
 			}
 			s.tombstone(i)
@@ -80,6 +108,9 @@ func (g *Graph) deleteOne(e temporal.Edge) error {
 			g.maybeCompact(e.Src)
 			return nil
 		}
+	}
+	if tombstoned {
+		return nil
 	}
 	return ErrEdgeNotFound
 }

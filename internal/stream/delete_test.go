@@ -61,12 +61,77 @@ func TestDeleteErrors(t *testing.T) {
 			t.Errorf("delete %v: err = %v", e, err)
 		}
 	}
-	// Double delete.
+	// Double delete is an idempotent no-op while the tombstone survives.
+	// (Here the lone edge compacts away immediately — 100% tombstoned — so
+	// the re-delete reports not-found again; that is the documented
+	// post-compaction caveat.)
 	if err := g.DeleteEdges([]temporal.Edge{{Src: 0, Dst: 1, Time: 1}}); err != nil {
 		t.Fatal(err)
 	}
 	if err := g.DeleteEdges([]temporal.Edge{{Src: 0, Dst: 1, Time: 1}}); !errors.Is(err, ErrEdgeNotFound) {
-		t.Fatalf("double delete err = %v", err)
+		t.Fatalf("re-delete after compaction err = %v, want ErrEdgeNotFound", err)
+	}
+}
+
+func TestDeleteIdempotentWhileTombstoned(t *testing.T) {
+	// Five edges: one deletion (20%) stays below the compaction threshold,
+	// so the tombstone survives and the re-delete is a no-op.
+	g := seedGraph(t, sampling.WeightSpec{}, []temporal.Edge{
+		{Src: 0, Dst: 1, Time: 1}, {Src: 0, Dst: 2, Time: 2}, {Src: 0, Dst: 3, Time: 3},
+		{Src: 0, Dst: 4, Time: 4}, {Src: 0, Dst: 5, Time: 5},
+	})
+	if err := g.DeleteEdges([]temporal.Edge{{Src: 0, Dst: 2, Time: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.DeleteEdges([]temporal.Edge{{Src: 0, Dst: 2, Time: 2}}); err != nil {
+		t.Fatalf("re-delete of tombstoned edge err = %v, want nil", err)
+	}
+	if g.NumDeleted() != 1 || g.LiveDegree(0) != 4 {
+		t.Fatalf("re-delete changed state: deleted=%d live=%d", g.NumDeleted(), g.LiveDegree(0))
+	}
+}
+
+func TestDeleteBatchErrorReportsAppliedPrefix(t *testing.T) {
+	// Sixteen edges keep three deletions (18.75%) below the 25% compaction
+	// threshold, so the tombstones this test observes survive.
+	var seed []temporal.Edge
+	for i := 1; i <= 16; i++ {
+		seed = append(seed, temporal.Edge{Src: 0, Dst: temporal.Vertex(i), Time: temporal.Time(i)})
+	}
+	g := seedGraph(t, sampling.WeightSpec{}, seed)
+	batch := []temporal.Edge{
+		{Src: 0, Dst: 1, Time: 1},
+		{Src: 0, Dst: 2, Time: 2},
+		{Src: 0, Dst: 99, Time: 99}, // never existed
+		{Src: 0, Dst: 3, Time: 3},
+	}
+	err := g.DeleteEdges(batch)
+	if !errors.Is(err, ErrEdgeNotFound) {
+		t.Fatalf("err = %v, want ErrEdgeNotFound", err)
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %T, want *BatchError", err)
+	}
+	if be.Applied != 2 {
+		t.Fatalf("Applied = %d, want 2", be.Applied)
+	}
+	// The prefix really landed; the suffix did not.
+	if g.NumDeleted() != 2 || g.LiveDegree(0) != 14 {
+		t.Fatalf("after partial batch: deleted=%d live=%d", g.NumDeleted(), g.LiveDegree(0))
+	}
+	// Retrying the corrected batch is safe: the already-applied prefix
+	// re-deletes as a no-op and the remainder lands.
+	fixed := []temporal.Edge{
+		{Src: 0, Dst: 1, Time: 1},
+		{Src: 0, Dst: 2, Time: 2},
+		{Src: 0, Dst: 3, Time: 3},
+	}
+	if err := g.DeleteEdges(fixed); err != nil {
+		t.Fatalf("retry after fixing batch: %v", err)
+	}
+	if g.LiveDegree(0) != 13 {
+		t.Fatalf("after retry: live=%d, want 13", g.LiveDegree(0))
 	}
 }
 

@@ -1,0 +1,599 @@
+package stream
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tea-graph/tea/internal/metrics"
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/trace"
+	"github.com/tea-graph/tea/internal/wal"
+)
+
+// DurableGraph wraps a streaming Graph with a write-ahead log so ingest
+// survives crashes: every mutation (AppendBatch, DeleteEdges, ExpireBefore)
+// is framed into the WAL — and, under the always policy, fsynced — before it
+// is applied in memory. Mutations from concurrent callers are group-
+// committed: a single committer goroutine drains the submission queue,
+// writes the whole group with one WAL append (one fsync), then applies the
+// operations in log order under the write lock, so the in-memory state and
+// the log never disagree about ordering. Readers (walks, stats) take the
+// read lock and keep running during ingest.
+//
+// Recovery is snapshot + log-suffix replay: OpenDurable loads the newest
+// snapshot (exact segment-level image, CRC-verified), then replays every WAL
+// record with a later LSN through the same code paths the live writes took.
+// Operations that failed live (a stale batch, a delete of a missing edge)
+// fail identically during replay — the log records intent, and application
+// is deterministic — so the recovered graph is structurally identical to the
+// pre-crash one. A torn WAL tail is truncated; mid-log corruption refuses
+// with wal.ErrCorrupt.
+//
+// After the first WAL write or fsync failure the graph enters a sticky
+// degraded state: reads keep working, every further mutation fails fast
+// with ErrDegraded, and the failure is recorded in the flight recorder.
+
+// ErrDegraded is returned by mutations after a WAL write or fsync failure.
+// The wrapped cause is the first failure; the state is sticky because a log
+// that lost a write can no longer promise recoverability.
+var ErrDegraded = errors.New("stream: durable graph degraded (WAL write failed)")
+
+// ErrClosed is returned by mutations on a closed durable graph.
+var ErrClosed = errors.New("stream: durable graph closed")
+
+// ErrSnapshotMismatch is returned when a snapshot on disk was written under
+// a different weight configuration than the one the graph is opened with.
+var ErrSnapshotMismatch = errors.New("stream: snapshot weight config does not match")
+
+// snapshotName is the snapshot file inside the WAL directory.
+const snapshotName = "snapshot"
+
+// maxGroup bounds one group commit; queued writers beyond it wait for the
+// next group.
+const maxGroup = 128
+
+// Group-commit, snapshot, and recovery metric families (the wal package owns
+// the per-append and fsync families).
+var (
+	mGroupCommit     = metrics.Default.Histogram("tea_wal_group_commit_records")
+	mSnapshots       = metrics.Default.Counter("tea_wal_snapshots_total")
+	mSnapshotSeconds = metrics.Default.Histogram("tea_wal_snapshot_seconds")
+	mRecoverySeconds = metrics.Default.Gauge("tea_wal_recovery_seconds")
+	mReplayed        = metrics.Default.Gauge("tea_wal_recovery_replayed_records")
+)
+
+// DurableConfig parameterizes OpenDurable.
+type DurableConfig struct {
+	// Graph configures the in-memory stream (weight kind, initial sizing).
+	// Must match the configuration of any snapshot already in the
+	// directory, or OpenDurable fails with ErrSnapshotMismatch.
+	Graph Config
+	// WAL tunes the log (fsync policy, segment size). OnSyncError is owned
+	// by the durable graph and must be left nil.
+	WAL wal.Options
+	// SnapshotEvery writes a snapshot (and trims the log) every N logged
+	// mutations; 0 disables periodic snapshots.
+	SnapshotEvery int
+	// Tracer, when non-nil and enabled, receives recovery spans and
+	// flight-recorder events for fsync errors and tail truncation.
+	Tracer *trace.Tracer
+}
+
+// RecoveryInfo summarizes one recovery pass.
+type RecoveryInfo struct {
+	// Duration is the wall time of snapshot load plus replay.
+	Duration time.Duration
+	// SnapshotLSN is the LSN the loaded snapshot covered (0 = no snapshot).
+	SnapshotLSN uint64
+	// Replayed counts log records applied after the snapshot.
+	Replayed uint64
+	// Records counts all surviving records in the log.
+	Records uint64
+	// TruncatedBytes counts torn-tail bytes discarded by the WAL scan.
+	TruncatedBytes int64
+}
+
+// DurableStats is a point-in-time summary for the serving layer.
+type DurableStats struct {
+	Vertices    int
+	Edges       int
+	Deleted     int
+	MaxDegree   int
+	TimeLo      temporal.Time
+	TimeHi      temporal.Time
+	MemoryBytes int64
+	Weight      string
+}
+
+// ingestReq is one queued mutation awaiting group commit.
+type ingestReq struct {
+	typ     wal.RecordType
+	payload []byte
+	edges   []temporal.Edge
+	horizon temporal.Time
+	dropped int
+	err     error
+	done    chan struct{}
+}
+
+// DurableGraph is the write-ahead-logged streaming graph. One committer
+// goroutine serializes mutations; readers run concurrently under RLock.
+type DurableGraph struct {
+	dir string
+	cfg DurableConfig
+
+	mu sync.RWMutex // guards g
+	g  *Graph
+
+	log   *wal.Log
+	reqCh chan *ingestReq
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	closed   atomic.Bool
+	quitOnce sync.Once
+
+	errMu sync.Mutex
+	err   error
+
+	sinceSnap int
+	snapLSN   uint64
+	recovery  RecoveryInfo
+	tctx      context.Context
+}
+
+// OpenDurable opens (creating if needed) a durable streaming graph rooted at
+// dir, recovering whatever state the directory holds: snapshot, then WAL
+// suffix replay. A torn WAL tail is repaired; mid-log corruption, a corrupt
+// snapshot, or a weight-config mismatch refuse with an error.
+func OpenDurable(dir string, cfg DurableConfig) (*DurableGraph, error) {
+	if cfg.Graph.Weight.Custom != nil {
+		return nil, ErrCustomWeight
+	}
+	d := &DurableGraph{
+		dir:   dir,
+		cfg:   cfg,
+		reqCh: make(chan *ingestReq, 2*maxGroup),
+		quit:  make(chan struct{}),
+	}
+	ctx := context.Background()
+	var sp *trace.Span
+	if cfg.Tracer.Enabled() {
+		ctx = trace.WithTracer(ctx, cfg.Tracer)
+		ctx, sp = cfg.Tracer.StartRoot(ctx, "wal.recovery", "")
+	}
+	d.tctx = ctx
+
+	start := time.Now()
+	walOpts := cfg.WAL
+	walOpts.OnSyncError = func(err error) { d.fail(err) }
+	log, err := wal.Open(dir, walOpts)
+	if err != nil {
+		if sp != nil {
+			sp.SetError(err)
+			sp.End()
+		}
+		return nil, err
+	}
+	d.log = log
+	os.Remove(filepath.Join(dir, snapshotName+".tmp")) // pre-rename residue
+
+	snapPath := filepath.Join(dir, snapshotName)
+	if _, statErr := os.Stat(snapPath); statErr == nil {
+		g, lsn, err := ReadSnapshotFile(snapPath)
+		if err != nil {
+			log.Close()
+			return nil, err
+		}
+		if g.spec.Kind != cfg.Graph.Weight.Kind || g.spec.Lambda != cfg.Graph.Weight.Lambda {
+			log.Close()
+			return nil, fmt.Errorf("%w: snapshot %v/λ=%v, config %v/λ=%v",
+				ErrSnapshotMismatch, g.spec.Kind, g.spec.Lambda, cfg.Graph.Weight.Kind, cfg.Graph.Weight.Lambda)
+		}
+		d.g = g
+		d.snapLSN = lsn
+	} else {
+		g, err := New(cfg.Graph)
+		if err != nil {
+			log.Close()
+			return nil, err
+		}
+		d.g = g
+	}
+
+	replayed := uint64(0)
+	if err := log.Replay(func(rec wal.Record) error {
+		if rec.LSN <= d.snapLSN {
+			return nil
+		}
+		if err := d.applyRecord(rec); err != nil {
+			return err
+		}
+		replayed++
+		return nil
+	}); err != nil {
+		log.Close()
+		return nil, err
+	}
+
+	wi := log.Recovery()
+	d.recovery = RecoveryInfo{
+		Duration:       time.Since(start),
+		SnapshotLSN:    d.snapLSN,
+		Replayed:       replayed,
+		Records:        wi.Records,
+		TruncatedBytes: wi.TruncatedBytes,
+	}
+	mRecoverySeconds.Set(d.recovery.Duration.Seconds())
+	mReplayed.Set(float64(replayed))
+	if wi.TruncatedBytes > 0 {
+		trace.EventCtx(d.tctx, trace.KindError, "wal.recovery.truncated",
+			trace.Int("bytes", wi.TruncatedBytes))
+	}
+	if sp != nil {
+		sp.SetInt("replayed_records", int64(replayed))
+		sp.SetInt("snapshot_lsn", int64(d.snapLSN))
+		sp.SetInt("truncated_bytes", wi.TruncatedBytes)
+		sp.End()
+	}
+
+	d.wg.Add(1)
+	go d.commitLoop()
+	return d, nil
+}
+
+// applyRecord replays one WAL record during recovery. Application errors
+// are deliberately ignored: a record that failed validation live fails
+// identically here (application is deterministic), so the replayed state
+// matches the pre-crash state. Decode failures mean the payload itself is
+// damaged — impossible past the frame CRC short of a version skew — and
+// refuse the log.
+func (d *DurableGraph) applyRecord(rec wal.Record) error {
+	switch rec.Type {
+	case wal.RecEdgeBatch:
+		edges, err := decodeEdgeList(rec.Payload)
+		if err != nil {
+			return fmt.Errorf("%w: record %d: %v", wal.ErrCorrupt, rec.LSN, err)
+		}
+		d.g.AppendBatch(edges)
+	case wal.RecDeleteBatch:
+		edges, err := decodeEdgeList(rec.Payload)
+		if err != nil {
+			return fmt.Errorf("%w: record %d: %v", wal.ErrCorrupt, rec.LSN, err)
+		}
+		d.g.DeleteEdges(edges)
+	case wal.RecExpire:
+		if len(rec.Payload) != 8 {
+			return fmt.Errorf("%w: record %d: expire payload %d bytes", wal.ErrCorrupt, rec.LSN, len(rec.Payload))
+		}
+		d.g.ExpireBefore(temporal.Time(binary.LittleEndian.Uint64(rec.Payload)))
+	case wal.RecSnapshotMark:
+		// Informational: the snapshot file is the source of truth.
+	default:
+		return fmt.Errorf("%w: record %d: unknown type %d", wal.ErrCorrupt, rec.LSN, rec.Type)
+	}
+	return nil
+}
+
+// AppendBatch logs and applies a batch of strictly newer edges. The batch
+// is durable per the configured fsync policy before this returns.
+func (d *DurableGraph) AppendBatch(edges []temporal.Edge) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	req := &ingestReq{typ: wal.RecEdgeBatch, payload: encodeEdgeList(edges), edges: edges, done: make(chan struct{})}
+	return d.submit(req)
+}
+
+// DeleteEdges logs and applies a batch of deletions; partial-failure
+// semantics follow Graph.DeleteEdges (a *BatchError reports the applied
+// prefix, and retrying the full batch is safe).
+func (d *DurableGraph) DeleteEdges(edges []temporal.Edge) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	req := &ingestReq{typ: wal.RecDeleteBatch, payload: encodeEdgeList(edges), edges: edges, done: make(chan struct{})}
+	return d.submit(req)
+}
+
+// ExpireBefore logs and applies a sliding-window expiry, returning the
+// number of edges dropped.
+func (d *DurableGraph) ExpireBefore(horizon temporal.Time) (int, error) {
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], uint64(horizon))
+	req := &ingestReq{typ: wal.RecExpire, payload: p[:], horizon: horizon, done: make(chan struct{})}
+	if err := d.submit(req); err != nil {
+		return 0, err
+	}
+	return req.dropped, nil
+}
+
+// submit queues one mutation and waits for its group to commit and apply.
+func (d *DurableGraph) submit(req *ingestReq) error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	select {
+	case d.reqCh <- req:
+	case <-d.quit:
+		return ErrClosed
+	}
+	<-req.done
+	return req.err
+}
+
+// commitLoop is the single committer: it drains queued mutations into
+// groups, makes each group durable with one WAL append, applies it in log
+// order, then considers a snapshot.
+func (d *DurableGraph) commitLoop() {
+	defer d.wg.Done()
+	for {
+		var first *ingestReq
+		select {
+		case first = <-d.reqCh:
+		case <-d.quit:
+			d.drainOnExit()
+			return
+		}
+		batch := []*ingestReq{first}
+	drain:
+		for len(batch) < maxGroup {
+			select {
+			case r := <-d.reqCh:
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		d.commitGroup(batch)
+		if d.cfg.SnapshotEvery > 0 && d.sinceSnap >= d.cfg.SnapshotEvery {
+			d.checkpoint()
+		}
+	}
+}
+
+// drainOnExit completes whatever was queued when Close was called: graceful
+// shutdown still commits accepted writes.
+func (d *DurableGraph) drainOnExit() {
+	for {
+		select {
+		case r := <-d.reqCh:
+			d.commitGroup([]*ingestReq{r})
+		default:
+			return
+		}
+	}
+}
+
+// commitGroup writes one group through the WAL (log order = slice order),
+// applies it under the write lock, and releases the waiters.
+func (d *DurableGraph) commitGroup(batch []*ingestReq) {
+	entries := make([]wal.Entry, len(batch))
+	for i, r := range batch {
+		entries[i] = wal.Entry{Type: r.typ, Payload: r.payload}
+	}
+	if _, err := d.log.Append(entries...); err != nil {
+		d.fail(err)
+		err = d.Err()
+		for _, r := range batch {
+			r.err = err
+			close(r.done)
+		}
+		return
+	}
+	mGroupCommit.Observe(float64(len(batch)))
+	d.mu.Lock()
+	for _, r := range batch {
+		switch r.typ {
+		case wal.RecEdgeBatch:
+			r.err = d.g.AppendBatch(r.edges)
+		case wal.RecDeleteBatch:
+			r.err = d.g.DeleteEdges(r.edges)
+		case wal.RecExpire:
+			r.dropped = d.g.ExpireBefore(r.horizon)
+		}
+	}
+	d.mu.Unlock()
+	for _, r := range batch {
+		close(r.done)
+	}
+	d.sinceSnap += len(batch)
+}
+
+// checkpoint writes a snapshot covering everything logged so far, appends a
+// snapshot marker, and trims sealed segments the snapshot covers. Runs on
+// the committer goroutine — no mutations are in flight. Failure is
+// non-fatal: the WAL alone still recovers everything.
+func (d *DurableGraph) checkpoint() {
+	lsn := d.log.LastLSN()
+	start := time.Now()
+	d.mu.RLock()
+	err := WriteSnapshotFile(filepath.Join(d.dir, snapshotName), d.g, lsn)
+	d.mu.RUnlock()
+	if err != nil {
+		trace.EventCtx(d.tctx, trace.KindError, "wal.snapshot.error", trace.Str("error", err.Error()))
+		return
+	}
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], lsn)
+	if _, err := d.log.Append(wal.Entry{Type: wal.RecSnapshotMark, Payload: p[:]}); err != nil {
+		d.fail(err)
+		return
+	}
+	if _, err := d.log.TruncateBefore(lsn + 1); err != nil {
+		trace.EventCtx(d.tctx, trace.KindError, "wal.truncate.error", trace.Str("error", err.Error()))
+	}
+	d.snapLSN = lsn
+	d.sinceSnap = 0
+	mSnapshots.Inc()
+	mSnapshotSeconds.ObserveSince(start)
+}
+
+// fail records the first WAL failure and flips the graph into the sticky
+// degraded state, with a flight-recorder event.
+func (d *DurableGraph) fail(cause error) {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	if d.err != nil {
+		return
+	}
+	d.err = fmt.Errorf("%w: %v", ErrDegraded, cause)
+	trace.EventCtx(d.tctx, trace.KindError, "wal.degraded", trace.Str("error", cause.Error()))
+}
+
+// Err returns the sticky degraded error, nil while healthy.
+func (d *DurableGraph) Err() error {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	return d.err
+}
+
+// Recovery reports what OpenDurable found and replayed.
+func (d *DurableGraph) Recovery() RecoveryInfo { return d.recovery }
+
+// Dir returns the durable graph's directory.
+func (d *DurableGraph) Dir() string { return d.dir }
+
+// NumVertices returns the current vertex-space size.
+func (d *DurableGraph) NumVertices() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.g.NumVertices()
+}
+
+// NumEdges returns the live edge count.
+func (d *DurableGraph) NumEdges() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.g.NumEdges()
+}
+
+// Frontier returns the newest ingested timestamp.
+func (d *DurableGraph) Frontier() temporal.Time {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.g.Frontier()
+}
+
+// WalkSeeded runs one deterministic temporal walk under the read lock;
+// walks keep running during ingest.
+func (d *DurableGraph) WalkSeeded(src temporal.Vertex, start temporal.Time, length int, seed uint64) ([]temporal.Vertex, []temporal.Time) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.g.WalkSeeded(src, start, length, seed)
+}
+
+// Stats summarizes the graph for the serving layer.
+func (d *DurableGraph) Stats() DurableStats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	st := DurableStats{
+		Vertices:    d.g.NumVertices(),
+		Edges:       d.g.NumEdges(),
+		Deleted:     d.g.NumDeleted(),
+		MemoryBytes: d.g.MemoryBytes(),
+		Weight:      d.g.spec.Kind.String(),
+	}
+	for u := range d.g.verts {
+		if live := d.g.verts[u].degree - d.g.verts[u].deleted; live > st.MaxDegree {
+			st.MaxDegree = live
+		}
+	}
+	if st.Edges > 0 {
+		st.TimeLo = d.g.minTime
+		st.TimeHi = d.g.frontier
+	}
+	return st
+}
+
+// View runs fn with the read lock held, for callers (tests, experiment
+// harnesses) that need richer access than the accessors above. fn must not
+// retain or mutate the graph.
+func (d *DurableGraph) View(fn func(*Graph)) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	fn(d.g)
+}
+
+// Close drains accepted writes, flushes the WAL, and closes it.
+func (d *DurableGraph) Close() error {
+	if !d.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	d.quitOnce.Do(func() { close(d.quit) })
+	d.wg.Wait()
+	d.failPending(ErrClosed)
+	return d.log.Close()
+}
+
+// Crash abandons the graph without flushing, as a killed process would:
+// nothing is synced, no snapshot is written, queued-but-uncommitted writes
+// are lost. Crash-recovery tests reopen the directory afterwards.
+func (d *DurableGraph) Crash() {
+	if !d.closed.CompareAndSwap(false, true) {
+		return
+	}
+	d.log.Crash()
+	d.quitOnce.Do(func() { close(d.quit) })
+	d.wg.Wait()
+	d.failPending(ErrClosed)
+}
+
+// failPending releases any requests still queued after the committer exited.
+func (d *DurableGraph) failPending(err error) {
+	for {
+		select {
+		case r := <-d.reqCh:
+			r.err = err
+			close(r.done)
+		default:
+			return
+		}
+	}
+}
+
+// encodeEdgeList frames a batch as u32 count then (u32 src, u32 dst,
+// u64 time) per edge.
+func encodeEdgeList(edges []temporal.Edge) []byte {
+	buf := make([]byte, 4+16*len(edges))
+	binary.LittleEndian.PutUint32(buf, uint32(len(edges)))
+	off := 4
+	for _, e := range edges {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(e.Src))
+		binary.LittleEndian.PutUint32(buf[off+4:], uint32(e.Dst))
+		binary.LittleEndian.PutUint64(buf[off+8:], uint64(e.Time))
+		off += 16
+	}
+	return buf
+}
+
+func decodeEdgeList(p []byte) ([]temporal.Edge, error) {
+	if len(p) < 4 {
+		return nil, errors.New("edge list: short count")
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	if len(p) != 4+16*n {
+		return nil, fmt.Errorf("edge list: %d bytes for %d edges", len(p), n)
+	}
+	edges := make([]temporal.Edge, n)
+	off := 4
+	for i := range edges {
+		edges[i] = temporal.Edge{
+			Src:  temporal.Vertex(binary.LittleEndian.Uint32(p[off:])),
+			Dst:  temporal.Vertex(binary.LittleEndian.Uint32(p[off+4:])),
+			Time: temporal.Time(binary.LittleEndian.Uint64(p[off+8:])),
+		}
+		off += 16
+	}
+	return edges, nil
+}

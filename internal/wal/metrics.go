@@ -1,0 +1,18 @@
+package wal
+
+import "github.com/tea-graph/tea/internal/metrics"
+
+// The tea_wal_* families on the default registry, mirroring the other
+// subsystems (tea_ooc_*, tea_blockcache_*): append volume, fsync count and
+// latency, the live segment count, and what recovery had to discard. The
+// durable-graph layer adds the group-commit, snapshot, and replay families
+// (it owns those phases); everything renders on /metrics.
+var (
+	mAppendedRecords   = metrics.Default.Counter("tea_wal_appended_records_total")
+	mAppendedBytes     = metrics.Default.Counter("tea_wal_appended_bytes_total")
+	mFsyncs            = metrics.Default.Counter("tea_wal_fsyncs_total")
+	mFsyncErrors       = metrics.Default.Counter("tea_wal_fsync_errors_total")
+	mFsyncSeconds      = metrics.Default.Histogram("tea_wal_fsync_seconds")
+	mSegments          = metrics.Default.Gauge("tea_wal_segments")
+	mRecoveryTruncated = metrics.Default.Gauge("tea_wal_recovery_truncated_bytes")
+)

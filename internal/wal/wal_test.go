@@ -1,0 +1,349 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fill appends n deterministic records and returns their payloads.
+func fill(t *testing.T, l *Log, n int, start int) [][]byte {
+	t.Helper()
+	var payloads [][]byte
+	for i := 0; i < n; i++ {
+		p := []byte(fmt.Sprintf("record-%04d-%s", start+i, string(bytes.Repeat([]byte{'x'}, (start+i)%37))))
+		if _, err := l.Append(Entry{Type: RecEdgeBatch, Payload: p}); err != nil {
+			t.Fatalf("append %d: %v", start+i, err)
+		}
+		payloads = append(payloads, p)
+	}
+	return payloads
+}
+
+// collect replays the whole log into memory.
+func collect(t *testing.T, l *Log) []Record {
+	t.Helper()
+	var recs []Record
+	if err := l.Replay(func(r Record) error { recs = append(recs, r); return nil }); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return recs
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fill(t, l, 25, 0)
+	if lsn := l.LastLSN(); lsn != 25 {
+		t.Fatalf("LastLSN = %d, want 25", lsn)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	ri := l2.Recovery()
+	if ri.Records != 25 || ri.TruncatedBytes != 0 || ri.FirstLSN != 1 || ri.LastLSN != 25 {
+		t.Fatalf("recovery = %+v", ri)
+	}
+	recs := collect(t, l2)
+	if len(recs) != 25 {
+		t.Fatalf("replayed %d records", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) || r.Type != RecEdgeBatch || !bytes.Equal(r.Payload, want[i]) {
+			t.Fatalf("record %d = {lsn %d type %d %q}", i, r.LSN, r.Type, r.Payload)
+		}
+	}
+	// Appends continue the LSN sequence after reopen.
+	first, err := l2.Append(Entry{Type: RecExpire, Payload: []byte("h")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 26 {
+		t.Fatalf("post-reopen LSN = %d, want 26", first)
+	}
+}
+
+func TestRotationSpansSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256, Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, l, 40, 0)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to create several segments, got %d", len(segs))
+	}
+
+	l2, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs := collect(t, l2)
+	if len(recs) != 40 {
+		t.Fatalf("replayed %d records across segments, want 40", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d", i, r.LSN)
+		}
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, l, 10, 0)
+	path := filepath.Join(dir, "wal-00000001.log")
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := st.Size()
+	fill(t, l, 1, 10)
+	l.Crash()
+
+	// Shear off part of the final frame: a torn final write.
+	st2, _ := os.Stat(path)
+	if err := os.Truncate(path, full+(st2.Size()-full)/2); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("torn tail must be repaired, got %v", err)
+	}
+	defer l2.Close()
+	ri := l2.Recovery()
+	if ri.Records != 10 {
+		t.Fatalf("surviving records = %d, want 10", ri.Records)
+	}
+	if ri.TruncatedBytes == 0 {
+		t.Fatal("expected truncated bytes to be reported")
+	}
+	if got := len(collect(t, l2)); got != 10 {
+		t.Fatalf("replayed %d, want 10", got)
+	}
+	// The tail is clean again: appends land at LSN 11.
+	if first, err := l2.Append(Entry{Type: RecEdgeBatch, Payload: []byte("next")}); err != nil || first != 11 {
+		t.Fatalf("append after repair: lsn %d err %v", first, err)
+	}
+}
+
+func TestGarbledFinalFrameTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, l, 5, 0)
+	path := filepath.Join(dir, "wal-00000001.log")
+	before, _ := os.Stat(path)
+	fill(t, l, 1, 5)
+	l.Crash()
+
+	// Flip a payload byte inside the final frame, leaving its length intact:
+	// CRC fails with nothing after it — a torn in-place write.
+	flipByte(t, path, before.Size()+frameHdr+3)
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("garbled final frame must truncate, got %v", err)
+	}
+	defer l2.Close()
+	if ri := l2.Recovery(); ri.Records != 5 || ri.TruncatedBytes == 0 {
+		t.Fatalf("recovery = %+v", ri)
+	}
+}
+
+func TestMidLogCorruptionRefused(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, l, 10, 0)
+	l.Close()
+
+	// Flip a byte inside the FIRST frame's payload: valid frames follow, so
+	// this is damaged acknowledged history, not a torn tail.
+	flipByte(t, filepath.Join(dir, "wal-00000001.log"), headerSize+frameHdr+3)
+
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-log corruption: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSealedSegmentCorruptionRefused(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256, Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, l, 40, 0)
+	l.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(segs) < 2 {
+		t.Fatalf("need multiple segments, got %d", len(segs))
+	}
+	// Shear the tail off a SEALED segment: even a "torn-looking" ending is
+	// corruption when later segments exist.
+	st, _ := os.Stat(segs[0])
+	if err := os.Truncate(segs[0], st.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{SegmentBytes: 256}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("sealed-segment damage: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSegmentGapRefused(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256, Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, l, 40, 0)
+	l.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(segs) < 3 {
+		t.Fatalf("need >=3 segments, got %d", len(segs))
+	}
+	if err := os.Remove(segs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{SegmentBytes: 256}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("segment gap: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTruncateBeforeDropsSealedSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256, Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, l, 40, 0)
+	cut := uint64(20)
+	removed, err := l.TruncateBefore(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("expected at least one segment removed")
+	}
+	recs := collect(t, l)
+	if len(recs) == 0 || recs[0].LSN >= cut {
+		t.Fatalf("first surviving LSN = %d (want < %d retained boundary, > removed)", recs[0].LSN, cut)
+	}
+	// Every record >= cut must survive.
+	seen := map[uint64]bool{}
+	for _, r := range recs {
+		seen[r.LSN] = true
+	}
+	for lsn := cut; lsn <= 40; lsn++ {
+		if !seen[lsn] {
+			t.Fatalf("LSN %d lost by TruncateBefore", lsn)
+		}
+	}
+	l.Close()
+
+	// Reopen: LSNs still line up even though early segments are gone.
+	l2, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if first, err := l2.Append(Entry{Type: RecEdgeBatch, Payload: []byte("z")}); err != nil || first != 41 {
+		t.Fatalf("append after truncate+reopen: lsn %d err %v", first, err)
+	}
+}
+
+func TestTornSegmentHeaderReset(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, l, 3, 0)
+	l.Close()
+	// Simulate a crash during rotation: a successor file exists but its
+	// header never finished writing.
+	if err := os.WriteFile(filepath.Join(dir, "wal-00000002.log"), []byte{'T', 'E'}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("torn successor header must be rebuilt, got %v", err)
+	}
+	defer l2.Close()
+	if got := len(collect(t, l2)); got != 3 {
+		t.Fatalf("replayed %d, want 3", got)
+	}
+	if first, err := l2.Append(Entry{Type: RecEdgeBatch, Payload: []byte("a")}); err != nil || first != 4 {
+		t.Fatalf("append into rebuilt segment: lsn %d err %v", first, err)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := l.Append(Entry{Type: RecEdgeBatch, Payload: []byte("x")}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]Policy{"always": SyncAlways, "interval": SyncInterval, "never": SyncNever} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Fatalf("String() = %q, want %q", got.String(), s)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+// flipByte XORs one byte of path in place.
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}

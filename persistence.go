@@ -3,29 +3,62 @@ package tea
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"github.com/tea-graph/tea/internal/core"
 	"github.com/tea-graph/tea/internal/hpat"
 )
 
+// indexTemp creates the temporary file SaveIndex writes into. A seam so
+// tests can inject write failures without filesystem tricks.
+var indexTemp = func(dir string) (*os.File, error) {
+	return os.CreateTemp(dir, ".tea-index-*")
+}
+
 // SaveIndex persists an engine's HPAT index (trunk alias tables, prefix
 // sums, and the edge weights) so preprocessing can be done once and reused:
 // load it back with NewEngineWithIndex. Only HPAT-method engines (the
 // default) can be saved.
+//
+// The write is atomic: the index goes to a temp file in the same directory,
+// is fsynced, and is renamed over path only then — a crash or write failure
+// partway leaves any previous index at path intact instead of replacing it
+// with a truncated one.
 func SaveIndex(eng *Engine, path string) error {
 	idx, ok := eng.Sampler().(*hpat.Index)
 	if !ok {
 		return fmt.Errorf("tea: engine sampler %q is not an HPAT index", eng.Sampler().Name())
 	}
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := indexTemp(dir)
 	if err != nil {
 		return fmt.Errorf("tea: %w", err)
 	}
-	if _, err := idx.WriteTo(f); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if _, err := idx.WriteTo(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("tea: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tea: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tea: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // NewEngineWithIndex builds an engine whose HPAT index is loaded from a file

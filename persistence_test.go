@@ -1,6 +1,7 @@
 package tea
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -57,6 +58,71 @@ func TestSaveIndexRejectsNonHPAT(t *testing.T) {
 	}
 	if err := SaveIndex(eng, filepath.Join(t.TempDir(), "x")); err == nil {
 		t.Fatal("ITS engine saved as HPAT")
+	}
+}
+
+// A failed save must leave a previously saved index untouched: SaveIndex
+// writes to a temp file and renames only on success.
+func TestSaveIndexFailureLeavesOldFileIntact(t *testing.T) {
+	profile := DatasetProfile{Name: "t", Vertices: 100, Edges: 1000, Skew: 0.8, Seed: 42}
+	g, err := profile.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(g, Unbiased(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.teai")
+	if err := SaveIndex(eng, path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Inject a write failure: hand SaveIndex a read-only file handle, so the
+	// very first write of the new index fails mid-save.
+	orig := indexTemp
+	indexTemp = func(dir string) (*os.File, error) {
+		f, err := os.CreateTemp(dir, ".tea-index-*")
+		if err != nil {
+			return nil, err
+		}
+		name := f.Name()
+		f.Close()
+		return os.OpenFile(name, os.O_RDONLY, 0o600)
+	}
+	defer func() { indexTemp = orig }()
+
+	if err := SaveIndex(eng, path); err == nil {
+		t.Fatal("save through read-only handle succeeded")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("old index gone after failed save: %v", err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("old index changed by failed save: %d -> %d bytes", len(before), len(after))
+	}
+	for i := range after {
+		if after[i] != before[i] {
+			t.Fatalf("old index byte %d changed by failed save", i)
+		}
+	}
+	// And the failed attempt cleaned up its temp file.
+	if tmps, _ := filepath.Glob(filepath.Join(dir, ".tea-index-*")); len(tmps) != 0 {
+		t.Fatalf("temp files left behind: %v", tmps)
+	}
+	// A healthy retry still works and the result loads.
+	indexTemp = orig
+	if err := SaveIndex(eng, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngineWithIndex(g, Unbiased(), path, Options{}); err != nil {
+		t.Fatal(err)
 	}
 }
 
