@@ -17,7 +17,26 @@
 //	-fsync              durability policy: always|interval|never
 //	-fsync-interval     flush cadence for -fsync interval
 //	-snapshot-every     snapshot (and trim the log) every N mutations; 0 off
+//	-snapshot-keep      snapshot generations to retain (0 = default 2)
 //	-wal-segment-bytes  segment rotation threshold (0 = default)
+//	-heal-interval      degraded-mode probe cadence (0 = default, negative off)
+//	-wal-warn-ratio     warn when retained WAL exceeds this multiple of the
+//	                    newest snapshot's size (0 = default 4, negative off)
+//
+// On a write-path fault (ENOSPC, a failed fsync) the durable graph degrades
+// to read-only: walks keep serving, POST /edges and /expire answer 507 or
+// 503 with Retry-After, and a background probe re-tries the device every
+// -heal-interval, restoring writability automatically once it succeeds.
+//
+// Background integrity scrubbing (both durable and -ooc modes):
+//
+//	-scrub-interval   cadence of integrity passes over sealed WAL segments,
+//	                  snapshot generations, and the -ooc block store;
+//	                  0 disables scrubbing
+//	-scrub-rate-mbps  scrub read-bandwidth budget (negative = unlimited)
+//
+// Scrub results feed the tea_scrub_* metric family and GET /healthz, which
+// reports {"status":"degraded","storage":{...}} while damage is present.
 //
 // Operational flags:
 //
@@ -84,6 +103,7 @@ import (
 	"github.com/tea-graph/tea/internal/blockcache"
 	"github.com/tea-graph/tea/internal/ooc"
 	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/scrub"
 	"github.com/tea-graph/tea/internal/server"
 	"github.com/tea-graph/tea/internal/stream"
 	"github.com/tea-graph/tea/internal/trace"
@@ -136,7 +156,12 @@ func main() {
 		fsyncPolicy   = flag.String("fsync", "always", "WAL durability policy: always|interval|never")
 		fsyncInterval = flag.Duration("fsync-interval", 100*time.Millisecond, "flush cadence for -fsync interval")
 		snapEvery     = flag.Int("snapshot-every", 10000, "snapshot and trim the WAL every N mutations, 0 disables")
+		snapKeep      = flag.Int("snapshot-keep", 0, "snapshot generations to retain, 0 = default (2)")
 		walSegBytes   = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold, 0 = default")
+		healInterval  = flag.Duration("heal-interval", 0, "degraded-mode device probe cadence, 0 = default (2s), negative disables")
+		walWarnRatio  = flag.Float64("wal-warn-ratio", 0, "warn when retained WAL exceeds this multiple of the snapshot size, 0 = default (4), negative disables")
+		scrubEvery    = flag.Duration("scrub-interval", 5*time.Minute, "background integrity scrub cadence, 0 disables")
+		scrubRate     = flag.Float64("scrub-rate-mbps", 32, "scrub read bandwidth budget in MB/s, negative = unlimited")
 
 		traceFraction = flag.Float64("trace-fraction", 0, "fraction of requests head-sampled into full traces (0 disables, 1 traces every request)")
 		flightSpans   = flag.Int("flight-spans", 1024, "flight recorder capacity (recent spans and error/cancel/retry events), 0 disables")
@@ -201,21 +226,56 @@ func main() {
 		}
 		s := server.NewDurable(scfg)
 		handler = s.Handler()
+		var scrubber atomic.Pointer[scrub.Scrubber]
 		// Recover in the background so the listener binds immediately;
-		// /readyz answers 503 until SetDurable flips the server ready.
+		// /readyz answers 503 (with replay progress) until SetDurable flips
+		// the server ready.
 		go func() {
 			start := time.Now()
 			d, err := stream.OpenDurable(*walDir, stream.DurableConfig{
 				Graph:         stream.Config{Weight: spec},
 				WAL:           wal.Options{Policy: policy, Interval: *fsyncInterval, SegmentBytes: *walSegBytes},
 				SnapshotEvery: *snapEvery,
+				SnapshotKeep:  *snapKeep,
+				HealInterval:  *healInterval,
+				WALWarnRatio:  *walWarnRatio,
 				Tracer:        tracer,
+				Logger:        logger,
+				Progress:      s.ReportRecoveryProgress,
 			})
 			if err != nil {
 				fatal("recovery failed", err)
 			}
 			durableGraph.Store(d)
 			s.SetDurable(d)
+			if *scrubEvery > 0 {
+				sc := scrub.New(scrub.Config{Interval: *scrubEvery, RateMBps: *scrubRate, Logger: logger},
+					scrub.Files{
+						TargetName: "wal",
+						List: func() ([]string, error) {
+							segs := d.Log().SealedSegments()
+							paths := make([]string, len(segs))
+							for i, seg := range segs {
+								paths[i] = seg.Path
+							}
+							return paths, nil
+						},
+						Verify: func(path string, bill func(int) error) error {
+							return wal.VerifySegment(nil, path, bill)
+						},
+					},
+					scrub.Files{
+						TargetName: "snapshot",
+						List:       func() ([]string, error) { return d.SnapshotPaths(), nil },
+						Verify: func(path string, bill func(int) error) error {
+							_, err := stream.VerifySnapshotFile(nil, path, bill)
+							return err
+						},
+					})
+				s.SetScrubber(sc)
+				scrubber.Store(sc)
+				sc.Start()
+			}
 			ri := d.Recovery()
 			logger.Info("recovered",
 				"wal_dir", *walDir,
@@ -232,6 +292,9 @@ func main() {
 			"timeout", *reqTimeout,
 			"max_inflight", *maxFlight)
 		serveHTTP(handler, srvParams{addr: *addr, drain: *drain, pprof: *withPprof, logger: logger, onShutdown: func() {
+			if sc := scrubber.Load(); sc != nil {
+				sc.Stop()
+			}
 			if d := durableGraph.Load(); d != nil {
 				if err := d.Close(); err != nil {
 					logger.Error("wal close", "error", err)
@@ -279,6 +342,7 @@ func main() {
 
 	start := time.Now()
 	var opts tea.Options
+	var oocStoreFile string
 	if *oocMode {
 		policy, err := blockcache.ParsePolicy(*oocCachePolicy)
 		if err != nil {
@@ -303,6 +367,7 @@ func main() {
 			fatal("disk PAT build failed", err)
 		}
 		store.ResetCounters() // device counters report serving traffic, not the build
+		oocStoreFile = store.Path()
 		if *oocCacheBytes > 0 {
 			dp.EnableCache(ooc.CacheConfig{CapacityBytes: *oocCacheBytes, Policy: policy})
 			fmt.Printf("teaserve: out-of-core store %s (block cache %d MiB, policy %s)\n",
@@ -327,8 +392,23 @@ func main() {
 		"timeout", *reqTimeout,
 		"max_inflight", *maxFlight)
 
-	handler = server.NewWithConfig(eng, scfg).Handler()
-	serveHTTP(handler, srvParams{addr: *addr, drain: *drain, pprof: *withPprof, logger: logger})
+	srv := server.NewWithConfig(eng, scfg)
+	var staticScrub *scrub.Scrubber
+	if *oocMode && *scrubEvery > 0 {
+		// The block store is written once by the build above and then only
+		// read, so a chunk-CRC baseline taken now detects any later change:
+		// bit rot, a lost write, an overwrite by another process.
+		staticScrub = scrub.New(scrub.Config{Interval: *scrubEvery, RateMBps: *scrubRate, Logger: logger},
+			&scrub.ChunkBaseline{TargetName: "ooc-store", Path: oocStoreFile})
+		srv.SetScrubber(staticScrub)
+		staticScrub.Start()
+	}
+	handler = srv.Handler()
+	serveHTTP(handler, srvParams{addr: *addr, drain: *drain, pprof: *withPprof, logger: logger, onShutdown: func() {
+		if staticScrub != nil {
+			staticScrub.Stop()
+		}
+	}})
 }
 
 // srvParams carries the operational knobs serveHTTP needs.

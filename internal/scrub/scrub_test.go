@@ -1,0 +1,174 @@
+package scrub
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// verifyCRCFile is a toy format for tests: last byte = XOR of the rest.
+func writeCRCFile(t *testing.T, path string, n int) {
+	t.Helper()
+	data := make([]byte, n+1)
+	for i := 0; i < n; i++ {
+		data[i] = byte(i * 31)
+		data[n] ^= data[i]
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func verifyCRCFile(path string, bill func(int) error) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if bill != nil {
+		if err := bill(len(data)); err != nil {
+			return err
+		}
+	}
+	var x byte
+	for _, b := range data[:len(data)-1] {
+		x ^= b
+	}
+	if x != data[len(data)-1] {
+		return fmt.Errorf("checksum mismatch in %s", filepath.Base(path))
+	}
+	return nil
+}
+
+func TestFilesTargetDetectsAndClears(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		writeCRCFile(t, filepath.Join(dir, fmt.Sprintf("f%d", i)), 64)
+	}
+	target := Files{
+		TargetName: "toy",
+		List:       func() ([]string, error) { return filepath.Glob(filepath.Join(dir, "f*")) },
+		Verify:     verifyCRCFile,
+	}
+	s := New(Config{RateMBps: -1}, target)
+
+	if err := s.RunOnce(context.Background()); err != nil {
+		t.Fatalf("clean pass: %v", err)
+	}
+	if len(s.Damage()) != 0 {
+		t.Fatalf("damage after clean pass: %v", s.Damage())
+	}
+
+	// Flip a byte: the next pass must catch it within one pass.
+	victim := filepath.Join(dir, "f1")
+	data, _ := os.ReadFile(victim)
+	data[10] ^= 0xFF
+	os.WriteFile(victim, data, 0o644)
+	if err := s.RunOnce(context.Background()); err == nil {
+		t.Fatal("pass over damaged file reported clean")
+	}
+	if _, ok := s.Damage()["toy"]; !ok {
+		t.Fatalf("damage map missing target: %v", s.Damage())
+	}
+
+	// Repair: the pass after that clears the damage state.
+	writeCRCFile(t, victim, 64)
+	if err := s.RunOnce(context.Background()); err != nil {
+		t.Fatalf("pass after repair: %v", err)
+	}
+	if len(s.Damage()) != 0 {
+		t.Fatalf("damage did not clear: %v", s.Damage())
+	}
+	if s.Passes() != 3 {
+		t.Fatalf("passes = %d, want 3", s.Passes())
+	}
+}
+
+func TestFilesTargetSkipsVanished(t *testing.T) {
+	dir := t.TempDir()
+	writeCRCFile(t, filepath.Join(dir, "keep"), 16)
+	target := Files{
+		TargetName: "toy",
+		List: func() ([]string, error) {
+			return []string{filepath.Join(dir, "keep"), filepath.Join(dir, "pruned")}, nil
+		},
+		Verify: func(p string, bill func(int) error) error {
+			if filepath.Base(p) == "pruned" {
+				return fs.ErrNotExist
+			}
+			return verifyCRCFile(p, bill)
+		},
+	}
+	s := New(Config{RateMBps: -1}, target)
+	if err := s.RunOnce(context.Background()); err != nil {
+		t.Fatalf("vanished file counted as damage: %v", err)
+	}
+}
+
+func TestChunkBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blocks")
+	data := make([]byte, 10_000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := &ChunkBaseline{TargetName: "ooc", Path: path, ChunkBytes: 1024}
+	nobill := func(int) error { return nil }
+	if n, err := c.Scrub(context.Background(), nobill); err != nil || n != 10 {
+		t.Fatalf("baseline pass: n=%d err=%v", n, err)
+	}
+	if _, err := c.Scrub(context.Background(), nobill); err != nil {
+		t.Fatalf("clean verify pass: %v", err)
+	}
+	data[5000] ^= 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Scrub(context.Background(), nobill); err == nil {
+		t.Fatal("bit flip not detected")
+	}
+	c.Reset()
+	if _, err := c.Scrub(context.Background(), nobill); err != nil {
+		t.Fatalf("pass after reset: %v", err)
+	}
+}
+
+func TestLimiterPaces(t *testing.T) {
+	// 1 MB/s budget, 256 KB burst: billing ~1.25 MB must take >= ~1s of
+	// sleep. Use a generous lower bound to stay robust on slow CI.
+	l := newLimiter(1e6)
+	start := time.Now()
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if err := l.bill(ctx, 250_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 500*time.Millisecond {
+		t.Fatalf("limiter let 1.25MB through in %v at 1MB/s", elapsed)
+	}
+}
+
+func TestLimiterAbortsOnCancel(t *testing.T) {
+	l := newLimiter(1) // 1 byte/s: any bill sleeps ~forever
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- l.bill(ctx, 1000) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("bill returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("bill did not abort on cancel")
+	}
+}

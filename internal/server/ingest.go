@@ -10,6 +10,7 @@ import (
 
 	"github.com/tea-graph/tea/internal/stream"
 	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/vfs"
 )
 
 // The durable-ingest serving mode: instead of a preprocessed read-only
@@ -53,12 +54,20 @@ func (s *Server) SetDurable(d *stream.DurableGraph) { s.durable.Store(d) }
 // shedder uses, so ingest clients back off instead of hammering a server
 // that is still replaying its log.
 func (s *Server) retryUnavailable(w http.ResponseWriter, err error) {
+	s.retryStatus(w, http.StatusServiceUnavailable, err)
+}
+
+// retryStatus sheds with an explicit status + Retry-After.
+func (s *Server) retryStatus(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-	writeErr(w, http.StatusServiceUnavailable, err)
+	writeErr(w, status, err)
 }
 
 // durableForWrite resolves the durable graph for a mutation, shedding while
-// recovering and while degraded. A nil return means the response was sent.
+// recovering and while degraded. Degradation caused by a full disk is 507
+// Insufficient Storage (the truthful status); everything else is 503. Both
+// carry Retry-After — the heal loop clears the condition without a restart.
+// A nil return means the response was sent.
 func (s *Server) durableForWrite(w http.ResponseWriter) *stream.DurableGraph {
 	if !s.durableMode {
 		writeErr(w, http.StatusNotImplemented, errQueryOnly)
@@ -70,7 +79,7 @@ func (s *Server) durableForWrite(w http.ResponseWriter) *stream.DurableGraph {
 		return nil
 	}
 	if err := d.Err(); err != nil {
-		s.retryUnavailable(w, err)
+		s.retryStatus(w, ingestStatus(err), err)
 		return nil
 	}
 	return d
@@ -91,7 +100,10 @@ func (s *Server) durableForRead(w http.ResponseWriter) *stream.DurableGraph {
 // handleReady implements GET /readyz. An engine-mode server is ready as soon
 // as it is constructed; a durable server is ready once recovery has
 // completed and SetDurable ran, and reports degraded (still 200 — reads
-// work) thereafter if the WAL failed.
+// work) thereafter if the WAL failed. While recovering, the 503 body carries
+// progress (chosen snapshot, segments replayed, records applied) so an
+// operator watching a long replay can tell a working recovery from a hung
+// one.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	if !s.durableMode {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
@@ -100,7 +112,14 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	d := s.durable.Load()
 	if d == nil {
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "recovering"})
+		body := map[string]any{"status": "recovering"}
+		if p := s.recovering.Load(); p != nil {
+			body["snapshot_lsn"] = p.SnapshotLSN
+			body["segments_replayed"] = p.SegmentsDone
+			body["segments_total"] = p.SegmentsTotal
+			body["records_applied"] = p.RecordsApplied
+		}
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
 	ri := d.Recovery()
@@ -162,7 +181,7 @@ func (s *Server) handleIngestEdges(w http.ResponseWriter, r *http.Request) {
 		edges[i] = temporal.Edge{Src: temporal.Vertex(e.Src), Dst: temporal.Vertex(e.Dst), Time: temporal.Time(e.T)}
 	}
 	if err := d.AppendBatch(edges); err != nil {
-		writeErr(w, ingestStatus(err), err)
+		s.writeIngestErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ingestResponse{
@@ -196,24 +215,38 @@ func (s *Server) handleIngestExpire(w http.ResponseWriter, r *http.Request) {
 	}
 	dropped, err := d.ExpireBefore(temporal.Time(horizon))
 	if err != nil {
-		writeErr(w, ingestStatus(err), err)
+		s.writeIngestErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, expireResponse{Dropped: dropped, Edges: d.NumEdges()})
 }
 
 // ingestStatus maps a durable-write error to an HTTP status: client bugs
-// (stale timestamps, unknown edges) are 400, infrastructure failures are
-// 503.
+// (stale timestamps, unknown edges) are 400, a full disk is 507 Insufficient
+// Storage, other infrastructure failures are 503.
 func ingestStatus(err error) int {
 	switch {
 	case errors.Is(err, stream.ErrStaleBatch), errors.Is(err, stream.ErrEdgeNotFound):
 		return http.StatusBadRequest
+	case vfs.IsNoSpace(err):
+		return http.StatusInsufficientStorage
 	case errors.Is(err, stream.ErrDegraded), errors.Is(err, stream.ErrClosed):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// writeIngestErr renders a durable-write failure, attaching Retry-After to
+// the retryable statuses (503, 507) so clients back off and retry — the heal
+// loop restores the write path without a restart.
+func (s *Server) writeIngestErr(w http.ResponseWriter, err error) {
+	status := ingestStatus(err)
+	if status == http.StatusServiceUnavailable || status == http.StatusInsufficientStorage {
+		s.retryStatus(w, status, err)
+		return
+	}
+	writeErr(w, status, err)
 }
 
 // handleDurableStats serves GET /stats from the live graph.

@@ -36,6 +36,7 @@ import (
 	"github.com/tea-graph/tea/internal/apps"
 	"github.com/tea-graph/tea/internal/core"
 	"github.com/tea-graph/tea/internal/metrics"
+	"github.com/tea-graph/tea/internal/scrub"
 	"github.com/tea-graph/tea/internal/stream"
 	"github.com/tea-graph/tea/internal/temporal"
 	"github.com/tea-graph/tea/internal/trace"
@@ -135,7 +136,24 @@ type Server struct {
 	// SetDurable is called (see ingest.go).
 	durableMode bool
 	durable     atomic.Pointer[stream.DurableGraph]
+
+	// recovering, while durable is nil, holds the latest recovery progress
+	// so /readyz can report how far replay has come instead of a bare 503.
+	recovering atomic.Pointer[stream.RecoveryProgress]
+
+	// scrubber, when set, feeds storage health into /healthz: damage found
+	// by a background integrity pass flips the body to "degraded".
+	scrubber atomic.Pointer[scrub.Scrubber]
 }
+
+// SetScrubber attaches a background integrity scrubber whose damage map is
+// reported on /healthz. Safe from any goroutine.
+func (s *Server) SetScrubber(sc *scrub.Scrubber) { s.scrubber.Store(sc) }
+
+// ReportRecoveryProgress publishes recovery progress for /readyz while the
+// durable graph is still replaying its log (wire it as the Progress callback
+// of stream.DurableConfig). Safe from any goroutine.
+func (s *Server) ReportRecoveryProgress(p stream.RecoveryProgress) { s.recovering.Store(&p) }
 
 // New builds a server around a preprocessed engine with default Config.
 func New(eng *core.Engine) *Server { return NewWithConfig(eng, Config{}) }
@@ -324,7 +342,31 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// handleHealth implements GET /healthz — liveness, so always 200 (the
+// process is up and answering). The body carries storage health: a degraded
+// write path (disk full, failed fsync) or scrub-detected damage flips
+// "status" to "degraded" with a "storage" section naming the trouble, so
+// operators and tests see corruption without the process being killed by
+// its liveness probe.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	storage := map[string]any{}
+	if s.durableMode {
+		if d := s.durable.Load(); d != nil {
+			if err := d.Err(); err != nil {
+				storage["write_path"] = err.Error()
+				storage["read_only"] = true
+			}
+		}
+	}
+	if sc := s.scrubber.Load(); sc != nil {
+		if dmg := sc.Damage(); len(dmg) > 0 {
+			storage["scrub"] = dmg
+		}
+	}
+	if len(storage) > 0 {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "degraded", "storage": storage})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 

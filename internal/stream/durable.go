@@ -5,8 +5,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"os"
+	"log/slog"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +16,7 @@ import (
 	"github.com/tea-graph/tea/internal/metrics"
 	"github.com/tea-graph/tea/internal/temporal"
 	"github.com/tea-graph/tea/internal/trace"
+	"github.com/tea-graph/tea/internal/vfs"
 	"github.com/tea-graph/tea/internal/wal"
 )
 
@@ -28,17 +31,28 @@ import (
 // read lock and keep running during ingest.
 //
 // Recovery is snapshot + log-suffix replay: OpenDurable loads the newest
-// snapshot (exact segment-level image, CRC-verified), then replays every WAL
-// record with a later LSN through the same code paths the live writes took.
-// Operations that failed live (a stale batch, a delete of a missing edge)
-// fail identically during replay — the log records intent, and application
-// is deterministic — so the recovered graph is structurally identical to the
-// pre-crash one. A torn WAL tail is truncated; mid-log corruption refuses
-// with wal.ErrCorrupt.
+// *verifiable* snapshot generation (exact segment-level image, CRC-verified),
+// then replays every WAL record with a later LSN through the same code paths
+// the live writes took. Operations that failed live (a stale batch, a delete
+// of a missing edge) fail identically during replay — the log records intent,
+// and application is deterministic — so the recovered graph is structurally
+// identical to the pre-crash one. A torn WAL tail is truncated; mid-log
+// corruption refuses with wal.ErrCorrupt.
 //
-// After the first WAL write or fsync failure the graph enters a sticky
-// degraded state: reads keep working, every further mutation fails fast
-// with ErrDegraded, and the failure is recorded in the flight recorder.
+// Snapshots are generational: each checkpoint writes snapshot.<lsn> and the
+// last SnapshotKeep generations are retained, with the WAL trimmed only past
+// the oldest retained one — so every retained generation still has its full
+// log suffix. A corrupt generation is quarantined (renamed *.corrupt, counted
+// by tea_snapshot_quarantined_total) and recovery falls back to the next
+// older one, replaying the longer suffix, instead of refusing to boot.
+//
+// After the first WAL write or fsync failure (or an ENOSPC mid-checkpoint)
+// the graph enters a sticky degraded state: reads keep working, every further
+// mutation fails fast with ErrDegraded, and the failure is recorded in the
+// flight recorder. A background heal loop then periodically rolls the WAL
+// back to its durable point, probes the device, and re-anchors durability
+// with a fresh checkpoint; once that succeeds the degraded state clears and
+// writes flow again — a disk-full episode needs no restart.
 
 // ErrDegraded is returned by mutations after a WAL write or fsync failure.
 // The wrapped cause is the first failure; the state is sticky because a log
@@ -52,8 +66,62 @@ var ErrClosed = errors.New("stream: durable graph closed")
 // a different weight configuration than the one the graph is opened with.
 var ErrSnapshotMismatch = errors.New("stream: snapshot weight config does not match")
 
-// snapshotName is the snapshot file inside the WAL directory.
+// snapshotName is the snapshot base name inside the WAL directory. Current
+// generations are snapshot.<lsn> (zero-padded decimal); a bare "snapshot"
+// is the pre-generational legacy layout, still honored during recovery.
 const snapshotName = "snapshot"
+
+// snapshotFileName renders the generation file name for a covered LSN.
+// Zero-padding keeps lexicographic and numeric order identical.
+func snapshotFileName(lsn uint64) string {
+	return fmt.Sprintf("%s.%020d", snapshotName, lsn)
+}
+
+// ErrNoUsableSnapshot is returned when every snapshot generation failed
+// verification AND the WAL no longer reaches back to LSN 1 — replaying the
+// surviving log alone would silently drop acknowledged history.
+var ErrNoUsableSnapshot = errors.New("stream: no usable snapshot and the WAL does not reach back far enough")
+
+// snapGen is one snapshot generation found on disk.
+type snapGen struct {
+	path   string
+	lsn    uint64
+	legacy bool // bare "snapshot" file; lsn read from its header
+}
+
+// listSnapshots enumerates snapshot generations in dir, oldest first. The
+// legacy unnumbered file is ordered by its header LSN; quarantined
+// (*.corrupt) and temp files are excluded. A legacy file whose header is
+// unreadable is returned with LSN 0 so it sorts oldest and gets quarantined
+// when (and only when) recovery actually has to fall back to it.
+func listSnapshots(fsys vfs.FS, dir string) ([]snapGen, error) {
+	names, err := fsys.Glob(filepath.Join(dir, snapshotName+".*"))
+	if err != nil {
+		return nil, fmt.Errorf("stream: list snapshots: %w", err)
+	}
+	var gens []snapGen
+	for _, p := range names {
+		suffix := strings.TrimPrefix(filepath.Base(p), snapshotName+".")
+		lsn, ok := uint64(0), len(suffix) > 0
+		for _, c := range suffix {
+			if c < '0' || c > '9' {
+				ok = false // .tmp, .corrupt, foreign files
+				break
+			}
+			lsn = lsn*10 + uint64(c-'0')
+		}
+		if ok {
+			gens = append(gens, snapGen{path: p, lsn: lsn})
+		}
+	}
+	legacy := filepath.Join(dir, snapshotName)
+	if _, err := fsys.Stat(legacy); err == nil {
+		lsn, _ := SnapshotFileLSN(fsys, legacy)
+		gens = append(gens, snapGen{path: legacy, lsn: lsn, legacy: true})
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].lsn < gens[j].lsn })
+	return gens, nil
+}
 
 // maxGroup bounds one group commit; queued writers beyond it wait for the
 // next group.
@@ -62,11 +130,16 @@ const maxGroup = 128
 // Group-commit, snapshot, and recovery metric families (the wal package owns
 // the per-append and fsync families).
 var (
-	mGroupCommit     = metrics.Default.Histogram("tea_wal_group_commit_records")
-	mSnapshots       = metrics.Default.Counter("tea_wal_snapshots_total")
-	mSnapshotSeconds = metrics.Default.Histogram("tea_wal_snapshot_seconds")
-	mRecoverySeconds = metrics.Default.Gauge("tea_wal_recovery_seconds")
-	mReplayed        = metrics.Default.Gauge("tea_wal_recovery_replayed_records")
+	mGroupCommit      = metrics.Default.Histogram("tea_wal_group_commit_records")
+	mSnapshots        = metrics.Default.Counter("tea_wal_snapshots_total")
+	mSnapshotSeconds  = metrics.Default.Histogram("tea_wal_snapshot_seconds")
+	mRecoverySeconds  = metrics.Default.Gauge("tea_wal_recovery_seconds")
+	mReplayed         = metrics.Default.Gauge("tea_wal_recovery_replayed_records")
+	mSnapQuarantined  = metrics.Default.Counter("tea_snapshot_quarantined_total")
+	mSnapGenerations  = metrics.Default.Gauge("tea_snapshot_generations")
+	mGraphHeals       = metrics.Default.Counter("tea_durable_heals_total")
+	mGraphHealFailed  = metrics.Default.Counter("tea_durable_heal_failures_total")
+	mCheckpointErrors = metrics.Default.Counter("tea_wal_snapshot_errors_total")
 )
 
 // DurableConfig parameterizes OpenDurable.
@@ -81,9 +154,40 @@ type DurableConfig struct {
 	// SnapshotEvery writes a snapshot (and trims the log) every N logged
 	// mutations; 0 disables periodic snapshots.
 	SnapshotEvery int
+	// SnapshotKeep is how many snapshot generations to retain; 0 means 2.
+	// The WAL is trimmed only past the oldest retained generation, so every
+	// retained snapshot can still replay its full log suffix.
+	SnapshotKeep int
+	// HealInterval is how often the degraded graph probes the device and
+	// tries to self-heal; 0 means 2s, negative disables the loop.
+	HealInterval time.Duration
+	// WALWarnRatio triggers a warning log when retained WAL bytes exceed
+	// this multiple of the newest snapshot's size; 0 means 4, negative
+	// disables the warning.
+	WALWarnRatio float64
+	// FS is the filesystem the WAL and snapshots run against; nil means the
+	// real OS. Takes precedence over WAL.FS.
+	FS vfs.FS
+	// Progress, when non-nil, receives recovery progress updates (from
+	// OpenDurable's goroutine) so a serving layer can report how far
+	// replay has come on /readyz.
+	Progress func(RecoveryProgress)
+	// Logger, when non-nil, receives storage warnings (WAL growth,
+	// quarantined snapshots, heal attempts).
+	Logger *slog.Logger
 	// Tracer, when non-nil and enabled, receives recovery spans and
 	// flight-recorder events for fsync errors and tail truncation.
 	Tracer *trace.Tracer
+}
+
+// RecoveryProgress is a point-in-time view of a recovery in flight.
+type RecoveryProgress struct {
+	// SnapshotLSN is the LSN of the generation recovery chose (0 = none).
+	SnapshotLSN uint64
+	// SegmentsDone / SegmentsTotal count WAL segments replayed so far.
+	SegmentsDone, SegmentsTotal int
+	// RecordsApplied counts log records applied to the graph so far.
+	RecordsApplied uint64
 }
 
 // RecoveryInfo summarizes one recovery pass.
@@ -112,6 +216,14 @@ type DurableStats struct {
 	Weight      string
 }
 
+// discardHandler drops every record; the default when no Logger is given.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
 // ingestReq is one queued mutation awaiting group commit.
 type ingestReq struct {
 	typ     wal.RecordType
@@ -126,8 +238,12 @@ type ingestReq struct {
 // DurableGraph is the write-ahead-logged streaming graph. One committer
 // goroutine serializes mutations; readers run concurrently under RLock.
 type DurableGraph struct {
-	dir string
-	cfg DurableConfig
+	dir    string
+	cfg    DurableConfig
+	fs     vfs.FS
+	keep   int
+	ratio  float64
+	logger *slog.Logger
 
 	mu sync.RWMutex // guards g
 	g  *Graph
@@ -150,18 +266,45 @@ type DurableGraph struct {
 }
 
 // OpenDurable opens (creating if needed) a durable streaming graph rooted at
-// dir, recovering whatever state the directory holds: snapshot, then WAL
-// suffix replay. A torn WAL tail is repaired; mid-log corruption, a corrupt
-// snapshot, or a weight-config mismatch refuse with an error.
+// dir, recovering whatever state the directory holds: the newest verifiable
+// snapshot generation, then WAL suffix replay. A torn WAL tail is repaired; a
+// corrupt snapshot is quarantined (*.corrupt) and recovery falls back to the
+// previous generation; mid-log corruption or a weight-config mismatch refuse
+// with an error. If every generation is unusable and the WAL no longer
+// reaches back to LSN 1, OpenDurable refuses with ErrNoUsableSnapshot rather
+// than silently serving partial history.
 func OpenDurable(dir string, cfg DurableConfig) (*DurableGraph, error) {
 	if cfg.Graph.Weight.Custom != nil {
 		return nil, ErrCustomWeight
 	}
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = cfg.WAL.FS
+	}
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	keep := cfg.SnapshotKeep
+	if keep <= 0 {
+		keep = 2
+	}
+	ratio := cfg.WALWarnRatio
+	if ratio == 0 {
+		ratio = 4
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(discardHandler{})
+	}
 	d := &DurableGraph{
-		dir:   dir,
-		cfg:   cfg,
-		reqCh: make(chan *ingestReq, 2*maxGroup),
-		quit:  make(chan struct{}),
+		dir:    dir,
+		cfg:    cfg,
+		fs:     fsys,
+		keep:   keep,
+		ratio:  ratio,
+		logger: logger,
+		reqCh:  make(chan *ingestReq, 2*maxGroup),
+		quit:   make(chan struct{}),
 	}
 	ctx := context.Background()
 	var sp *trace.Span
@@ -173,6 +316,7 @@ func OpenDurable(dir string, cfg DurableConfig) (*DurableGraph, error) {
 
 	start := time.Now()
 	walOpts := cfg.WAL
+	walOpts.FS = fsys
 	walOpts.OnSyncError = func(err error) { d.fail(err) }
 	log, err := wal.Open(dir, walOpts)
 	if err != nil {
@@ -183,14 +327,37 @@ func OpenDurable(dir string, cfg DurableConfig) (*DurableGraph, error) {
 		return nil, err
 	}
 	d.log = log
-	os.Remove(filepath.Join(dir, snapshotName+".tmp")) // pre-rename residue
 
-	snapPath := filepath.Join(dir, snapshotName)
-	if _, statErr := os.Stat(snapPath); statErr == nil {
-		g, lsn, err := ReadSnapshotFile(snapPath)
+	// Pre-rename residue from a checkpoint interrupted mid-write.
+	if tmps, err := fsys.Glob(filepath.Join(dir, ".snapshot-*")); err == nil {
+		for _, p := range tmps {
+			fsys.Remove(p)
+		}
+	}
+
+	gens, err := listSnapshots(fsys, dir)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	quarantined := 0
+	for i := len(gens) - 1; i >= 0 && d.g == nil; i-- {
+		gen := gens[i]
+		g, lsn, err := ReadSnapshotFileFS(fsys, gen.path)
 		if err != nil {
-			log.Close()
-			return nil, err
+			// Damaged generation: move it aside and fall back to the next
+			// older one. The WAL was only ever trimmed past the oldest
+			// retained generation, so the longer suffix is still replayable.
+			quarantined++
+			mSnapQuarantined.Inc()
+			trace.EventCtx(d.tctx, trace.KindError, "snapshot.quarantined",
+				trace.Str("path", filepath.Base(gen.path)), trace.Str("error", err.Error()))
+			logger.Warn("quarantining corrupt snapshot generation",
+				"path", gen.path, "error", err)
+			if qerr := fsys.Rename(gen.path, gen.path+".corrupt"); qerr != nil {
+				logger.Warn("quarantine rename failed", "path", gen.path, "error", qerr)
+			}
+			continue
 		}
 		if g.spec.Kind != cfg.Graph.Weight.Kind || g.spec.Lambda != cfg.Graph.Weight.Lambda {
 			log.Close()
@@ -199,17 +366,37 @@ func OpenDurable(dir string, cfg DurableConfig) (*DurableGraph, error) {
 		}
 		d.g = g
 		d.snapLSN = lsn
-	} else {
+	}
+	if d.g == nil {
+		// No usable snapshot: the log must reach back to the beginning, or
+		// acknowledged history would be silently missing.
+		if log.FirstLSN() > 1 {
+			log.Close()
+			return nil, fmt.Errorf("%w: log starts at LSN %d", ErrNoUsableSnapshot, log.FirstLSN())
+		}
 		g, err := New(cfg.Graph)
 		if err != nil {
 			log.Close()
 			return nil, err
 		}
 		d.g = g
+	} else if log.FirstLSN() > d.snapLSN+1 {
+		// The chosen snapshot predates the log's oldest record: there is a
+		// gap no replay can fill.
+		log.Close()
+		return nil, fmt.Errorf("%w: snapshot covers LSN %d but log starts at %d",
+			ErrNoUsableSnapshot, d.snapLSN, log.FirstLSN())
 	}
 
+	report := func(p RecoveryProgress) {
+		if cfg.Progress != nil {
+			cfg.Progress(p)
+		}
+	}
+	segsDone, segsTotal := 0, log.Recovery().Segments
+	report(RecoveryProgress{SnapshotLSN: d.snapLSN, SegmentsTotal: segsTotal})
 	replayed := uint64(0)
-	if err := log.Replay(func(rec wal.Record) error {
+	if err := log.ReplayProgress(func(rec wal.Record) error {
 		if rec.LSN <= d.snapLSN {
 			return nil
 		}
@@ -217,7 +404,15 @@ func OpenDurable(dir string, cfg DurableConfig) (*DurableGraph, error) {
 			return err
 		}
 		replayed++
+		if replayed%65536 == 0 {
+			report(RecoveryProgress{SnapshotLSN: d.snapLSN,
+				SegmentsDone: segsDone, SegmentsTotal: segsTotal, RecordsApplied: replayed})
+		}
 		return nil
+	}, func(done, total int) {
+		segsDone, segsTotal = done, total
+		report(RecoveryProgress{SnapshotLSN: d.snapLSN,
+			SegmentsDone: done, SegmentsTotal: total, RecordsApplied: replayed})
 	}); err != nil {
 		log.Close()
 		return nil, err
@@ -276,6 +471,8 @@ func (d *DurableGraph) applyRecord(rec wal.Record) error {
 		d.g.ExpireBefore(temporal.Time(binary.LittleEndian.Uint64(rec.Payload)))
 	case wal.RecSnapshotMark:
 		// Informational: the snapshot file is the source of truth.
+	case wal.RecNoop:
+		// Heal's device probe; carries no state change.
 	default:
 		return fmt.Errorf("%w: record %d: unknown type %d", wal.ErrCorrupt, rec.LSN, rec.Type)
 	}
@@ -337,10 +534,23 @@ func (d *DurableGraph) submit(req *ingestReq) error {
 // order, then considers a snapshot.
 func (d *DurableGraph) commitLoop() {
 	defer d.wg.Done()
+	healEvery := d.cfg.HealInterval
+	if healEvery == 0 {
+		healEvery = 2 * time.Second
+	}
+	var healC <-chan time.Time
+	if healEvery > 0 {
+		t := time.NewTicker(healEvery)
+		defer t.Stop()
+		healC = t.C
+	}
 	for {
 		var first *ingestReq
 		select {
 		case first = <-d.reqCh:
+		case <-healC:
+			d.tryHeal()
+			continue
 		case <-d.quit:
 			d.drainOnExit()
 			return
@@ -360,6 +570,32 @@ func (d *DurableGraph) commitLoop() {
 			d.checkpoint()
 		}
 	}
+}
+
+// tryHeal runs on the committer goroutine while the graph is degraded: roll
+// the WAL back to its durable point and probe the device, then re-anchor
+// durability with a fresh checkpoint (under the weaker fsync policies the
+// rollback may have discarded acknowledged-but-unsynced records; the
+// snapshot captures their applied effects). Only after both succeed does the
+// degraded state clear and writes flow again.
+func (d *DurableGraph) tryHeal() {
+	if d.Err() == nil {
+		return
+	}
+	if err := d.log.Heal(); err != nil {
+		mGraphHealFailed.Inc()
+		return
+	}
+	if err := d.checkpoint(); err != nil {
+		mGraphHealFailed.Inc()
+		return
+	}
+	d.errMu.Lock()
+	d.err = nil
+	d.errMu.Unlock()
+	mGraphHeals.Inc()
+	trace.EventCtx(d.tctx, trace.KindInfo, "wal.healed")
+	d.logger.Info("durable graph healed; writes restored")
 }
 
 // drainOnExit completes whatever was queued when Close was called: graceful
@@ -410,33 +646,73 @@ func (d *DurableGraph) commitGroup(batch []*ingestReq) {
 	d.sinceSnap += len(batch)
 }
 
-// checkpoint writes a snapshot covering everything logged so far, appends a
-// snapshot marker, and trims sealed segments the snapshot covers. Runs on
-// the committer goroutine — no mutations are in flight. Failure is
-// non-fatal: the WAL alone still recovers everything.
-func (d *DurableGraph) checkpoint() {
+// checkpoint writes a new snapshot generation covering everything logged so
+// far, appends a snapshot marker, prunes generations beyond SnapshotKeep,
+// and trims WAL segments no retained generation needs. Runs on the committer
+// goroutine — no mutations are in flight. A write failure leaves every prior
+// generation intact (the new file lands by atomic rename); an ENOSPC
+// additionally degrades the graph so the serving layer goes read-only and
+// the heal loop takes over.
+func (d *DurableGraph) checkpoint() error {
 	lsn := d.log.LastLSN()
 	start := time.Now()
+	path := filepath.Join(d.dir, snapshotFileName(lsn))
 	d.mu.RLock()
-	err := WriteSnapshotFile(filepath.Join(d.dir, snapshotName), d.g, lsn)
+	err := WriteSnapshotFileFS(d.fs, path, d.g, lsn)
 	d.mu.RUnlock()
 	if err != nil {
+		mCheckpointErrors.Inc()
 		trace.EventCtx(d.tctx, trace.KindError, "wal.snapshot.error", trace.Str("error", err.Error()))
-		return
+		if vfs.IsNoSpace(err) {
+			d.fail(err)
+		}
+		return err
 	}
 	var p [8]byte
 	binary.LittleEndian.PutUint64(p[:], lsn)
 	if _, err := d.log.Append(wal.Entry{Type: wal.RecSnapshotMark, Payload: p[:]}); err != nil {
 		d.fail(err)
-		return
+		return err
 	}
-	if _, err := d.log.TruncateBefore(lsn + 1); err != nil {
+
+	// Prune old generations, then trim the WAL only past the oldest one
+	// still retained — every retained snapshot keeps its full log suffix.
+	oldest := lsn
+	if gens, err := listSnapshots(d.fs, d.dir); err == nil {
+		for len(gens) > d.keep {
+			if rerr := d.fs.Remove(gens[0].path); rerr != nil {
+				d.logger.Warn("pruning old snapshot failed", "path", gens[0].path, "error", rerr)
+				break
+			}
+			gens = gens[1:]
+		}
+		if len(gens) > 0 {
+			oldest = gens[0].lsn
+		}
+		mSnapGenerations.Set(float64(len(gens)))
+	}
+	if _, err := d.log.TruncateBefore(oldest + 1); err != nil {
 		trace.EventCtx(d.tctx, trace.KindError, "wal.truncate.error", trace.Str("error", err.Error()))
 	}
+
+	// Growth accounting: how much the retained log could shrink to, and a
+	// warning when it dwarfs the state it protects (snapshot cadence too
+	// slow, or generations pinning a huge suffix).
+	reclaimable := d.log.ReclaimableBefore(lsn + 1)
+	if st, serr := d.fs.Stat(path); serr == nil && d.ratio > 0 {
+		snapSize := st.Size()
+		if walSize := d.log.SizeBytes(); snapSize > 0 && float64(walSize) > d.ratio*float64(snapSize) {
+			d.logger.Warn("retained WAL exceeds snapshot size budget",
+				"wal_bytes", walSize, "snapshot_bytes", snapSize,
+				"ratio_limit", d.ratio, "reclaimable_bytes", reclaimable)
+		}
+	}
+
 	d.snapLSN = lsn
 	d.sinceSnap = 0
 	mSnapshots.Inc()
 	mSnapshotSeconds.ObserveSince(start)
+	return nil
 }
 
 // fail records the first WAL failure and flips the graph into the sticky
@@ -447,8 +723,12 @@ func (d *DurableGraph) fail(cause error) {
 	if d.err != nil {
 		return
 	}
-	d.err = fmt.Errorf("%w: %v", ErrDegraded, cause)
+	// Both sentinels stay matchable: ErrDegraded for "writes are failing",
+	// and the cause chain (e.g. vfs.ErrNoSpace) for "why" — the serving
+	// layer maps disk-full to 507 Insufficient Storage.
+	d.err = fmt.Errorf("%w: %w", ErrDegraded, cause)
 	trace.EventCtx(d.tctx, trace.KindError, "wal.degraded", trace.Str("error", cause.Error()))
+	d.logger.Warn("durable graph degraded; writes suspended", "error", cause)
 }
 
 // Err returns the sticky degraded error, nil while healthy.
@@ -463,6 +743,25 @@ func (d *DurableGraph) Recovery() RecoveryInfo { return d.recovery }
 
 // Dir returns the durable graph's directory.
 func (d *DurableGraph) Dir() string { return d.dir }
+
+// Log exposes the underlying WAL for scrubbers and operational tooling.
+// Callers must not Append or Close through it.
+func (d *DurableGraph) Log() *wal.Log { return d.log }
+
+// SnapshotPaths lists the retained snapshot generation files, oldest first.
+// A checkpoint may add or prune generations concurrently; scrubbers treat a
+// vanished file as pruned, not damaged.
+func (d *DurableGraph) SnapshotPaths() []string {
+	gens, err := listSnapshots(d.fs, d.dir)
+	if err != nil {
+		return nil
+	}
+	paths := make([]string, len(gens))
+	for i, g := range gens {
+		paths[i] = g.path
+	}
+	return paths
+}
 
 // NumVertices returns the current vertex-space size.
 func (d *DurableGraph) NumVertices() int {

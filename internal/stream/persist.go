@@ -7,13 +7,13 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"os"
 	"path/filepath"
 
 	"github.com/tea-graph/tea/internal/chksum"
 	"github.com/tea-graph/tea/internal/hpat"
 	"github.com/tea-graph/tea/internal/sampling"
 	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/vfs"
 )
 
 // Snapshot serialization for the durable streaming graph: an exact,
@@ -268,19 +268,30 @@ func readSegment(r io.Reader, s *segment) error {
 	return nil
 }
 
-// WriteSnapshotFile writes the snapshot atomically: a temp file in the same
-// directory, fsynced, then renamed over path, then the directory fsynced —
-// a crash mid-write leaves the previous snapshot intact.
+// WriteSnapshotFile writes the snapshot atomically on the real filesystem;
+// see WriteSnapshotFileFS.
 func WriteSnapshotFile(path string, g *Graph, lsn uint64) error {
+	return WriteSnapshotFileFS(vfs.OS, path, g, lsn)
+}
+
+// WriteSnapshotFileFS writes the snapshot atomically: a temp file in the same
+// directory, fsynced, then renamed over path, then the directory fsynced —
+// a crash mid-write leaves the previous snapshot intact. A failed directory
+// sync is an error: until the directory entry is durable, the rename itself
+// can be lost by a crash, which would silently resurrect the prior snapshot.
+func WriteSnapshotFileFS(fsys vfs.FS, path string, g *Graph, lsn uint64) error {
+	if fsys == nil {
+		fsys = vfs.OS
+	}
 	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, ".snapshot-*")
+	f, err := fsys.CreateTemp(dir, ".snapshot-*")
 	if err != nil {
 		return fmt.Errorf("stream: snapshot: %w", err)
 	}
 	tmp := f.Name()
 	fail := func(err error) error {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("stream: snapshot: %w", err)
 	}
 	if err := g.WriteSnapshot(f, lsn); err != nil {
@@ -290,28 +301,113 @@ func WriteSnapshotFile(path string, g *Graph, lsn uint64) error {
 		return fail(err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("stream: snapshot: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return fmt.Errorf("stream: snapshot: %w", err)
 	}
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("stream: snapshot: sync dir: %w", err)
 	}
 	return nil
 }
 
 // ReadSnapshotFile loads a snapshot written by WriteSnapshotFile.
 func ReadSnapshotFile(path string) (*Graph, uint64, error) {
-	f, err := os.Open(path)
+	return ReadSnapshotFileFS(vfs.OS, path)
+}
+
+// ReadSnapshotFileFS loads a snapshot from fsys.
+func ReadSnapshotFileFS(fsys vfs.FS, path string) (*Graph, uint64, error) {
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	f, err := vfs.Open(fsys, path)
 	if err != nil {
 		return nil, 0, err
 	}
 	defer f.Close()
 	return ReadSnapshot(f)
+}
+
+// SnapshotFileLSN reads just the header of a snapshot file and returns the
+// WAL LSN it claims to cover, without deserializing (or verifying) the body.
+// Recovery uses it to order legacy unnumbered snapshots among generations.
+func SnapshotFileLSN(fsys vfs.FS, path string) (uint64, error) {
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	f, err := vfs.Open(fsys, path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var hdr [16]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	if [8]byte(hdr[:8]) != snapMagic {
+		return 0, fmt.Errorf("%w: bad magic %x", ErrSnapshotCorrupt, hdr[:8])
+	}
+	return binary.LittleEndian.Uint64(hdr[8:]), nil
+}
+
+// VerifySnapshotFile re-reads a snapshot and checks its magic and CRC-32C
+// footer without rebuilding the graph — the scrubber's integrity pass. bill,
+// when non-nil, is called with each chunk's byte count so the read can be
+// rate-limited; a non-nil return aborts. Returns the covered LSN.
+func VerifySnapshotFile(fsys vfs.FS, path string, bill func(int) error) (uint64, error) {
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	f, err := vfs.Open(fsys, path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	body := st.Size() - chksum.FooterSize
+	if body < 16 {
+		return 0, fmt.Errorf("%w: %d bytes is too short", ErrSnapshotCorrupt, st.Size())
+	}
+	hr := chksum.NewReader(io.LimitReader(f, body))
+	var hdr [16]byte
+	if _, err := io.ReadFull(hr, hdr[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	if [8]byte(hdr[:8]) != snapMagic {
+		return 0, fmt.Errorf("%w: bad magic %x", ErrSnapshotCorrupt, hdr[:8])
+	}
+	lsn := binary.LittleEndian.Uint64(hdr[8:])
+	if bill != nil {
+		if err := bill(len(hdr)); err != nil {
+			return 0, err
+		}
+	}
+	buf := make([]byte, 256<<10)
+	for {
+		n, err := hr.Read(buf)
+		if n > 0 && bill != nil {
+			if berr := bill(n); berr != nil {
+				return 0, berr
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+		}
+	}
+	if _, err := hr.Verify(f); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	return lsn, nil
 }
 
 func boolU64(b bool) uint64 {

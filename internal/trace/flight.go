@@ -15,6 +15,7 @@ const (
 	KindError  = "error"
 	KindCancel = "cancel"
 	KindRetry  = "retry"
+	KindInfo   = "info"
 )
 
 // Event is one flight-recorder entry: a completed span or a discrete

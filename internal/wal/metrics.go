@@ -15,4 +15,7 @@ var (
 	mFsyncSeconds      = metrics.Default.Histogram("tea_wal_fsync_seconds")
 	mSegments          = metrics.Default.Gauge("tea_wal_segments")
 	mRecoveryTruncated = metrics.Default.Gauge("tea_wal_recovery_truncated_bytes")
+	mHeals             = metrics.Default.Counter("tea_wal_heals_total")
+	mHealRolledBack    = metrics.Default.Counter("tea_wal_heal_rolled_back_records_total")
+	mReclaimable       = metrics.Default.Gauge("tea_wal_reclaimable_bytes")
 )

@@ -28,6 +28,14 @@
 // truncated at the frame start and appends resume there. A frame whose CRC
 // fails with more data after it, or any damage in a sealed (non-final)
 // segment, is mid-log corruption and recovery refuses with ErrCorrupt.
+//
+// All filesystem access goes through an internal/vfs.FS (Options.FS; the
+// real OS by default), so every failure path — ENOSPC, a failed fsync, a
+// torn write — is testable under injected faults. A write or sync failure
+// leaves the log sticky-degraded; Heal rolls the live segment back to the
+// last fsync-covered byte and probes the device with a no-op record, which
+// is how the serving layer recovers from a disk-full episode without a
+// restart.
 package wal
 
 import (
@@ -41,6 +49,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/tea-graph/tea/internal/vfs"
 )
 
 // RecordType tags a WAL record. The WAL itself never interprets payloads;
@@ -57,6 +67,9 @@ const (
 	// RecSnapshotMark records that a snapshot covering every LSN up to its
 	// payload value was made durable.
 	RecSnapshotMark RecordType = 4
+	// RecNoop carries no state change; Heal appends one as the probe that
+	// proves the device accepts durable writes again. Replay must skip it.
+	RecNoop RecordType = 5
 )
 
 // Policy selects when appended records are fsynced to stable storage.
@@ -134,6 +147,9 @@ type Options struct {
 	// OnSyncError, when non-nil, is invoked (once per failure) when an
 	// fsync fails and the log enters its sticky-error state.
 	OnSyncError func(error)
+	// FS is the filesystem the log runs against; nil means the real OS.
+	// Tests inject a vfs.FaultFS here to script disk failures.
+	FS vfs.FS
 }
 
 // Entry is one record to append: a type plus an opaque payload.
@@ -177,15 +193,25 @@ type segmentInfo struct {
 type Log struct {
 	dir  string
 	opts Options
+	fs   vfs.FS
 
 	mu       sync.Mutex
-	f        *os.File // live segment
+	f        vfs.File // live segment
 	segs     []segmentInfo
 	nextLSN  uint64
 	dirty    bool
-	err      error // sticky: first write/sync failure
+	err      error // sticky: first write/sync failure; Heal may clear it
 	closed   bool
 	recovery RecoveryInfo
+
+	// The durable point: live-segment size, record count, and next LSN as
+	// of the last successful fsync (or segment creation). Heal rolls the
+	// live segment back here — everything past it was never acknowledged
+	// under SyncAlways, and under the weaker policies losing it is the same
+	// contract a crash already imposes.
+	syncedSize int64
+	syncedRecs uint64
+	syncedLSN  uint64
 
 	tickDone chan struct{}
 	tickWG   sync.WaitGroup
@@ -202,12 +228,15 @@ func Open(dir string, opts Options) (*Log, error) {
 	if opts.Interval <= 0 {
 		opts.Interval = defaultTick
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = vfs.OS
+	}
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{dir: dir, opts: opts}
+	l := &Log{dir: dir, opts: opts, fs: opts.FS}
 
-	segs, err := listSegments(dir)
+	segs, err := listSegments(l.fs, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +249,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		for i := range segs {
 			s := &segs[i]
 			last := i == len(segs)-1
-			res, err := scanSegment(s.path, last, nil)
+			res, err := scanSegment(l.fs, s.path, last, nil, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -231,7 +260,7 @@ func Open(dir string, opts Options) (*Log, error) {
 					wantLSN = 1
 				}
 				l.recovery.TruncatedBytes += s.size
-				if err := os.Remove(s.path); err != nil {
+				if err := l.fs.Remove(s.path); err != nil {
 					return nil, fmt.Errorf("wal: %w", err)
 				}
 				if err := l.createSegment(s.seq, wantLSN); err != nil {
@@ -246,7 +275,7 @@ func Open(dir string, opts Options) (*Log, error) {
 			}
 			if res.truncate >= 0 {
 				l.recovery.TruncatedBytes += s.size - res.truncate
-				if err := truncateFile(s.path, res.truncate); err != nil {
+				if err := truncateFile(l.fs, s.path, res.truncate); err != nil {
 					return nil, err
 				}
 				s.size = res.truncate
@@ -259,7 +288,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		}
 		if l.f == nil { // no reset path taken: open the final segment for appends
 			tail := &l.segs[len(l.segs)-1]
-			f, err := os.OpenFile(tail.path, os.O_RDWR, 0o644)
+			f, err := l.fs.OpenFile(tail.path, os.O_RDWR, 0o644)
 			if err != nil {
 				return nil, fmt.Errorf("wal: %w", err)
 			}
@@ -268,6 +297,9 @@ func Open(dir string, opts Options) (*Log, error) {
 				return nil, fmt.Errorf("wal: %w", err)
 			}
 			l.f = f
+			// Everything scanned is verified on disk: that is the durable
+			// point appends (and a later Heal) measure from.
+			l.syncedSize, l.syncedRecs, l.syncedLSN = tail.size, tail.records, l.nextLSN
 		}
 	}
 
@@ -314,11 +346,18 @@ func (l *Log) Err() error {
 // from disk (segments were validated by Open); call it before the first
 // Append. A non-nil error from fn aborts the replay.
 func (l *Log) Replay(fn func(Record) error) error {
+	return l.ReplayProgress(fn, nil)
+}
+
+// ReplayProgress is Replay with a per-segment progress callback: onSeg(done,
+// total) fires after each segment finishes, so a serving layer can report
+// how far recovery has come.
+func (l *Log) ReplayProgress(fn func(Record) error, onSeg func(done, total int)) error {
 	l.mu.Lock()
 	segs := append([]segmentInfo(nil), l.segs...)
 	l.mu.Unlock()
 	for i, s := range segs {
-		res, err := scanSegment(s.path, i == len(segs)-1, fn)
+		res, err := scanSegment(l.fs, s.path, i == len(segs)-1, fn, nil)
 		if err != nil {
 			return err
 		}
@@ -326,6 +365,9 @@ func (l *Log) Replay(fn func(Record) error) error {
 			// Open already repaired the tail; new damage means the disk is
 			// changing under us.
 			return fmt.Errorf("%w: segment %s changed since open", ErrCorrupt, filepath.Base(s.path))
+		}
+		if onSeg != nil {
+			onSeg(i+1, len(segs))
 		}
 	}
 	return nil
@@ -410,6 +452,8 @@ func (l *Log) syncLocked() error {
 		}
 		return l.err
 	}
+	tail := &l.segs[len(l.segs)-1]
+	l.syncedSize, l.syncedRecs, l.syncedLSN = tail.size, tail.records, l.nextLSN
 	return nil
 }
 
@@ -438,7 +482,7 @@ func (l *Log) rotateLocked() error {
 // leaving it as the live append target. Caller holds l.mu (or is Open).
 func (l *Log) createSegment(seq, firstLSN uint64) error {
 	path := filepath.Join(l.dir, fmt.Sprintf("wal-%08d.log", seq))
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -453,7 +497,7 @@ func (l *Log) createSegment(seq, firstLSN uint64) error {
 		f.Close()
 		return fmt.Errorf("wal: %w", err)
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := syncDir(l.fs, l.dir); err != nil {
 		f.Close()
 		return err
 	}
@@ -462,6 +506,7 @@ func (l *Log) createSegment(seq, firstLSN uint64) error {
 		seq: seq, path: path, firstLSN: firstLSN, size: headerSize,
 	})
 	l.nextLSN = firstLSN
+	l.syncedSize, l.syncedRecs, l.syncedLSN = headerSize, 0, firstLSN
 	mSegments.Set(float64(len(l.segs)))
 	return nil
 }
@@ -478,19 +523,151 @@ func (l *Log) TruncateBefore(lsn uint64) (int, error) {
 		if s.firstLSN+s.records > lsn { // segment still holds a needed record
 			break
 		}
-		if err := os.Remove(s.path); err != nil {
+		if err := l.fs.Remove(s.path); err != nil {
 			return removed, fmt.Errorf("wal: truncate: %w", err)
 		}
 		l.segs = l.segs[1:]
 		removed++
 	}
 	if removed > 0 {
-		if err := syncDir(l.dir); err != nil {
+		if err := syncDir(l.fs, l.dir); err != nil {
 			return removed, err
 		}
 		mSegments.Set(float64(len(l.segs)))
 	}
 	return removed, nil
+}
+
+// SegmentRef is one on-disk segment, as seen by the scrubber and the
+// reclaimable-space accounting.
+type SegmentRef struct {
+	Path     string
+	Seq      uint64
+	FirstLSN uint64
+	Records  uint64
+	Size     int64
+}
+
+// SealedSegments returns every segment except the live tail — the files
+// whose content is final and whose CRCs a background scrubber may re-verify
+// at any time. A segment may be removed by TruncateBefore after this
+// returns; scrubbers treat a vanished file as pruned, not damaged.
+func (l *Log) SealedSegments() []SegmentRef {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	refs := make([]SegmentRef, 0, len(l.segs)-1)
+	for _, s := range l.segs[:len(l.segs)-1] {
+		refs = append(refs, SegmentRef{
+			Path: s.path, Seq: s.seq, FirstLSN: s.firstLSN, Records: s.records, Size: s.size,
+		})
+	}
+	return refs
+}
+
+// FirstLSN returns the first LSN the log can still serve — the oldest
+// retained segment's base. Recovery uses it to refuse a snapshot-to-log gap
+// (a snapshot older than the log's history cannot be replayed forward).
+func (l *Log) FirstLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segs[0].firstLSN
+}
+
+// SizeBytes returns the total on-disk size of all retained segments.
+func (l *Log) SizeBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var total int64
+	for _, s := range l.segs {
+		total += s.size
+	}
+	return total
+}
+
+// ReclaimableBefore reports how many on-disk bytes TruncateBefore(lsn) would
+// free — sealed segments every record of which has LSN < lsn — and publishes
+// the value as the tea_wal_reclaimable_bytes gauge.
+func (l *Log) ReclaimableBefore(lsn uint64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var total int64
+	for _, s := range l.segs[:len(l.segs)-1] {
+		if s.firstLSN+s.records > lsn {
+			break
+		}
+		total += s.size
+	}
+	mReclaimable.Set(float64(total))
+	return total
+}
+
+// Heal attempts to clear the sticky error state after the operator resolved
+// the underlying fault (freed disk space, remounted the device). It rolls
+// the live segment back to the durable point — everything past the last
+// successful fsync is truncated away; those bytes were never acknowledged
+// under SyncAlways, and under interval/never policies losing them is the
+// same contract a crash already imposes (callers re-anchor durability with a
+// snapshot immediately after a successful Heal). A fresh file handle is
+// opened because a descriptor that saw an fsync failure cannot be trusted to
+// retry one. The device is then probed with a no-op record through the
+// normal append + fsync path; only a durable probe clears the error.
+func (l *Log) Heal() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.err == nil {
+		return nil
+	}
+	tail := &l.segs[len(l.segs)-1]
+	f, err := l.fs.OpenFile(tail.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: heal: %w", err)
+	}
+	fail := func(err error) error {
+		f.Close()
+		return fmt.Errorf("wal: heal: %w", err)
+	}
+	if err := f.Truncate(l.syncedSize); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if _, err := f.Seek(l.syncedSize, io.SeekStart); err != nil {
+		return fail(err)
+	}
+	if err := syncDir(l.fs, l.dir); err != nil {
+		return fail(err)
+	}
+	old := l.f
+	l.f = f
+	old.Close()
+	if rolled := tail.records - l.syncedRecs; rolled > 0 {
+		mHealRolledBack.Add(int64(rolled))
+	}
+	tail.size = l.syncedSize
+	tail.records = l.syncedRecs
+	l.nextLSN = l.syncedLSN
+	l.err = nil
+	l.dirty = false
+
+	// Probe: a no-op record through the normal append + fsync path. Failure
+	// re-degrades the log (sticky again) and the next Heal retries.
+	buf := appendFrame(nil, Entry{Type: RecNoop})
+	if _, err := l.f.Write(buf); err != nil {
+		l.err = fmt.Errorf("wal: heal probe: %w", err)
+		return l.err
+	}
+	l.nextLSN++
+	tail.records++
+	tail.size += int64(len(buf))
+	if err := l.syncLocked(); err != nil {
+		return l.err
+	}
+	mHeals.Inc()
+	return nil
 }
 
 // Close flushes and closes the log. Safe to call twice.
@@ -578,9 +755,11 @@ type scanResult struct {
 // scanSegment validates one segment file frame by frame. When fn is non-nil
 // every valid record is delivered to it. last marks the final segment — the
 // only place a torn tail is legal; everywhere else damage is ErrCorrupt.
-func scanSegment(path string, last bool, fn func(Record) error) (scanResult, error) {
+// bill, when non-nil, is called with each chunk's byte count so a
+// rate-limited scrubber can pace the read; a non-nil return aborts the scan.
+func scanSegment(fsys vfs.FS, path string, last bool, fn func(Record) error, bill func(int) error) (scanResult, error) {
 	res := scanResult{truncate: -1}
-	f, err := os.Open(path)
+	f, err := vfs.Open(fsys, path)
 	if err != nil {
 		return res, fmt.Errorf("wal: %w", err)
 	}
@@ -601,6 +780,11 @@ func scanSegment(path string, last bool, fn func(Record) error) (scanResult, err
 	}
 	if _, err := io.ReadFull(f, hdr[:]); err != nil {
 		return res, fmt.Errorf("wal: %w", err)
+	}
+	if bill != nil {
+		if err := bill(headerSize); err != nil {
+			return res, err
+		}
 	}
 	if [8]byte(hdr[:8]) != segMagic {
 		if last {
@@ -646,6 +830,11 @@ func scanSegment(path string, last bool, fn func(Record) error) (scanResult, err
 		if _, err := io.ReadFull(f, payload); err != nil {
 			return res, fmt.Errorf("wal: %w", err)
 		}
+		if bill != nil {
+			if err := bill(frameHdr + int(length)); err != nil {
+				return res, err
+			}
+		}
 		if crc32.Checksum(payload, castagnoli) != want {
 			if frameEnd == size {
 				// Garbled final frame with nothing after it: torn write.
@@ -674,8 +863,8 @@ func scanSegment(path string, last bool, fn func(Record) error) (scanResult, err
 
 // listSegments enumerates dir's wal-NNNNNNNN.log files in sequence order,
 // verifying the numbering is gapless.
-func listSegments(dir string) ([]segmentInfo, error) {
-	names, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+func listSegments(fsys vfs.FS, dir string) ([]segmentInfo, error) {
+	names, err := fsys.Glob(filepath.Join(dir, "wal-*.log"))
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -685,7 +874,7 @@ func listSegments(dir string) ([]segmentInfo, error) {
 		if _, err := fmt.Sscanf(filepath.Base(p), "wal-%d.log", &seq); err != nil || seq == 0 {
 			continue // foreign file; leave it alone
 		}
-		st, err := os.Stat(p)
+		st, err := fsys.Stat(p)
 		if err != nil {
 			return nil, fmt.Errorf("wal: %w", err)
 		}
@@ -701,9 +890,29 @@ func listSegments(dir string) ([]segmentInfo, error) {
 	return segs, nil
 }
 
+// VerifySegment re-reads a sealed segment and verifies every frame CRC — the
+// scrubber's check for latent damage (bit rot, lost writes) in acknowledged
+// history. bill, when non-nil, paces the read (see scanSegment). Returns
+// ErrCorrupt-wrapped errors on damage; a missing file surfaces as the
+// underlying not-exist error so callers can treat pruned segments as gone,
+// not damaged.
+func VerifySegment(fsys vfs.FS, path string, bill func(int) error) error {
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	res, err := scanSegment(fsys, path, false, nil, bill)
+	if err != nil {
+		return err
+	}
+	if res.reset || res.truncate >= 0 {
+		return fmt.Errorf("%w: sealed segment %s has a torn tail", ErrCorrupt, filepath.Base(path))
+	}
+	return nil
+}
+
 // truncateFile truncates path to size and syncs the result.
-func truncateFile(path string, size int64) error {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+func truncateFile(fsys vfs.FS, path string, size int64) error {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -718,13 +927,8 @@ func truncateFile(path string, size int64) error {
 }
 
 // syncDir fsyncs a directory so renames and file creations are durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("wal: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+func syncDir(fsys vfs.FS, dir string) error {
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("wal: sync dir: %w", err)
 	}
 	return nil

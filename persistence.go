@@ -54,9 +54,18 @@ func SaveIndex(eng *Engine, path string) error {
 		os.Remove(tmp)
 		return fmt.Errorf("tea: %w", err)
 	}
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
+	// The rename is not durable until the directory entry is: a crash before
+	// the directory sync can silently resurrect the previous index.
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("tea: sync index dir: %w", err)
+	}
+	if err := d.Sync(); err != nil {
 		d.Close()
+		return fmt.Errorf("tea: sync index dir: %w", err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("tea: sync index dir: %w", err)
 	}
 	return nil
 }
