@@ -18,6 +18,14 @@
 //
 //	teabench -quick -dataset growth bench
 //
+// The bench experiment's -kernel flag selects the walk kernel (auto, scalar,
+// batch) or A/Bs both in one invocation (-kernel=both): scalar and batch each
+// get a warmup plus -bench-runs measured runs against the same engine, and
+// the per-kernel numbers land in the kernels[] section of -bench-out so CI
+// can gate on the batch kernel not regressing below the scalar baseline:
+//
+//	teabench -quick -dataset growth -kernel=both bench
+//
 // With -trace-out the bench experiment additionally executes one fully
 // traced run (after the measured ones, so tracing never skews the recorded
 // numbers) and writes it as a Chrome trace_event JSON document loadable in
@@ -42,6 +50,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/tea-graph/tea/internal/core"
 	"github.com/tea-graph/tea/internal/experiments"
 	"github.com/tea-graph/tea/internal/gen"
 )
@@ -58,6 +67,7 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit rows as JSON instead of tables")
 		benchOut = flag.String("bench-out", "BENCH_walks.json", "output path for the bench experiment")
 		benchN   = flag.Int("bench-runs", 5, "measured runs for the bench experiment")
+		kernel   = flag.String("kernel", "auto", "walk kernel for the bench experiment (auto|scalar|batch|both)")
 		traceOut = flag.String("trace-out", "", "write one traced bench run as Chrome trace_event JSON (bench experiment only)")
 		cacheOut = flag.String("cache-out", "BENCH_cache.json", "output path for the cache experiment")
 	)
@@ -104,7 +114,11 @@ func main() {
 	}
 	for _, name := range args {
 		if name == "bench" {
-			runBench(cfg, *benchN, *benchOut, *traceOut, *asJSON)
+			kernels, err := parseKernels(*kernel)
+			if err != nil {
+				fatal(err)
+			}
+			runBench(cfg, *benchN, *benchOut, *traceOut, *asJSON, kernels)
 			continue
 		}
 		if name == "cache" {
@@ -140,9 +154,22 @@ func runCache(cfg experiments.Config, cacheOut string, asJSON bool) {
 	fmt.Printf("wrote %s\n(%s elapsed)\n\n", cacheOut, time.Since(start).Round(time.Millisecond))
 }
 
+// parseKernels resolves the -kernel flag: a single kernel name, or "both"
+// for the scalar-vs-batch A/B (scalar measured first).
+func parseKernels(s string) ([]core.Kernel, error) {
+	if s == "both" {
+		return []core.Kernel{core.KernelScalar, core.KernelBatch}, nil
+	}
+	k, err := core.ParseKernel(s)
+	if err != nil {
+		return nil, err
+	}
+	return []core.Kernel{k}, nil
+}
+
 // runBench records the walk-throughput baseline to benchOut; with a
 // non-empty traceOut it also captures one traced run as a Chrome trace.
-func runBench(cfg experiments.Config, runs int, benchOut, traceOut string, asJSON bool) {
+func runBench(cfg experiments.Config, runs int, benchOut, traceOut string, asJSON bool, kernels []core.Kernel) {
 	if !asJSON {
 		fmt.Printf("== %s ==\n", title("bench"))
 	}
@@ -152,9 +179,9 @@ func runBench(cfg experiments.Config, runs int, benchOut, traceOut string, asJSO
 		err error
 	)
 	if traceOut != "" {
-		res, err = experiments.WalkBenchTrace(cfg, runs, traceOut)
+		res, err = experiments.WalkBenchTrace(cfg, runs, traceOut, kernels)
 	} else {
-		res, err = experiments.WalkBench(cfg, runs)
+		res, err = experiments.WalkBenchKernels(cfg, runs, kernels)
 	}
 	if err != nil {
 		fatal(err)

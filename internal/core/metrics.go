@@ -23,6 +23,15 @@ var (
 	mSteps          = metrics.Default.Counter("tea_engine_steps_total")
 	mEdgesEvaluated = metrics.Default.Counter("tea_engine_edges_evaluated_total")
 
+	// Per-walk terminal classifications; the four sum to tea_engine_walks_total
+	// because every started walk is classified exactly once (walk.go).
+	// Cancellation is split from dead ends so a cancelled run does not
+	// masquerade as a graph full of temporal dead ends.
+	mWalksCompleted = metrics.Default.Counter("tea_engine_walks_completed_total")
+	mWalksDeadEnded = metrics.Default.Counter("tea_engine_walks_dead_ended_total")
+	mWalksCancelled = metrics.Default.Counter("tea_engine_walks_cancelled_total")
+	mWalksPanicked  = metrics.Default.Counter("tea_engine_walks_panicked_total")
+
 	mRunSeconds = metrics.Default.Histogram("tea_engine_run_seconds")
 
 	mLastWalksPerSec = metrics.Default.Gauge("tea_engine_last_run_walks_per_second")
@@ -43,6 +52,10 @@ func publishRun(cost stats.Cost, dur time.Duration, err error) {
 		mRunsPanicked.Inc()
 	}
 	mWalks.Add(cost.WalksStarted)
+	mWalksCompleted.Add(cost.WalksCompleted)
+	mWalksDeadEnded.Add(cost.WalksDeadEnded)
+	mWalksCancelled.Add(cost.WalksCancelled)
+	mWalksPanicked.Add(cost.WalksPanicked)
 	mSteps.Add(cost.Steps)
 	mEdgesEvaluated.Add(cost.EdgesEvaluated)
 	mRunSeconds.Observe(dur.Seconds())

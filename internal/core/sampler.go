@@ -39,6 +39,40 @@ type ContextSampler interface {
 	SampleCtx(ctx context.Context, u temporal.Vertex, k int, r *xrand.Rand) (edgeIdx int, evaluated int64, ok bool)
 }
 
+// BatchSampler is optionally implemented by samplers that can draw for a
+// whole frontier in one call. The batched walk kernel (see batch.go) gathers
+// the live walkers' positions into flat arrays and hands them over together,
+// which lets implementations amortize per-call overhead (slice-header loads,
+// dynamic dispatch) and — for the disk-backed samplers — deliberately
+// coalesce block fetches for walkers parked on the same vertex.
+//
+// The contract is element-wise identical to Sample: for every i,
+// (edges[i], evals[i], oks[i]) must equal what Sample(us[i], ks[i], rs[i])
+// would have produced, consuming rs[i] identically — the scalar path is the
+// batched path's correctness oracle. All five slices share one length.
+// Implementations must be safe for concurrent use by multiple goroutines
+// operating on disjoint frontier chunks.
+//
+// ctx follows the ContextSampler convention: the engine threads the run
+// context only when the run is traced or the sampler performs I/O;
+// in-memory samplers ignore it.
+type BatchSampler interface {
+	Sampler
+	// SampleBatch draws one edge per frontier entry: us[i] is the walker's
+	// vertex, ks[i] its candidate count, rs[i] its private random stream.
+	SampleBatch(ctx context.Context, us []temporal.Vertex, ks []int32, rs []*xrand.Rand, edges []int32, evals []int64, oks []bool)
+}
+
+// FrontierGrouper is optionally implemented by BatchSamplers whose per-draw
+// cost drops when walkers on the same vertex arrive adjacently (the
+// disk-backed samplers: one trunk/adjacency fetch then serves the whole
+// group through the block cache). When it returns true the batched kernel
+// sorts each step's frontier by vertex before sampling; in-memory samplers
+// skip the sort because a RAM lookup is cheaper than ordering the frontier.
+type FrontierGrouper interface {
+	WantsGroupedFrontier() bool
+}
+
 // ITSSampler samples candidate prefixes by inverse transform sampling over
 // per-vertex per-edge prefix sums: O(log D) per draw and O(D) space. §5.4
 // notes ITS slots directly into TEA because the newest-first edge order
@@ -105,6 +139,46 @@ func (s *ITSSampler) Sample(u temporal.Vertex, k int, r *xrand.Rand) (int, int64
 		}
 	}
 	return lo, eval + 1, true
+}
+
+// SampleBatch implements BatchSampler: the per-entry draw is exactly Sample,
+// with the index's slice headers hoisted out of the loop.
+func (s *ITSSampler) SampleBatch(_ context.Context, us []temporal.Vertex, ks []int32, rs []*xrand.Rand, edges []int32, evals []int64, oks []bool) {
+	cumAll, offAll := s.cum, s.off
+	for i, u := range us {
+		k := int(ks[i])
+		if k <= 0 {
+			edges[i], evals[i], oks[i] = 0, 0, false
+			continue
+		}
+		deg := s.g.Degree(u)
+		if deg == 0 {
+			edges[i], evals[i], oks[i] = 0, 0, false
+			continue
+		}
+		if k > deg {
+			k = deg
+		}
+		cum := cumAll[offAll[u] : offAll[u]+int64(deg)+1]
+		total := cum[k]
+		if !(total > 0) {
+			edges[i], evals[i], oks[i] = 0, 0, false
+			continue
+		}
+		x := rs[i].Range(total)
+		lo, hi := 0, k-1
+		var eval int64
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			eval++
+			if cum[mid+1] > x {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		edges[i], evals[i], oks[i] = int32(lo), eval+1, true
+	}
 }
 
 // MemoryBytes implements Sampler: the cumulative arrays plus shared weights.

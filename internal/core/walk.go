@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 	"unsafe"
 
@@ -19,6 +20,65 @@ import (
 // acceptance probability per trial is ≥ 1/4 and the cap is unreachable in
 // practice. Hitting the cap force-accepts the last proposal.
 const betaTrialCap = 4096
+
+// ctxCheckMask amortizes the in-walk cancellation poll: the scalar step loop
+// checks ctx.Err() whenever steps&ctxCheckMask == ctxCheckMask, so a single
+// walk of config-overridable length (up to 2×10⁹ steps) honors cancellation
+// within at most ctxCheckMask+1 steps while the default 80-step walk pays no
+// extra check at all.
+const ctxCheckMask = 1023
+
+// scalarGrain is the number of walks a scalar-kernel worker claims per bump
+// of the shared cursor: small enough that skewed walk lengths cannot idle a
+// worker behind one overloaded static chunk, large enough that the atomic
+// add is amortized over many walks.
+const scalarGrain = 16
+
+// Kernel selects the walk execution strategy of a run.
+type Kernel int
+
+const (
+	// KernelAuto picks the batched step-synchronous kernel when the engine's
+	// sampler implements BatchSampler and the run is large enough to fill a
+	// frontier, and the scalar kernel otherwise (small runs, external
+	// samplers without a batch path).
+	KernelAuto Kernel = iota
+	// KernelScalar walks one walker at a time per worker — the original loop
+	// and the batched kernel's correctness oracle.
+	KernelScalar
+	// KernelBatch executes walks as synchronized batched steps over flat
+	// struct-of-arrays state (see batch.go). Requires a BatchSampler; the
+	// engine falls back to KernelScalar when the sampler has none.
+	KernelBatch
+)
+
+// String names the kernel.
+func (k Kernel) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelScalar:
+		return "scalar"
+	case KernelBatch:
+		return "batch"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// ParseKernel converts a flag value into a Kernel.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "", "auto":
+		return KernelAuto, nil
+	case "scalar":
+		return KernelScalar, nil
+	case "batch":
+		return KernelBatch, nil
+	default:
+		return KernelAuto, fmt.Errorf("core: unknown kernel %q (want auto, scalar, or batch)", s)
+	}
+}
 
 // WalkConfig parameterizes a walk run: R walks of length L per start vertex,
 // mirroring the paper's evaluation setup (R=1, L=80 for Table 4).
@@ -48,6 +108,15 @@ type WalkConfig struct {
 	// KeepPaths stores the sampled paths in the result (memory-heavy on big
 	// runs; experiments leave it off, examples turn it on).
 	KeepPaths bool
+	// Kernel selects the execution strategy; the zero value (KernelAuto)
+	// chooses automatically. Both kernels replay byte-identical seeded walks
+	// — walker randomness is derived from (walk id, step) regardless of how
+	// walkers are scheduled — so the choice affects only throughput.
+	Kernel Kernel
+	// BatchWave bounds how many walks the batched kernel keeps resident in
+	// its flat state at once; <=0 selects DefaultBatchWave. Ignored by the
+	// scalar kernel.
+	BatchWave int
 	// Visitor, if non-nil, is invoked for every step as it is sampled —
 	// walker-centric stream processing without storing paths. Walkers run in
 	// parallel, so the callback MUST be safe for concurrent use; walkID
@@ -65,6 +134,9 @@ func (c *WalkConfig) normalize() {
 	if !c.HasStartTime && c.StartTime == 0 {
 		c.StartTime = temporal.MinTime
 	}
+	if c.BatchWave <= 0 {
+		c.BatchWave = DefaultBatchWave
+	}
 }
 
 // Path is one sampled temporal walk: the visited vertices and the timestamps
@@ -79,7 +151,10 @@ type Path struct {
 type Result struct {
 	Cost     stats.Cost
 	Duration time.Duration
-	// Lengths histograms the realized walk lengths (steps per walk).
+	// Lengths histograms the realized walk lengths (steps per walk) of every
+	// walk that ran to a graph- or context-determined end; walks aborted by
+	// a recovered panic are excluded (they are counted in
+	// Cost.WalksPanicked instead).
 	Lengths *stats.Histogram
 	// Paths holds the sampled walks when WalkConfig.KeepPaths is set, in
 	// deterministic (source-major) order.
@@ -93,10 +168,26 @@ func (e *Engine) Run(cfg WalkConfig) (*Result, error) {
 	return e.RunContext(context.Background(), cfg)
 }
 
-// RunContext executes the configured walks in parallel under ctx. Workers
-// check the context between walks, so cancellation (or a deadline) aborts the
-// run within roughly one walk length; the partial Result accumulated so far
-// is returned together with ctx.Err(). A panic in a user callback (Visitor,
+// RunContext executes the configured walks in parallel under ctx.
+//
+// Execution is kernel-dispatched (WalkConfig.Kernel): the scalar kernel
+// walks one walker at a time per worker, claiming walks off a shared cursor
+// so skewed walk lengths cannot idle workers behind a static chunk split;
+// the batched kernel (batch.go) advances the whole frontier one synchronized
+// step at a time over flat struct-of-arrays state. Walker randomness is
+// derived from (walk id, step) via root.Split(walkID) in both, so the two
+// kernels — and any worker/wave schedule within them — replay byte-identical
+// seeded walks.
+//
+// Cancellation is honored between walks, every ctxCheckMask+1 steps inside a
+// walk, and (in the batched kernel) between frontier chunks, so a deadline
+// aborts the run promptly even when a single walk is billions of steps long;
+// the partial Result accumulated so far is returned together with ctx.Err().
+// Every started walk is classified exactly once in Result.Cost:
+// WalksCompleted (reached Length), WalksDeadEnded (ran out of temporal
+// candidates), WalksCancelled (cut short by ctx), or WalksPanicked (aborted
+// by a recovered panic in user code), so WalksStarted ==
+// Cost.WalksFinished() always holds. A panic in a user callback (Visitor,
 // App.Parameter, a custom weight) is recovered, aborts the run, and is
 // reported as an error naming the offending walk — the process and any
 // concurrent runs on the same engine survive. It is safe to call RunContext
@@ -122,6 +213,7 @@ func (e *Engine) RunContext(ctx context.Context, cfg WalkConfig) (*Result, error
 		}
 	}
 	totalWalks := len(sources) * cfg.WalksPerVertex
+	kern, bs := e.resolveKernel(cfg.Kernel, totalWalks, threads)
 
 	// Tracing: nil runSpan (the overwhelmingly common case) keeps the run on
 	// the exact pre-trace path — workers skip batch spans and the sampler is
@@ -131,6 +223,7 @@ func (e *Engine) RunContext(ctx context.Context, cfg WalkConfig) (*Result, error
 	var ctxSampler ContextSampler
 	if runSpan != nil {
 		runSpan.SetStr("sampler", e.sampler.Name())
+		runSpan.SetStr("kernel", kern.String())
 		runSpan.SetInt("walks", int64(totalWalks))
 		runSpan.SetInt("length", int64(cfg.Length))
 		runSpan.SetInt("threads", int64(threads))
@@ -167,65 +260,16 @@ func (e *Engine) RunContext(ctx context.Context, cfg WalkConfig) (*Result, error
 	}
 
 	start := time.Now()
-	var wg sync.WaitGroup
 	results := make([]walkerState, threads)
-	chunk := (totalWalks + threads - 1) / threads
-	if chunk == 0 {
-		chunk = 1
-	}
-	for w := 0; w < threads; w++ {
-		lo := w * chunk
-		if lo >= totalWalks {
-			break
-		}
-		hi := lo + chunk
-		if hi > totalWalks {
-			hi = totalWalks
-		}
-		wg.Add(1)
-		go func(worker, lo, hi int) {
-			defer wg.Done()
-			bctx := runCtx
-			var bsp *trace.Span
-			if runSpan != nil {
-				bctx, bsp = trace.Start(runCtx, "walk_batch")
-				bsp.SetInt("worker", int64(worker))
-				bsp.SetInt("walks", int64(hi-lo))
-			}
-			st := &results[worker]
-			st.lengths = stats.NewHistogram(cfg.Length + 1)
-			for wi := lo; wi < hi; wi++ {
-				if runCtx.Err() != nil {
-					break
-				}
-				src := sources[wi/cfg.WalksPerVertex]
-				r := root.Split(uint64(wi))
-				p, err := e.walkOneSafe(bctx, ctxSampler, wi, src, cfg, r, st)
-				if err != nil {
-					fail(err)
-					break
-				}
-				if cfg.KeepPaths {
-					result.Paths[wi] = p
-				}
-			}
-			if bsp != nil {
-				// Per-batch hot-layer aggregates: sampled steps, slots the
-				// sampler examined (trunk/level traffic for HPAT/PAT), and
-				// the Dynamic_parameter rejection counters.
-				bsp.SetInt("steps", st.cost.Steps)
-				bsp.SetInt("edges_evaluated", st.cost.EdgesEvaluated)
-				bsp.SetInt("trials", st.cost.Trials)
-				bsp.SetInt("rejected", st.cost.Rejected)
-				bsp.End()
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
 	for i := range results {
-		if results[i].lengths == nil {
-			continue
-		}
+		results[i].lengths = stats.NewHistogram(cfg.Length + 1)
+	}
+	if kern == KernelBatch {
+		e.runBatch(runCtx, runSpan, cfg, bs, sources, totalWalks, threads, root, result, results, fail)
+	} else {
+		e.runScalar(runCtx, runSpan, cfg, ctxSampler, sources, totalWalks, threads, root, result, results, fail)
+	}
+	for i := range results {
 		result.Cost.Add(results[i].cost)
 		result.Lengths.Merge(results[i].lengths)
 	}
@@ -241,6 +285,7 @@ func (e *Engine) RunContext(ctx context.Context, cfg WalkConfig) (*Result, error
 		runSpan.SetInt("steps", result.Cost.Steps)
 		runSpan.SetInt("edges_evaluated", result.Cost.EdgesEvaluated)
 		runSpan.SetInt("walks_dead_ended", result.Cost.WalksDeadEnded)
+		runSpan.SetInt("walks_cancelled", result.Cost.WalksCancelled)
 		if err != nil {
 			runSpan.SetError(err)
 			kind := trace.KindError
@@ -257,11 +302,106 @@ func (e *Engine) RunContext(ctx context.Context, cfg WalkConfig) (*Result, error
 	return result, nil
 }
 
+// resolveKernel maps the configured kernel to the one that will actually
+// run. The batched kernel needs a BatchSampler; KernelAuto additionally
+// requires the run to be large enough that a frontier forms — tiny runs
+// (single API walks) stay on the scalar kernel, whose per-walk latency is
+// lower than a step-synchronized wave.
+func (e *Engine) resolveKernel(k Kernel, totalWalks, threads int) (Kernel, BatchSampler) {
+	if k == KernelScalar {
+		return KernelScalar, nil
+	}
+	bs, ok := e.sampler.(BatchSampler)
+	if !ok {
+		return KernelScalar, nil
+	}
+	if k == KernelBatch {
+		return KernelBatch, bs
+	}
+	if totalWalks >= batchAutoMinWalks && totalWalks >= 4*threads {
+		return KernelBatch, bs
+	}
+	return KernelScalar, nil
+}
+
+// runScalar is the scalar kernel: workers claim scalarGrain-sized runs of
+// walk ids off a shared cursor (dynamic distribution — a worker that drew
+// short, dead-ending walks immediately claims more instead of idling behind
+// a static chunk) and walk each one to completion.
+func (e *Engine) runScalar(runCtx context.Context, runSpan *trace.Span, cfg WalkConfig, ctxSampler ContextSampler, sources []temporal.Vertex, totalWalks, threads int, root *xrand.Rand, result *Result, results []walkerState, fail func(error)) {
+	var (
+		wg     sync.WaitGroup
+		cursor atomic.Int64
+	)
+	workers := threads
+	if workers > totalWalks {
+		workers = totalWalks
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			bctx := runCtx
+			var bsp *trace.Span
+			if runSpan != nil {
+				bctx, bsp = trace.Start(runCtx, "walk_batch")
+				bsp.SetInt("worker", int64(worker))
+			}
+			st := &results[worker]
+			walked := 0
+		claim:
+			for {
+				lo := int(cursor.Add(scalarGrain)) - scalarGrain
+				if lo >= totalWalks {
+					break
+				}
+				hi := lo + scalarGrain
+				if hi > totalWalks {
+					hi = totalWalks
+				}
+				for wi := lo; wi < hi; wi++ {
+					if runCtx.Err() != nil {
+						break claim
+					}
+					src := sources[wi/cfg.WalksPerVertex]
+					r := root.Split(uint64(wi))
+					p, err := e.walkOneSafe(bctx, ctxSampler, wi, src, cfg, r, st)
+					walked++
+					if err != nil {
+						fail(err)
+						break claim
+					}
+					if cfg.KeepPaths {
+						result.Paths[wi] = p
+					}
+				}
+			}
+			if bsp != nil {
+				// Per-batch hot-layer aggregates: sampled steps, slots the
+				// sampler examined (trunk/level traffic for HPAT/PAT), and
+				// the Dynamic_parameter rejection counters.
+				bsp.SetInt("walks", int64(walked))
+				bsp.SetInt("steps", st.cost.Steps)
+				bsp.SetInt("edges_evaluated", st.cost.EdgesEvaluated)
+				bsp.SetInt("trials", st.cost.Trials)
+				bsp.SetInt("rejected", st.cost.Rejected)
+				bsp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // walkOneSafe runs one walk, converting a panic in user code into an error
-// that names the walk instead of crashing the process.
+// that names the walk instead of crashing the process. The panicked walk is
+// accounted explicitly (Cost.WalksPanicked) so the started ==
+// completed + dead-ended + cancelled + panicked invariant survives the
+// abort; its length is not observed in the histogram because the walk has no
+// graph-determined end.
 func (e *Engine) walkOneSafe(ctx context.Context, cs ContextSampler, walkID int, src temporal.Vertex, cfg WalkConfig, r *xrand.Rand, st *walkerState) (p Path, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
+			st.cost.WalksPanicked++
 			err = fmt.Errorf("core: walk %d from vertex %d panicked: %v", walkID, src, rec)
 		}
 	}()
@@ -281,6 +421,23 @@ type walkerState struct {
 	cost    stats.Cost
 	lengths *stats.Histogram
 	_       [64 - (unsafe.Sizeof(stats.Cost{})+8)%64]byte // round fields up to a line
+}
+
+// finishWalk classifies one terminated walk: completion when it reached the
+// configured length, cancellation when it ended early while the run's
+// context was being torn down (a cancelled sampler returning ok=false is
+// indistinguishable from a temporal dead end at the sampler contract, so the
+// context is the tiebreaker), and a genuine temporal dead end otherwise.
+func (st *walkerState) finishWalk(ctx context.Context, steps, length int) {
+	st.lengths.Observe(steps)
+	switch {
+	case steps == length:
+		st.cost.WalksCompleted++
+	case ctx.Err() != nil:
+		st.cost.WalksCancelled++
+	default:
+		st.cost.WalksDeadEnded++
+	}
 }
 
 // walkOne runs a single temporal walk from src, implementing the main loop of
@@ -305,6 +462,9 @@ func (e *Engine) walkOne(ctx context.Context, cs ContextSampler, walkID int, src
 	for steps < cfg.Length {
 		if k == 0 {
 			break
+		}
+		if steps&ctxCheckMask == ctxCheckMask && ctx.Err() != nil {
+			break // long walk: honor cancellation mid-walk, keep the partial walk
 		}
 		var (
 			edgeIdx int
@@ -360,11 +520,6 @@ func (e *Engine) walkOne(ctx context.Context, cs ContextSampler, walkID int, src
 		u = dst
 		steps++
 	}
-	st.lengths.Observe(steps)
-	if steps == cfg.Length {
-		st.cost.WalksCompleted++
-	} else {
-		st.cost.WalksDeadEnded++
-	}
+	st.finishWalk(ctx, steps, cfg.Length)
 	return p
 }

@@ -15,8 +15,9 @@ import (
 )
 
 // BenchSchema versions the BENCH_walks.json layout so future PRs can detect
-// incompatible baselines instead of mis-diffing them.
-const BenchSchema = "tea/bench-walks/v1"
+// incompatible baselines instead of mis-diffing them. v2 adds the per-kernel
+// A/B section (kernels[]) and the kernel name to the config block.
+const BenchSchema = "tea/bench-walks/v2"
 
 // BenchConfigOut records the exact configuration a benchmark ran under;
 // trajectory diffs are only meaningful between identical configurations.
@@ -26,6 +27,7 @@ type BenchConfigOut struct {
 	Edges          int    `json:"edges"`
 	Algorithm      string `json:"algorithm"`
 	Sampler        string `json:"sampler"`
+	Kernel         string `json:"kernel"`
 	WalksPerVertex int    `json:"walks_per_vertex"`
 	Length         int    `json:"length"`
 	Threads        int    `json:"threads"`
@@ -34,10 +36,33 @@ type BenchConfigOut struct {
 	GoMaxProcs     int    `json:"gomaxprocs"`
 }
 
+// KernelBench is one walk-kernel variant's measured throughput inside an A/B
+// bench: same engine, same workload, only WalkConfig.Kernel differs.
+type KernelBench struct {
+	Kernel string `json:"kernel"`
+
+	WalksPerSec  float64 `json:"walks_per_sec"`
+	StepsPerSec  float64 `json:"steps_per_sec"`
+	EdgesPerSec  float64 `json:"edges_per_sec"`
+	EdgesPerStep float64 `json:"edges_per_step"`
+
+	TotalWalks   int64   `json:"total_walks"`
+	TotalSteps   int64   `json:"total_steps"`
+	TotalSeconds float64 `json:"total_seconds"`
+
+	P50RunSeconds float64   `json:"p50_run_seconds"`
+	P95RunSeconds float64   `json:"p95_run_seconds"`
+	P99RunSeconds float64   `json:"p99_run_seconds"`
+	MaxRunSeconds float64   `json:"max_run_seconds"`
+	RunSeconds    []float64 `json:"run_seconds"`
+}
+
 // BenchResult is the machine-readable walk-throughput baseline that
 // cmd/teabench writes to BENCH_walks.json: the canonical headline metrics
 // (walks/s, steps/s, edges/step) plus the run-latency distribution, so every
-// future PR can diff its numbers against the recorded trajectory.
+// future PR can diff its numbers against the recorded trajectory. When the
+// bench ran more than one kernel (-kernel=both), Kernels holds every variant
+// and the headline numbers mirror the last variant measured.
 type BenchResult struct {
 	Schema    string         `json:"schema"`
 	Timestamp string         `json:"timestamp"`
@@ -61,6 +86,11 @@ type BenchResult struct {
 	MaxRunSeconds float64   `json:"max_run_seconds"`
 	RunSeconds    []float64 `json:"run_seconds"`
 
+	// Kernels holds one entry per measured kernel variant, in measurement
+	// order (scalar before batch for -kernel=both, so the batch entry's
+	// speedup is diffable against a warmed process).
+	Kernels []KernelBench `json:"kernels"`
+
 	PreprocessSeconds float64 `json:"preprocess_seconds"`
 }
 
@@ -68,18 +98,27 @@ type BenchResult struct {
 // the first profile of cfg (exponential-decay walk, the paper's headline
 // application), runs the configured walk workload `runs` times, and
 // aggregates throughput plus the run-latency distribution. One untimed
-// warmup run precedes the measured ones.
+// warmup run precedes the measured ones. The kernel is left on auto.
 func WalkBench(cfg Config, runs int) (*BenchResult, error) {
-	res, _, _, err := walkBench(cfg, runs)
+	res, _, _, err := walkBench(cfg, runs, []core.Kernel{core.KernelAuto})
+	return res, err
+}
+
+// WalkBenchKernels is WalkBench over an explicit list of walk kernels: each
+// kernel gets its own warmup plus `runs` measured runs against the same
+// engine and workload, recorded as one KernelBench entry. The headline
+// numbers of the result mirror the last kernel in the list.
+func WalkBenchKernels(cfg Config, runs int, kernels []core.Kernel) (*BenchResult, error) {
+	res, _, _, err := walkBench(cfg, runs, kernels)
 	return res, err
 }
 
 // WalkBenchTrace is WalkBench plus one extra, fully-traced run executed
 // after the measured ones — tracing never touches the measured numbers — and
 // written to traceOut as a Chrome trace_event document loadable in
-// chrome://tracing or Perfetto.
-func WalkBenchTrace(cfg Config, runs int, traceOut string) (*BenchResult, error) {
-	res, eng, wcfg, err := walkBench(cfg, runs)
+// chrome://tracing or Perfetto. The traced run uses the last kernel measured.
+func WalkBenchTrace(cfg Config, runs int, traceOut string, kernels []core.Kernel) (*BenchResult, error) {
+	res, eng, wcfg, err := walkBench(cfg, runs, kernels)
 	if err != nil {
 		return nil, err
 	}
@@ -87,6 +126,7 @@ func WalkBenchTrace(cfg Config, runs int, traceOut string) (*BenchResult, error)
 	id := tr.NewID()
 	ctx, root := tr.StartRoot(context.Background(), "teabench.bench", id)
 	root.SetStr("dataset", res.Config.Dataset)
+	root.SetStr("kernel", wcfg.Kernel.String())
 	_, runErr := eng.RunContext(ctx, wcfg)
 	root.SetError(runErr)
 	root.End()
@@ -111,10 +151,13 @@ func WalkBenchTrace(cfg Config, runs int, traceOut string) (*BenchResult, error)
 	return res, nil
 }
 
-func walkBench(cfg Config, runs int) (*BenchResult, *core.Engine, core.WalkConfig, error) {
+func walkBench(cfg Config, runs int, kernels []core.Kernel) (*BenchResult, *core.Engine, core.WalkConfig, error) {
 	cfg = cfg.normalized()
 	if runs <= 0 {
 		runs = 5
+	}
+	if len(kernels) == 0 {
+		kernels = []core.Kernel{core.KernelAuto}
 	}
 	p := cfg.Profiles[0]
 	g, err := p.Build()
@@ -129,16 +172,10 @@ func walkBench(cfg Config, runs int) (*BenchResult, *core.Engine, core.WalkConfi
 	}
 	prep := time.Since(prepStart)
 
-	wcfg := core.WalkConfig{
-		WalksPerVertex: cfg.WalksPerVertex,
-		Length:         cfg.Length,
-		Threads:        cfg.Threads,
-		Seed:           cfg.Seed,
+	kernelName := kernels[0].String()
+	if len(kernels) > 1 {
+		kernelName = "both"
 	}
-	if _, err := eng.Run(wcfg); err != nil { // warmup
-		return nil, nil, core.WalkConfig{}, err
-	}
-
 	res := &BenchResult{
 		Schema:    BenchSchema,
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
@@ -148,6 +185,7 @@ func walkBench(cfg Config, runs int) (*BenchResult, *core.Engine, core.WalkConfi
 			Edges:          g.NumEdges(),
 			Algorithm:      app.Name,
 			Sampler:        eng.Sampler().Name(),
+			Kernel:         kernelName,
 			WalksPerVertex: cfg.WalksPerVertex,
 			Length:         cfg.Length,
 			Threads:        cfg.Threads,
@@ -157,33 +195,71 @@ func walkBench(cfg Config, runs int) (*BenchResult, *core.Engine, core.WalkConfi
 		},
 		PreprocessSeconds: prep.Seconds(),
 	}
+
+	var lastCfg core.WalkConfig
+	for _, kern := range kernels {
+		wcfg := core.WalkConfig{
+			WalksPerVertex: cfg.WalksPerVertex,
+			Length:         cfg.Length,
+			Threads:        cfg.Threads,
+			Seed:           cfg.Seed,
+			Kernel:         kern,
+		}
+		lastCfg = wcfg
+		kb, err := benchKernel(eng, wcfg, runs)
+		if err != nil {
+			return nil, nil, core.WalkConfig{}, err
+		}
+		res.Kernels = append(res.Kernels, kb)
+	}
+
+	// Headline numbers mirror the last variant so single-kernel benches keep
+	// their v1 shape and A/B benches lead with the batch numbers.
+	last := res.Kernels[len(res.Kernels)-1]
+	res.WalksPerSec, res.StepsPerSec, res.EdgesPerSec, res.EdgesPerStep =
+		last.WalksPerSec, last.StepsPerSec, last.EdgesPerSec, last.EdgesPerStep
+	res.TotalWalks, res.TotalSteps, res.TotalSeconds =
+		last.TotalWalks, last.TotalSteps, last.TotalSeconds
+	res.P50RunSeconds, res.P95RunSeconds, res.P99RunSeconds, res.MaxRunSeconds =
+		last.P50RunSeconds, last.P95RunSeconds, last.P99RunSeconds, last.MaxRunSeconds
+	res.RunSeconds = last.RunSeconds
+	return res, eng, lastCfg, nil
+}
+
+// benchKernel measures one kernel variant: an untimed warmup run, then `runs`
+// measured runs aggregated into a KernelBench.
+func benchKernel(eng *core.Engine, wcfg core.WalkConfig, runs int) (KernelBench, error) {
+	kb := KernelBench{Kernel: wcfg.Kernel.String()}
+	if _, err := eng.Run(wcfg); err != nil { // warmup
+		return kb, err
+	}
 	var edges int64
 	for i := 0; i < runs; i++ {
 		r, err := eng.Run(wcfg)
 		if err != nil {
-			return nil, nil, core.WalkConfig{}, err
+			return kb, err
 		}
 		secs := r.Duration.Seconds()
-		res.RunSeconds = append(res.RunSeconds, secs)
-		res.TotalWalks += r.Cost.WalksStarted
-		res.TotalSteps += r.Cost.Steps
+		kb.RunSeconds = append(kb.RunSeconds, secs)
+		kb.TotalWalks += r.Cost.WalksStarted
+		kb.TotalSteps += r.Cost.Steps
 		edges += r.Cost.EdgesEvaluated
-		res.TotalSeconds += secs
+		kb.TotalSeconds += secs
 	}
-	sort.Float64s(res.RunSeconds)
-	res.MaxRunSeconds = res.RunSeconds[len(res.RunSeconds)-1]
-	if res.TotalSeconds > 0 {
-		res.WalksPerSec = float64(res.TotalWalks) / res.TotalSeconds
-		res.StepsPerSec = float64(res.TotalSteps) / res.TotalSeconds
-		res.EdgesPerSec = float64(edges) / res.TotalSeconds
+	sort.Float64s(kb.RunSeconds)
+	kb.MaxRunSeconds = kb.RunSeconds[len(kb.RunSeconds)-1]
+	if kb.TotalSeconds > 0 {
+		kb.WalksPerSec = float64(kb.TotalWalks) / kb.TotalSeconds
+		kb.StepsPerSec = float64(kb.TotalSteps) / kb.TotalSeconds
+		kb.EdgesPerSec = float64(edges) / kb.TotalSeconds
 	}
-	if res.TotalSteps > 0 {
-		res.EdgesPerStep = float64(edges) / float64(res.TotalSteps)
+	if kb.TotalSteps > 0 {
+		kb.EdgesPerStep = float64(edges) / float64(kb.TotalSteps)
 	}
-	res.P50RunSeconds = nearestRank(res.RunSeconds, 0.50)
-	res.P95RunSeconds = nearestRank(res.RunSeconds, 0.95)
-	res.P99RunSeconds = nearestRank(res.RunSeconds, 0.99)
-	return res, eng, wcfg, nil
+	kb.P50RunSeconds = nearestRank(kb.RunSeconds, 0.50)
+	kb.P95RunSeconds = nearestRank(kb.RunSeconds, 0.95)
+	kb.P99RunSeconds = nearestRank(kb.RunSeconds, 0.99)
+	return kb, nil
 }
 
 // nearestRank returns the q-quantile of sorted samples by the nearest-rank
@@ -212,13 +288,28 @@ func WriteBench(res *BenchResult, path string) error {
 	return nil
 }
 
-// RenderBench renders the headline numbers for the terminal.
+// RenderBench renders the headline numbers for the terminal, plus one line
+// per kernel variant (and the batch-over-scalar speedup) for A/B benches.
 func RenderBench(res *BenchResult) string {
-	return fmt.Sprintf(
-		"dataset=%s (%d vertices, %d edges) algo=%s runs=%d\n"+
+	s := fmt.Sprintf(
+		"dataset=%s (%d vertices, %d edges) algo=%s kernel=%s runs=%d\n"+
 			"walks/s=%.0f steps/s=%.0f edges/step=%.2f\n"+
 			"run latency p50=%.4fs p95=%.4fs p99=%.4fs max=%.4fs\n",
-		res.Config.Dataset, res.Config.Vertices, res.Config.Edges, res.Config.Algorithm, res.Config.Runs,
+		res.Config.Dataset, res.Config.Vertices, res.Config.Edges, res.Config.Algorithm,
+		res.Config.Kernel, res.Config.Runs,
 		res.WalksPerSec, res.StepsPerSec, res.EdgesPerStep,
 		res.P50RunSeconds, res.P95RunSeconds, res.P99RunSeconds, res.MaxRunSeconds)
+	if len(res.Kernels) > 1 {
+		var scalar float64
+		for _, k := range res.Kernels {
+			s += fmt.Sprintf("  kernel=%-6s steps/s=%.0f walks/s=%.0f p50=%.4fs\n",
+				k.Kernel, k.StepsPerSec, k.WalksPerSec, k.P50RunSeconds)
+			if k.Kernel == "scalar" {
+				scalar = k.StepsPerSec
+			} else if k.Kernel == "batch" && scalar > 0 {
+				s += fmt.Sprintf("  batch/scalar steps/s speedup: %.2fx\n", k.StepsPerSec/scalar)
+			}
+		}
+	}
+	return s
 }

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"github.com/tea-graph/tea/internal/core"
 	"github.com/tea-graph/tea/internal/gen"
 )
 
@@ -53,6 +55,49 @@ func TestWalkBenchWritesValidBaseline(t *testing.T) {
 	}
 	if decoded.Schema != BenchSchema || decoded.TotalWalks != res.TotalWalks {
 		t.Fatalf("roundtrip mismatch: %+v", decoded)
+	}
+}
+
+func TestWalkBenchKernelAB(t *testing.T) {
+	cfg := Quick()
+	cfg.Profiles = []gen.Profile{{Name: "t", Vertices: 80, Edges: 1200, Skew: 0.6, Seed: 5}}
+	cfg.WalksPerVertex = 4
+	cfg.Length = 12
+
+	res, err := WalkBenchKernels(cfg, 2, []core.Kernel{core.KernelScalar, core.KernelBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.Kernel != "both" {
+		t.Fatalf("config kernel = %q, want both", res.Config.Kernel)
+	}
+	if len(res.Kernels) != 2 {
+		t.Fatalf("kernel variants = %d, want 2", len(res.Kernels))
+	}
+	if res.Kernels[0].Kernel != "scalar" || res.Kernels[1].Kernel != "batch" {
+		t.Fatalf("variant order: %q, %q", res.Kernels[0].Kernel, res.Kernels[1].Kernel)
+	}
+	for _, k := range res.Kernels {
+		if k.TotalWalks != 2*80*4 {
+			t.Fatalf("kernel %s total walks = %d, want %d", k.Kernel, k.TotalWalks, 2*80*4)
+		}
+		if k.StepsPerSec <= 0 || k.WalksPerSec <= 0 {
+			t.Fatalf("kernel %s non-positive throughput: %+v", k.Kernel, k)
+		}
+	}
+	// Both kernels replay the same seeded walks, so the work done must match
+	// exactly — only the wall time may differ.
+	if res.Kernels[0].TotalSteps != res.Kernels[1].TotalSteps {
+		t.Fatalf("kernels disagree on steps: scalar=%d batch=%d",
+			res.Kernels[0].TotalSteps, res.Kernels[1].TotalSteps)
+	}
+	// Headline numbers mirror the last (batch) variant.
+	if res.StepsPerSec != res.Kernels[1].StepsPerSec || res.TotalSteps != res.Kernels[1].TotalSteps {
+		t.Fatalf("headline numbers do not mirror the batch variant")
+	}
+	out := RenderBench(res)
+	if !strings.Contains(out, "batch/scalar steps/s speedup") {
+		t.Fatalf("render missing A/B speedup line:\n%s", out)
 	}
 }
 

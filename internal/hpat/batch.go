@@ -1,0 +1,21 @@
+package hpat
+
+import (
+	"context"
+
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+// SampleBatch implements the engine's BatchSampler contract: one draw per
+// frontier entry, element-wise identical to Sample (same edge, same
+// evaluated count, same consumption of the walker's stream). The index is
+// immutable after build, so disjoint chunks may be sampled concurrently. The
+// hierarchy lives in RAM — the batched win is amortizing the per-step
+// dynamic dispatch, not I/O coalescing — so the context is ignored.
+func (idx *Index) SampleBatch(_ context.Context, us []temporal.Vertex, ks []int32, rs []*xrand.Rand, edges []int32, evals []int64, oks []bool) {
+	for i, u := range us {
+		e, ev, ok := idx.Sample(u, int(ks[i]), rs[i])
+		edges[i], evals[i], oks[i] = int32(e), ev, ok
+	}
+}

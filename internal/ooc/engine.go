@@ -242,6 +242,11 @@ type Path struct {
 	Times    []temporal.Time
 }
 
+// walkOneCtxCheckMask amortizes the in-walk cancellation poll: the loop
+// checks ctx.Err() every 64 steps, so even a single very long walk honors
+// cancellation promptly while the default 80-step walk pays one check.
+const walkOneCtxCheckMask = 63
+
 func (e *Engine) walkOne(ctx context.Context, cs ctxSampler, src temporal.Vertex, length int, r *xrand.Rand, cost *stats.Cost) Path {
 	cost.WalksStarted++
 	p := Path{Vertices: []temporal.Vertex{src}}
@@ -249,6 +254,9 @@ func (e *Engine) walkOne(ctx context.Context, cs ctxSampler, src temporal.Vertex
 	k := e.g.CandidateCount(u, temporal.MinTime)
 	steps := 0
 	for steps < length && k > 0 {
+		if steps&walkOneCtxCheckMask == walkOneCtxCheckMask && ctx.Err() != nil {
+			break // cancelled mid-walk: keep the partial walk
+		}
 		var (
 			idx int
 			ev  int64
@@ -271,9 +279,15 @@ func (e *Engine) walkOne(ctx context.Context, cs ctxSampler, src temporal.Vertex
 		u = dst
 		steps++
 	}
-	if steps == length {
+	// A sampler that saw the cancelled context returns ok=false exactly like
+	// a temporal dead end; the context is the tiebreaker so cancelled runs
+	// don't inflate the dead-end counters.
+	switch {
+	case steps == length:
 		cost.WalksCompleted++
-	} else {
+	case ctx.Err() != nil:
+		cost.WalksCancelled++
+	default:
 		cost.WalksDeadEnded++
 	}
 	return p

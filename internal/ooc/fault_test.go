@@ -3,9 +3,11 @@ package ooc
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 	"testing"
 
 	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/temporal"
 	"github.com/tea-graph/tea/internal/testutil"
 	"github.com/tea-graph/tea/internal/xrand"
 )
@@ -161,5 +163,74 @@ func TestEngineRunContextCancelled(t *testing.T) {
 	}
 	if res.Cost.WalksStarted != 0 {
 		t.Fatalf("pre-cancelled run still started %d walks", res.Cost.WalksStarted)
+	}
+}
+
+// cancellingStore wraps a BlockStore and fires a cancel func after a fixed
+// number of reads, simulating a caller abandoning the run while a long walk
+// is mid-flight on the device.
+type cancellingStore struct {
+	BlockStore
+	reads  atomic.Int64
+	after  int64
+	cancel context.CancelFunc // nil until armed
+}
+
+func (c *cancellingStore) ReadAt(p []byte, off int64) error {
+	if c.cancel != nil && c.reads.Add(1) == c.after {
+		c.cancel()
+	}
+	return c.BlockStore.ReadAt(p, off)
+}
+
+// Cancellation arriving mid-walk must classify the interrupted walk as
+// cancelled — not as a temporal dead end — and stop the run at the next
+// between-walk check with context.Canceled. This exercises the amortized
+// in-walk ctx poll (walkOneCtxCheckMask) on a walk long enough that waiting
+// for its natural end would take thousands more device reads.
+func TestEngineCancelMidWalkClassifiesCancelled(t *testing.T) {
+	const n = 4000
+	edges := make([]temporal.Edge, n-1)
+	for i := range edges {
+		edges[i] = temporal.Edge{Src: temporal.Vertex(i), Dst: temporal.Vertex(i + 1), Time: temporal.Time(i)}
+	}
+	g := temporal.MustFromEdges(edges)
+	g.PrecomputeCandidates(1)
+	w := testutil.Weights(t, g, sampling.WeightSpec{})
+
+	cs := &cancellingStore{BlockStore: tempStore(t), after: 256}
+	d, err := BuildDiskPAT(w, cs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cs.cancel = cancel // arm only after the build's own I/O is done
+
+	// Three identical starts: walk 0 is cancelled mid-walk, the loop's
+	// between-walk check then aborts before walks 1 and 2 begin.
+	starts := []temporal.Vertex{0, 0, 0}
+	res, err := NewEngine(g, d, nil).RunStarts(ctx, starts, n-1, 42)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d.Err() != nil {
+		t.Fatalf("cancellation recorded as a sticky device error: %v", d.Err())
+	}
+	c := res.Cost
+	if c.WalksStarted != 1 {
+		t.Fatalf("walks started = %d, want 1", c.WalksStarted)
+	}
+	if c.WalksCancelled != 1 || c.WalksDeadEnded != 0 || c.WalksCompleted != 0 {
+		t.Fatalf("terminal classification cancelled=%d deadEnded=%d completed=%d, want 1/0/0",
+			c.WalksCancelled, c.WalksDeadEnded, c.WalksCompleted)
+	}
+	if got := c.WalksCompleted + c.WalksDeadEnded + c.WalksCancelled + c.WalksPanicked; got != c.WalksStarted {
+		t.Fatalf("started %d walks but classified %d", c.WalksStarted, got)
+	}
+	// The chain forces one step per device read, so the walk must have died
+	// shortly after the cancel fired — well before its natural n-1 steps.
+	if c.Steps >= n-1 || c.Steps == 0 {
+		t.Fatalf("steps = %d, want in (0, %d)", c.Steps, n-1)
 	}
 }

@@ -122,6 +122,23 @@ func (d *DiskGraphWalker) SampleCtx(ctx context.Context, u temporal.Vertex, k in
 }
 
 func (d *DiskGraphWalker) sample(ctx context.Context, u temporal.Vertex, k int, r *xrand.Rand) (int, int64, bool) {
+	return d.sampleWith(ctx, u, k, r, nil)
+}
+
+// adjMemo is the batched path's one-entry read-through memo: within one
+// SampleBatch call, consecutive draws for the same vertex reuse the
+// adjacency block already loaded (one O(D) device read serves the whole
+// same-vertex run of a grouped frontier). Only the read is memoized — the
+// candidate scan and weight rebuild still run per draw, so the evaluated
+// count and random stream consumption stay element-wise identical to Sample.
+type adjMemo struct {
+	u     temporal.Vertex
+	valid bool
+	buf   []byte
+	w     []float64
+}
+
+func (d *DiskGraphWalker) sampleWith(ctx context.Context, u temporal.Vertex, k int, r *xrand.Rand, memo *adjMemo) (int, int64, bool) {
 	if k <= 0 {
 		return 0, 0, false
 	}
@@ -129,40 +146,76 @@ func (d *DiskGraphWalker) sample(ctx context.Context, u temporal.Vertex, k int, 
 	if deg == 0 {
 		return 0, 0, false
 	}
+	if ctx.Err() != nil {
+		// Cancelled before the load: fail the draw without charging the
+		// device or poisoning the sticky error; the engine classifies the
+		// walk as cancelled, not dead-ended.
+		return 0, 0, false
+	}
 	if k > deg {
 		k = deg
 	}
-	buf := make([]byte, deg*edgeRecBytes)
-	off := d.edgeBase + d.edgeOff[u]*edgeRecBytes
-	sp := trace.StartSpan(ctx, "ooc.block_fetch")
-	var err error
-	if sp != nil && d.cache != nil {
-		var src blockcache.ReadSource
-		src, err = d.cache.ReadAtSource(buf, off)
-		sp.SetStr("source", src.String())
+	need := deg * edgeRecBytes
+	var buf []byte
+	hit := false
+	if memo != nil {
+		if memo.valid && memo.u == u {
+			hit = true
+		} else {
+			memo.valid = false
+			if cap(memo.buf) < need {
+				memo.buf = make([]byte, need)
+			}
+		}
+		buf = memo.buf[:need]
 	} else {
-		err = d.store.ReadAt(buf, off)
+		buf = make([]byte, need)
 	}
-	if sp != nil {
-		sp.SetInt("vertex", int64(u))
-		sp.SetInt("bytes", int64(len(buf)))
-	}
-	if err != nil {
-		err = fmt.Errorf("ooc: adjacency read for vertex %d failed: %w", u, err)
-		d.errMu.Lock()
-		if d.firstErr == nil {
-			d.firstErr = err
+	if hit {
+		mBatchCoalesced.Inc()
+	} else {
+		off := d.edgeBase + d.edgeOff[u]*edgeRecBytes
+		sp := trace.StartSpan(ctx, "ooc.block_fetch")
+		var err error
+		if sp != nil && d.cache != nil {
+			var src blockcache.ReadSource
+			src, err = d.cache.ReadAtSource(buf, off)
+			sp.SetStr("source", src.String())
+		} else {
+			err = d.store.ReadAt(buf, off)
 		}
-		d.errMu.Unlock()
 		if sp != nil {
-			sp.SetError(err)
-			sp.End()
+			sp.SetInt("vertex", int64(u))
+			sp.SetInt("bytes", int64(len(buf)))
 		}
-		return 0, 0, false
+		if err != nil {
+			err = fmt.Errorf("ooc: adjacency read for vertex %d failed: %w", u, err)
+			d.errMu.Lock()
+			if d.firstErr == nil {
+				d.firstErr = err
+			}
+			d.errMu.Unlock()
+			if sp != nil {
+				sp.SetError(err)
+				sp.End()
+			}
+			return 0, 0, false
+		}
+		sp.End()
+		if memo != nil {
+			memo.u, memo.valid = u, true
+		}
 	}
-	sp.End()
 	newest := temporal.Time(int64(binary.LittleEndian.Uint64(buf)))
-	w := make([]float64, k)
+	var w []float64
+	if memo != nil {
+		if cap(memo.w) < k {
+			memo.w = make([]float64, k)
+		}
+		w = memo.w[:k]
+	} else {
+		w = make([]float64, k)
+	}
 	total := 0.0
 	for i := 0; i < k; i++ {
 		t := temporal.Time(int64(binary.LittleEndian.Uint64(buf[i*edgeRecBytes:])))
@@ -183,6 +236,22 @@ func (d *DiskGraphWalker) sample(ctx context.Context, u temporal.Vertex, k int, 
 	idx, ok := sampling.LinearITS(w, total, r)
 	return idx, int64(deg + k), ok
 }
+
+// SampleBatch implements the engine's BatchSampler contract: each entry draws
+// exactly as Sample would, with same-vertex adjacency loads served from a
+// one-entry memo (see adjMemo). Concurrent calls on disjoint frontier chunks
+// are safe; each call owns its memo.
+func (d *DiskGraphWalker) SampleBatch(ctx context.Context, us []temporal.Vertex, ks []int32, rs []*xrand.Rand, edges []int32, evals []int64, oks []bool) {
+	var memo adjMemo
+	for i, u := range us {
+		e, ev, ok := d.sampleWith(ctx, u, int(ks[i]), rs[i], &memo)
+		edges[i], evals[i], oks[i] = int32(e), ev, ok
+	}
+}
+
+// WantsGroupedFrontier tells the batched kernel to sort each step's frontier
+// by vertex so same-vertex walkers share one adjacency load.
+func (d *DiskGraphWalker) WantsGroupedFrontier() bool { return true }
 
 // MemoryBytes implements the Sampler contract: only vertex offsets resident.
 func (d *DiskGraphWalker) MemoryBytes() int64 { return int64(len(d.edgeOff)) * 8 }

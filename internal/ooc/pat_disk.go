@@ -156,7 +156,15 @@ func (d *DiskPAT) Name() string { return "TEA-OOC" }
 // block cache is enabled, and the retry count; each retry additionally drops
 // a KindRetry event into the flight recorder. Untraced runs pass
 // context.Background() and skip all of it on the nil-span fast path.
+//
+// Cancellation is not a device fault: a fetch requested after ctx is
+// cancelled fails immediately, the retry loop stops backing off the moment
+// ctx dies, and neither case is recorded as the sampler's sticky first
+// error — the next run on this sampler starts clean.
 func (d *DiskPAT) trunkRecord(ctx context.Context, u temporal.Vertex, t int, buf []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	sp := trace.StartSpan(ctx, "ooc.block_fetch")
 	off := d.diskBase + (d.trunkOff[u]+int64(t))*int64(d.trunkSize*slotBytes)
 	var src blockcache.ReadSource
@@ -171,7 +179,7 @@ func (d *DiskPAT) trunkRecord(ctx context.Context, u temporal.Vertex, t int, buf
 	}
 	retries := 0
 	err := readOnce()
-	for attempt := 0; err != nil && errors.Is(err, ErrTransient) && attempt < d.retry.MaxRetries; attempt++ {
+	for attempt := 0; err != nil && errors.Is(err, ErrTransient) && ctx.Err() == nil && attempt < d.retry.MaxRetries; attempt++ {
 		d.retries.Add(1)
 		mRetries.Inc()
 		retries++
@@ -186,11 +194,13 @@ func (d *DiskPAT) trunkRecord(ctx context.Context, u temporal.Vertex, t int, buf
 	}
 	if err != nil {
 		err = fmt.Errorf("ooc: trunk read for vertex %d trunk %d failed: %w", u, t, err)
-		d.errMu.Lock()
-		if d.firstErr == nil {
-			d.firstErr = err
+		if ctx.Err() == nil {
+			d.errMu.Lock()
+			if d.firstErr == nil {
+				d.firstErr = err
+			}
+			d.errMu.Unlock()
 		}
-		d.errMu.Unlock()
 	}
 	if sp != nil {
 		sp.SetInt("vertex", int64(u))
@@ -241,7 +251,46 @@ func (d *DiskPAT) SampleCtx(ctx context.Context, u temporal.Vertex, k int, r *xr
 	return d.sample(ctx, u, k, r)
 }
 
+// SampleBatch implements the engine's BatchSampler contract: each entry draws
+// exactly as Sample would (same edge, same evaluated count, same random
+// stream consumption), but trunk fetches repeat-hitting the same (vertex,
+// trunk) record within the batch are served from a one-entry memo — see
+// trunkMemo. Concurrent calls on disjoint frontier chunks are safe; each
+// call owns its memo.
+func (d *DiskPAT) SampleBatch(ctx context.Context, us []temporal.Vertex, ks []int32, rs []*xrand.Rand, edges []int32, evals []int64, oks []bool) {
+	var memo trunkMemo
+	for i, u := range us {
+		e, ev, ok := d.sampleWith(ctx, u, int(ks[i]), rs[i], &memo)
+		edges[i], evals[i], oks[i] = int32(e), ev, ok
+	}
+}
+
+// WantsGroupedFrontier tells the batched kernel to sort each step's frontier
+// by vertex: same-vertex walkers then arrive adjacently and their trunk
+// fetches collapse into the memo (and below it, the block cache).
+func (d *DiskPAT) WantsGroupedFrontier() bool { return true }
+
 func (d *DiskPAT) sample(ctx context.Context, u temporal.Vertex, k int, r *xrand.Rand) (int, int64, bool) {
+	return d.sampleWith(ctx, u, k, r, nil)
+}
+
+// trunkMemo is a one-entry read-through memo used by the batched path:
+// within one SampleBatch call, consecutive draws that land on the same
+// (vertex, trunk) record reuse the bytes already fetched instead of
+// re-reading the store. With the frontier sorted by vertex (the kernel sorts
+// it because WantsGroupedFrontier reports true) walkers parked on the same
+// hub coalesce their trunk fetches deliberately — one device read serves the
+// run of same-vertex walkers — rather than relying on blockcache singleflight
+// timing luck. The memo affects I/O only: every draw consumes the walker's
+// random stream and counts evaluated slots exactly as the scalar path.
+type trunkMemo struct {
+	u     temporal.Vertex
+	t     int
+	valid bool
+	buf   []byte
+}
+
+func (d *DiskPAT) sampleWith(ctx context.Context, u temporal.Vertex, k int, r *xrand.Rand, memo *trunkMemo) (int, int64, bool) {
 	if k <= 0 {
 		return 0, 0, false
 	}
@@ -268,7 +317,31 @@ func (d *DiskPAT) sample(ctx context.Context, u temporal.Vertex, k int, r *xrand
 		return 0, 0, false
 	}
 
-	buf := make([]byte, ts*slotBytes)
+	var buf []byte
+	if memo != nil {
+		if cap(memo.buf) < ts*slotBytes {
+			memo.buf = make([]byte, ts*slotBytes)
+		}
+		buf = memo.buf[:ts*slotBytes]
+	} else {
+		buf = make([]byte, ts*slotBytes)
+	}
+	fetch := func(t int) error {
+		if memo != nil {
+			if memo.valid && memo.u == u && memo.t == t {
+				mBatchCoalesced.Inc()
+				return nil
+			}
+			memo.valid = false
+		}
+		if err := d.trunkRecord(ctx, u, t, buf); err != nil {
+			return err
+		}
+		if memo != nil {
+			memo.u, memo.t, memo.valid = u, t, true
+		}
+		return nil
+	}
 	var evaluated int64
 	const proposalCap = 128
 	for trial := 0; trial < proposalCap; trial++ {
@@ -283,7 +356,7 @@ func (d *DiskPAT) sample(ctx context.Context, u temporal.Vertex, k int, r *xrand
 				lo = mid + 1
 			}
 		}
-		if err := d.trunkRecord(ctx, u, lo, buf); err != nil {
+		if err := fetch(lo); err != nil {
 			return 0, evaluated, false
 		}
 		if lo < full {
@@ -331,7 +404,7 @@ func (d *DiskPAT) sample(ctx context.Context, u temporal.Vertex, k int, r *xrand
 	// dominates its trunk. Fall back to the exact two-read path — fetch the
 	// partial weights, compute the true candidate total, and sample without
 	// rejection.
-	if err := d.trunkRecord(ctx, u, full, buf); err != nil {
+	if err := fetch(full); err != nil {
 		return 0, evaluated, false
 	}
 	partialW := 0.0
@@ -365,7 +438,7 @@ func (d *DiskPAT) sample(ctx context.Context, u temporal.Vertex, k int, r *xrand
 			lo = mid + 1
 		}
 	}
-	if err := d.trunkRecord(ctx, u, lo, buf); err != nil {
+	if err := fetch(lo); err != nil {
 		return 0, evaluated, false
 	}
 	n := ts

@@ -31,6 +31,10 @@ var (
 	mWriteBytes  = metrics.Default.Counter("tea_ooc_written_bytes_total")
 	mRetries     = metrics.Default.Counter("tea_ooc_read_retries_total")
 	mInjected    = metrics.Default.Counter("tea_ooc_injected_faults_total")
+	// mBatchCoalesced counts draws served from a batched sampler's one-entry
+	// memo instead of the store — the deliberate same-vertex coalescing the
+	// grouped frontier buys (pat_disk.go, graphwalker_disk.go).
+	mBatchCoalesced = metrics.Default.Counter("tea_ooc_batch_coalesced_total")
 )
 
 // BlockStore is the I/O contract the out-of-core samplers and engine run

@@ -22,6 +22,14 @@ type Cost struct {
 	WalksStarted   int64
 	WalksCompleted int64 // walks that reached the target length
 	WalksDeadEnded int64 // walks that ran out of temporal candidates
+	WalksCancelled int64 // walks cut short by context cancellation, not by the graph
+	WalksPanicked  int64 // walks aborted by a recovered panic in user code
+}
+
+// WalksFinished returns the terminal classifications summed; a run that was
+// not torn down mid-accounting satisfies WalksFinished() == WalksStarted.
+func (c Cost) WalksFinished() int64 {
+	return c.WalksCompleted + c.WalksDeadEnded + c.WalksCancelled + c.WalksPanicked
 }
 
 // Add merges other into c.
@@ -36,6 +44,8 @@ func (c *Cost) Add(other Cost) {
 	c.WalksStarted += other.WalksStarted
 	c.WalksCompleted += other.WalksCompleted
 	c.WalksDeadEnded += other.WalksDeadEnded
+	c.WalksCancelled += other.WalksCancelled
+	c.WalksPanicked += other.WalksPanicked
 }
 
 // EdgesPerStep returns the Figure 2 metric: average edges evaluated per

@@ -52,15 +52,22 @@ func (r *Rand) Reseed(seed uint64) {
 // from the receiver's current state and the provided stream id. The receiver
 // is not advanced, so Split(i) is stable for a given parent seed.
 func (r *Rand) Split(stream uint64) *Rand {
+	var c Rand
+	r.SplitTo(stream, &c)
+	return &c
+}
+
+// SplitTo is Split without the allocation: it derives stream's generator into
+// c, which may live in caller-owned bulk storage (the batched walk kernel
+// seeds a whole wave of walkers into one flat array this way).
+func (r *Rand) SplitTo(stream uint64, c *Rand) {
 	// Mix the parent state with the stream id through splitmix64 so that
 	// nearby stream ids yield uncorrelated children.
 	state := r.s0 ^ bits.RotateLeft64(r.s2, 17) ^ (stream * 0xd6e8feb86659fd93)
-	var c Rand
 	c.s0 = splitmix64(&state)
 	c.s1 = splitmix64(&state)
 	c.s2 = splitmix64(&state)
 	c.s3 = splitmix64(&state)
-	return &c
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.

@@ -50,6 +50,20 @@ func TestSplitStable(t *testing.T) {
 	}
 }
 
+func TestSplitToMatchesSplit(t *testing.T) {
+	parent := New(7)
+	for stream := uint64(0); stream < 8; stream++ {
+		a := parent.Split(stream)
+		var b Rand
+		parent.SplitTo(stream, &b)
+		for i := 0; i < 200; i++ {
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("SplitTo(%d) diverged from Split at draw %d", stream, i)
+			}
+		}
+	}
+}
+
 func TestSplitIndependent(t *testing.T) {
 	parent := New(7)
 	c1 := parent.Split(1)
