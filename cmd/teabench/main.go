@@ -40,6 +40,16 @@
 // default:
 //
 //	teabench -quick -dataset growth cache
+//
+// The "shard" experiment (also not part of "all") sweeps the horizontally
+// sharded walk engine over partition counts (-shard-parts, default 1,2,3) on
+// loopback TCP — every shard a full node with its own binary-RPC listener —
+// and writes cluster throughput (walks/s, steps/s), migration traffic
+// (frames/s, bytes/hop, migration share), and per-shard memory to
+// -shard-out, BENCH_shard.json by default. The partitions=1 row is the
+// single-shard baseline the speedup column is relative to:
+//
+//	teabench -quick -dataset growth shard
 package main
 
 import (
@@ -70,9 +80,12 @@ func main() {
 		kernel   = flag.String("kernel", "auto", "walk kernel for the bench experiment (auto|scalar|batch|both)")
 		traceOut = flag.String("trace-out", "", "write one traced bench run as Chrome trace_event JSON (bench experiment only)")
 		cacheOut = flag.String("cache-out", "BENCH_cache.json", "output path for the cache experiment")
+		shardOut = flag.String("shard-out", "BENCH_shard.json", "output path for the shard experiment")
+		shardN   = flag.Int("shard-runs", 1, "measured runs per partition count for the shard experiment")
+		shardPts = flag.String("shard-parts", "1,2,3", "comma-separated partition counts for the shard experiment")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: teabench [flags] <experiment>...\n\nexperiments: all %s bench cache\n\nflags:\n",
+		fmt.Fprintf(os.Stderr, "usage: teabench [flags] <experiment>...\n\nexperiments: all %s bench cache shard\n\nflags:\n",
 			strings.Join(names(), " "))
 		flag.PrintDefaults()
 	}
@@ -125,6 +138,14 @@ func main() {
 			runCache(cfg, *cacheOut, *asJSON)
 			continue
 		}
+		if name == "shard" {
+			parts, err := parseParts(*shardPts)
+			if err != nil {
+				fatal(err)
+			}
+			runShardBench(cfg, parts, *shardN, *shardOut, *asJSON)
+			continue
+		}
 		runOne(name, cfg, *asJSON)
 	}
 }
@@ -152,6 +173,51 @@ func runCache(cfg experiments.Config, cacheOut string, asJSON bool) {
 	}
 	fmt.Print(experiments.RenderCacheBench(res))
 	fmt.Printf("wrote %s\n(%s elapsed)\n\n", cacheOut, time.Since(start).Round(time.Millisecond))
+}
+
+// parseParts resolves the -shard-parts flag into partition counts.
+func parseParts(s string) ([]int, error) {
+	var parts []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		var v int
+		if _, err := fmt.Sscanf(f, "%d", &v); err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -shard-parts entry %q", f)
+		}
+		parts = append(parts, v)
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("-shard-parts selected no partition counts")
+	}
+	return parts, nil
+}
+
+// runShardBench records the loopback-TCP shard sweep to shardOut.
+func runShardBench(cfg experiments.Config, parts []int, runs int, shardOut string, asJSON bool) {
+	if !asJSON {
+		fmt.Printf("== %s ==\n", title("shard"))
+	}
+	start := time.Now()
+	res, err := experiments.ShardBench(cfg, parts, runs)
+	if err != nil {
+		fatal(err)
+	}
+	if err := experiments.WriteShardBench(res, shardOut); err != nil {
+		fatal(err)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"experiment": "shard", "result": res}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Print(experiments.RenderShardBench(res))
+	fmt.Printf("wrote %s\n(%s elapsed)\n\n", shardOut, time.Since(start).Round(time.Millisecond))
 }
 
 // parseKernels resolves the -kernel flag: a single kernel name, or "both"
@@ -357,6 +423,8 @@ func title(name string) string {
 		return "Baseline: walk throughput and run latency (BENCH_walks.json)"
 	case "cache":
 		return "Out-of-core block cache: Zipfian workload sweep (BENCH_cache.json)"
+	case "shard":
+		return "Sharded serving: loopback-TCP partition sweep (BENCH_shard.json)"
 	default:
 		return name
 	}

@@ -1,0 +1,142 @@
+// Command tearouter is the stateless front of a teaserve shard cluster: it
+// holds no graph and no index, only the shard addresses, fans every /walk to
+// all shards with the request's X-Request-ID attached, and merges the partial
+// responses by global walk id into exactly the single-process response shape.
+// Because it keeps no state, any number of router replicas can front the same
+// cluster behind a plain TCP load balancer.
+//
+// Usage:
+//
+//	tearouter -shards http://h0:8080,http://h1:8080,http://h2:8080 -addr :8090
+//
+// The -shards list must be in shard-id order and match the -shard-peers list
+// the shards themselves were started with (same length = same partition
+// count); a mismatch is detected per-request and answered with 502.
+//
+// Operational flags mirror teaserve:
+//
+//	-request-timeout   per-fanout deadline (0 disables; exceeded queries 504)
+//	-max-inflight      concurrent fan-out cap (0 unlimited; excess sheds 503)
+//	-retry-after       Retry-After hint on 503s (shed, shard down)
+//	-drain             graceful-shutdown drain window
+//	-trace-fraction    head-sample fraction for /debug/tea/trace
+//	-flight-spans      flight recorder capacity; 0 disables
+//	-log-json          structured logs as JSON
+//
+// Endpoints:
+//
+//	GET /healthz            router liveness (always 200)
+//	GET /readyz             200 only when every shard's /readyz is 200
+//	GET /stats              every shard's /stats under one response
+//	GET /walk?from=ID&length=80&count=1&seed=1
+//	GET /metrics, /metrics.json, /debug/tea/trace, /debug/tea/flight
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/tea-graph/tea/internal/server"
+	"github.com/tea-graph/tea/internal/trace"
+)
+
+func main() {
+	var (
+		shards        = flag.String("shards", "", "comma-separated shard base URLs in shard-id order (required)")
+		addr          = flag.String("addr", ":8090", "listen address")
+		reqTimeout    = flag.Duration("request-timeout", 30*time.Second, "per-fanout deadline, 0 disables")
+		maxFlight     = flag.Int("max-inflight", 256, "max concurrently executing fan-outs, 0 unlimited")
+		retryAfter    = flag.Duration("retry-after", time.Second, "Retry-After hint attached to 503 responses")
+		drain         = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
+		traceFraction = flag.Float64("trace-fraction", 0, "fraction of requests head-sampled into full traces (0 disables)")
+		flightSpans   = flag.Int("flight-spans", 1024, "flight recorder capacity, 0 disables")
+		logJSON       = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+	)
+	flag.Parse()
+
+	var logHandler slog.Handler
+	if *logJSON {
+		logHandler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		logHandler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(trace.NewLogHandler(logHandler))
+
+	if *shards == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var addrs []string
+	for _, a := range strings.Split(*shards, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		addrs = append(addrs, strings.TrimRight(a, "/"))
+	}
+
+	tracer := trace.New(trace.Config{
+		SampleFraction: *traceFraction,
+		FlightSpans:    *flightSpans,
+	})
+	rt, err := server.NewRouter(server.RouterConfig{
+		Shards:         addrs,
+		RequestTimeout: *reqTimeout,
+		MaxInFlight:    *maxFlight,
+		RetryAfter:     *retryAfter,
+		Trace:          tracer,
+		Logger:         logger,
+	})
+	if err != nil {
+		logger.Error("router", "error", err)
+		os.Exit(1)
+	}
+	defer rt.Close()
+
+	logger.Info("routing",
+		"addr", *addr,
+		"shards", len(addrs),
+		"timeout", *reqTimeout,
+		"max_inflight", *maxFlight)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		logger.Error("serve failed", "error", err)
+		os.Exit(1)
+	case <-ctx.Done():
+		stop()
+		logger.Info("shutting down", "drain", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			logger.Error("drain incomplete", "error", err)
+			os.Exit(1)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("serve error", "error", err)
+		}
+		logger.Info("bye")
+	}
+}

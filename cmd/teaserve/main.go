@@ -66,6 +66,23 @@
 // With -ooc the tea_ooc_* and tea_blockcache_* metric families under
 // /metrics report device traffic and cache effectiveness respectively.
 //
+// Shard mode (§4.4 distributed serving; mutually exclusive with -wal-dir and
+// -ooc): serve one shard of a horizontally partitioned cluster. Every shard
+// process loads the same graph file, keeps only the out-edges of the vertices
+// a consistent-hash ring assigns to it, and exchanges batched
+// walker-migration frames with its peers over a compact binary RPC. Walks
+// replay byte-identically to a single process for any shard count. Front the
+// cluster with cmd/tearouter to merge the per-shard partial responses.
+//
+//	teaserve -input graph.teag -shard-id 0 \
+//	    -shard-peers h0:9000,h1:9000,h2:9000 -addr :8080
+//
+//	-shard-id        this process's shard id (enables shard mode)
+//	-shard-peers     RPC host:port of every shard, in shard-id order; the
+//	                 list length is the partition count
+//	-shard-rpc-addr  RPC listen address (default: own -shard-peers entry)
+//	-shard-kernel    local step kernel: scalar|batch
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: the listener closes
 // immediately, in-flight requests get up to -drain to finish, and walk
 // computations of dropped clients are cancelled via their request contexts.
@@ -90,6 +107,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -101,10 +119,13 @@ import (
 
 	tea "github.com/tea-graph/tea"
 	"github.com/tea-graph/tea/internal/blockcache"
+	"github.com/tea-graph/tea/internal/core"
 	"github.com/tea-graph/tea/internal/ooc"
 	"github.com/tea-graph/tea/internal/sampling"
 	"github.com/tea-graph/tea/internal/scrub"
 	"github.com/tea-graph/tea/internal/server"
+	"github.com/tea-graph/tea/internal/shard"
+	"github.com/tea-graph/tea/internal/shard/wire"
 	"github.com/tea-graph/tea/internal/stream"
 	"github.com/tea-graph/tea/internal/trace"
 	"github.com/tea-graph/tea/internal/wal"
@@ -145,6 +166,11 @@ func main() {
 		maxLength  = flag.Int("max-length", 0, "cap on the /walk length parameter, 0 = default (10000)")
 		drain      = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
 		withPprof  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+
+		shardID     = flag.Int("shard-id", -1, "shard mode: this process's shard id (requires -shard-peers; see cmd/tearouter)")
+		shardPeers  = flag.String("shard-peers", "", "comma-separated RPC host:port of every shard in shard-id order; its length is the partition count")
+		shardRPC    = flag.String("shard-rpc-addr", "", "walker-migration RPC listen address (default: this shard's -shard-peers entry)")
+		shardKernel = flag.String("shard-kernel", "batch", "local step kernel in shard mode: scalar|batch")
 
 		oocMode        = flag.Bool("ooc", false, "serve out-of-core: PAT trunks on disk, trunk prefix sums in memory")
 		oocStorePath   = flag.String("ooc-store", "", "block store path for -ooc (default: temp file removed on exit)")
@@ -189,6 +215,18 @@ func main() {
 	if !durableMode && *input == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *shardID >= 0 {
+		switch {
+		case durableMode:
+			fatal("flags", errors.New("-shard-id is incompatible with -wal-dir: shard mode serves a static partitioned index"))
+		case *oocMode:
+			fatal("flags", errors.New("-shard-id is incompatible with -ooc"))
+		case *shardPeers == "":
+			fatal("flags", errors.New("-shard-id requires -shard-peers"))
+		case *algo == "node2vec":
+			fatal("flags", errors.New("node2vec needs second-order state migration frames do not carry; use a first-order algorithm in shard mode"))
+		}
 	}
 
 	tracer := trace.New(trace.Config{
@@ -340,6 +378,22 @@ func main() {
 		fatal("unknown algorithm", fmt.Errorf("%q", *algo))
 	}
 
+	if *shardID >= 0 {
+		runShard(g, app, scfg, shardOpts{
+			id:      *shardID,
+			peers:   *shardPeers,
+			rpcAddr: *shardRPC,
+			kernel:  *shardKernel,
+			addr:    *addr,
+			drain:   *drain,
+			pprof:   *withPprof,
+			tracer:  tracer,
+			logger:  logger,
+			fatal:   fatal,
+		})
+		return
+	}
+
 	start := time.Now()
 	var opts tea.Options
 	var oocStoreFile string
@@ -408,6 +462,90 @@ func main() {
 		if staticScrub != nil {
 			staticScrub.Stop()
 		}
+	}})
+}
+
+// shardOpts carries the shard-mode knobs from flag parsing to runShard.
+type shardOpts struct {
+	id      int
+	peers   string
+	rpcAddr string
+	kernel  string
+	addr    string
+	drain   time.Duration
+	pprof   bool
+	tracer  *trace.Tracer
+	logger  *slog.Logger
+	fatal   func(string, error)
+}
+
+// runShard serves one shard of a partitioned cluster: a binary-RPC listener
+// answers peer step batches (walker migration) while the HTTP server answers
+// /walk for the walks whose source vertex this shard owns. Every shard
+// process loads the same graph file; the consistent-hash partitioner makes
+// them agree on vertex ownership with no coordination. Front the cluster
+// with cmd/tearouter to get the single-process response shape back.
+func runShard(g *tea.Graph, app tea.App, scfg server.Config, o shardOpts) {
+	var peers []string
+	for _, p := range strings.Split(o.peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	if o.id >= len(peers) {
+		o.fatal("flags", fmt.Errorf("-shard-id %d outside the %d-entry -shard-peers list", o.id, len(peers)))
+	}
+	var kern core.Kernel
+	switch o.kernel {
+	case "scalar":
+		kern = core.KernelScalar
+	case "batch", "":
+		kern = core.KernelBatch
+	default:
+		o.fatal("flags", fmt.Errorf("unknown -shard-kernel %q (want scalar or batch)", o.kernel))
+	}
+
+	start := time.Now()
+	node, err := shard.NewNode(g, app.Weight, shard.Config{
+		ShardID:    o.id,
+		Partitions: len(peers),
+		Kernel:     kern,
+		Tracer:     o.tracer,
+	})
+	if err != nil {
+		o.fatal("shard build failed", err)
+	}
+	rpcAddr := o.rpcAddr
+	if rpcAddr == "" {
+		rpcAddr = peers[o.id]
+	}
+	ln, err := net.Listen("tcp", rpcAddr)
+	if err != nil {
+		o.fatal("shard rpc listen failed", err)
+	}
+	wireSrv := wire.NewServer(ln, node, o.logger)
+	peerAddrs := make(map[int]string, len(peers)-1)
+	for pid, a := range peers {
+		if pid != o.id {
+			peerAddrs[pid] = a
+		}
+	}
+	callers := shard.NewPeers(peerAddrs, wire.ClientConfig{})
+
+	o.logger.Info("shard ready",
+		"shard", o.id,
+		"partitions", len(peers),
+		"application", app.Name,
+		"rpc_addr", ln.Addr().String(),
+		"owned_edges", node.OwnedEdges(),
+		"index_bytes", node.MemoryBytes(),
+		"elapsed", time.Since(start).Round(time.Millisecond))
+	o.logger.Info("listening", "addr", o.addr, "mode", "shard")
+
+	srv := server.NewShard(node, callers, scfg)
+	serveHTTP(srv.Handler(), srvParams{addr: o.addr, drain: o.drain, pprof: o.pprof, logger: o.logger, onShutdown: func() {
+		_ = wireSrv.Close()
+		callers.Close()
 	}})
 }
 

@@ -23,6 +23,7 @@ import (
 
 	"github.com/tea-graph/tea/internal/hpat"
 	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/shard"
 	"github.com/tea-graph/tea/internal/stats"
 	"github.com/tea-graph/tea/internal/temporal"
 	"github.com/tea-graph/tea/internal/xrand"
@@ -30,8 +31,9 @@ import (
 
 // Config parameterizes a simulated cluster.
 type Config struct {
-	// Partitions is the worker count; vertices are assigned by id modulo
-	// Partitions. Must be ≥ 1.
+	// Partitions is the worker count; vertices are assigned by the shared
+	// shard.Partitioner consistent-hash ring (plain id%Partitions degenerates
+	// under strided or clustered vertex ids). Must be ≥ 1.
 	Partitions int
 	// Threads bounds index-construction parallelism per partition.
 	Threads int
@@ -75,6 +77,7 @@ type partition struct {
 // Cluster is a set of partitions executing temporal walks cooperatively.
 type Cluster struct {
 	parts []*partition
+	ring  *shard.Partitioner // shared with the real deployment (internal/shard)
 	numV  int
 	spec  sampling.WeightSpec
 	n2v   *Node2VecParams
@@ -94,8 +97,12 @@ func New(g *temporal.Graph, spec sampling.WeightSpec, cfg Config) (*Cluster, err
 	if threads < 1 {
 		threads = runtime.GOMAXPROCS(0)
 	}
+	ring, err := shard.NewPartitioner(cfg.Partitions)
+	if err != nil {
+		return nil, err
+	}
 	numV := g.NumVertices()
-	c := &Cluster{numV: numV, spec: spec}
+	c := &Cluster{ring: ring, numV: numV, spec: spec}
 	if cfg.Node2Vec != nil {
 		if cfg.Node2Vec.P <= 0 || cfg.Node2Vec.Q <= 0 {
 			return nil, fmt.Errorf("dist: node2vec parameters must be positive")
@@ -123,7 +130,7 @@ func New(g *temporal.Graph, spec sampling.WeightSpec, cfg Config) (*Cluster, err
 	perPart := make([][]temporal.Edge, cfg.Partitions)
 	all := g.Edges(nil)
 	for _, e := range all {
-		p := int(e.Src) % cfg.Partitions
+		p := ring.Owner(e.Src)
 		perPart[p] = append(perPart[p], e)
 	}
 	for pid := 0; pid < cfg.Partitions; pid++ {
@@ -150,8 +157,9 @@ func New(g *temporal.Graph, spec sampling.WeightSpec, cfg Config) (*Cluster, err
 // Partitions returns the worker count.
 func (c *Cluster) Partitions() int { return len(c.parts) }
 
-// owner returns the partition owning vertex u.
-func (c *Cluster) owner(u temporal.Vertex) int { return int(u) % len(c.parts) }
+// owner returns the partition owning vertex u (consistent-hash ring shared
+// with internal/shard, so the simulator and the real deployment agree).
+func (c *Cluster) owner(u temporal.Vertex) int { return c.ring.Owner(u) }
 
 // MemoryBytes reports the summed per-partition index footprint, counting
 // the replicated Bloom filter once per partition (each worker holds a copy).
@@ -373,7 +381,7 @@ func (p *partition) advance(c *Cluster, inbox []walker, cfg RunConfig, seed uint
 			out.cost.WalksCompleted++
 			continue
 		}
-		owner := int(dst) % numParts
+		owner := c.owner(dst)
 		out.outbox[owner] = append(out.outbox[owner], w)
 	}
 	return out

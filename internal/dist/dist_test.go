@@ -67,6 +67,48 @@ func TestPartitionCountInvariance(t *testing.T) {
 	}
 }
 
+// The satellite bugfix this PR makes: id%partitions sent every strided id
+// k·P+c to a single partition (a graph whose active vertices are minted with
+// stride 4 put 100% of the load on one of 4 workers). The shared
+// consistent-hash partitioner must keep partition load within 1.2× the mean
+// even on an adversarially strided-id graph.
+func TestStridedIDPartitionSkew(t *testing.T) {
+	const parts = 4
+	// Only vertices with id ≡ 0 (mod parts) carry edges: under the old
+	// modulo assignment, partition 0 owned every edge.
+	var edges []temporal.Edge
+	const active = 2000
+	for i := 0; i < active; i++ {
+		src := temporal.Vertex(i * parts)
+		dst := temporal.Vertex(((i + 7) % active) * parts)
+		edges = append(edges, temporal.Edge{Src: src, Dst: dst, Time: temporal.Time(i%97 + 1)})
+		edges = append(edges, temporal.Edge{Src: src, Dst: temporal.Vertex(((i + 13) % active) * parts), Time: temporal.Time(i%89 + 2)})
+	}
+	g := temporal.MustFromEdges(edges)
+	c, err := New(g, sampling.WeightSpec{}, Config{Partitions: parts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, parts)
+	for i := 0; i < active; i++ {
+		counts[c.owner(temporal.Vertex(i*parts))]++
+	}
+	mean := float64(active) / float64(parts)
+	for part, n := range counts {
+		if ratio := float64(n) / mean; ratio > 1.2 {
+			t.Fatalf("partition %d owns %.2f× the mean load of strided-id vertices (counts=%v)", part, ratio, counts)
+		}
+	}
+	// And the cluster still walks correctly on the strided graph.
+	res, err := c.Run(RunConfig{Length: 8, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Steps == 0 || res.Cost.WalksStarted != res.Cost.WalksCompleted+res.Cost.WalksDeadEnded {
+		t.Fatalf("strided graph run broken: %+v", res.Cost)
+	}
+}
+
 func TestWalksAreTemporalAndComplete(t *testing.T) {
 	g := testutil.RandomGraph(t, 100, 3000, 600, 33)
 	c, err := New(g, sampling.Exponential(0.01), Config{Partitions: 4})

@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/tea-graph/tea/internal/core"
+	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/shard"
+	"github.com/tea-graph/tea/internal/shard/wire"
+	"github.com/tea-graph/tea/internal/temporal"
+)
+
+// ShardBenchSchema versions the BENCH_shard.json layout.
+const ShardBenchSchema = "tea/bench-shard/v1"
+
+// ShardBenchConfigOut records the configuration the shard sweep ran under.
+type ShardBenchConfigOut struct {
+	Dataset        string `json:"dataset"`
+	Vertices       int    `json:"vertices"`
+	Edges          int    `json:"edges"`
+	Algorithm      string `json:"algorithm"`
+	Transport      string `json:"transport"`
+	WalksPerVertex int    `json:"walks_per_vertex"`
+	Length         int    `json:"length"`
+	Seed           uint64 `json:"seed"`
+	Runs           int    `json:"runs"`
+	GoMaxProcs     int    `json:"gomaxprocs"`
+}
+
+// ShardRow is one partition-count measurement of the sharded walk engine
+// over loopback TCP: real wire frames, real sockets, N coordinator nodes in
+// one process. Migration metrics quantify the §4.4 communication model — one
+// batched frame per peer per step-synchronous round.
+type ShardRow struct {
+	Partitions int `json:"partitions"`
+
+	WalksPerSec  float64 `json:"walks_per_sec"`
+	StepsPerSec  float64 `json:"steps_per_sec"`
+	FramesPerSec float64 `json:"migration_frames_per_sec"`
+
+	// BytesPerHop is on-wire request bytes per migrated walker-step; the
+	// frame header and request envelope amortize across the batch.
+	BytesPerHop float64 `json:"bytes_per_hop"`
+	// MigrationShare is the fraction of steps served by a peer rather than
+	// the coordinating shard (≈ (P-1)/P for hash partitioning).
+	MigrationShare float64 `json:"migration_share"`
+	// SpeedupVsOne is this row's walks/s over the partitions=1 row's.
+	SpeedupVsOne float64 `json:"speedup_vs_one"`
+
+	TotalWalks int64   `json:"total_walks"`
+	TotalSteps int64   `json:"total_steps"`
+	Migrations int64   `json:"migrations"`
+	Frames     int64   `json:"frames"`
+	BytesSent  int64   `json:"bytes_sent"`
+	Rounds     int     `json:"rounds"`
+	Seconds    float64 `json:"seconds"`
+
+	// MemoryPerShard is the mean per-shard index footprint: the memory
+	// scale-out sharding buys.
+	MemoryPerShard int64 `json:"memory_per_shard_bytes"`
+}
+
+// ShardBenchResult is the machine-readable shard sweep cmd/teabench writes
+// to BENCH_shard.json.
+type ShardBenchResult struct {
+	Schema    string              `json:"schema"`
+	Timestamp string              `json:"timestamp"`
+	Config    ShardBenchConfigOut `json:"config"`
+	Rows      []ShardRow          `json:"rows"`
+}
+
+// ShardBench sweeps the sharded walk engine over partition counts on
+// loopback TCP: every shard is a full Node with its own wire listener and
+// pooled peer clients, all walks of the configured workload run to
+// completion (each shard coordinating the walks whose source it owns,
+// concurrently), and the row records cluster-wide throughput plus migration
+// traffic. partitions=1 is the single-shard baseline the speedups are
+// relative to. partCounts nil selects {1, 2, 3}; one untimed warmup precedes
+// the measured runs of each partition count.
+func ShardBench(cfg Config, partCounts []int, runs int) (*ShardBenchResult, error) {
+	cfg = cfg.normalized()
+	if len(partCounts) == 0 {
+		partCounts = []int{1, 2, 3}
+	}
+	if runs <= 0 {
+		runs = 1
+	}
+	p := cfg.Profiles[0]
+	g, err := p.Build()
+	if err != nil {
+		return nil, err
+	}
+	spec := sampling.Exponential(p.Lambda(cfg.Contrast))
+
+	res := &ShardBenchResult{
+		Schema:    ShardBenchSchema,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Config: ShardBenchConfigOut{
+			Dataset:        p.Name,
+			Vertices:       g.NumVertices(),
+			Edges:          g.NumEdges(),
+			Algorithm:      "exp",
+			Transport:      "loopback-tcp",
+			WalksPerVertex: cfg.WalksPerVertex,
+			Length:         cfg.Length,
+			Seed:           cfg.Seed,
+			Runs:           runs,
+			GoMaxProcs:     runtime.GOMAXPROCS(0),
+		},
+	}
+
+	var basePerSec float64
+	for _, parts := range partCounts {
+		row, err := shardBenchOne(g, spec, cfg, parts, runs)
+		if err != nil {
+			return nil, err
+		}
+		if parts == 1 {
+			basePerSec = row.WalksPerSec
+		}
+		if basePerSec > 0 {
+			row.SpeedupVsOne = row.WalksPerSec / basePerSec
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+// shardBenchOne stands up a parts-shard loopback cluster, runs the workload
+// runs times (plus one warmup), and tears the cluster down.
+func shardBenchOne(g *temporal.Graph, spec sampling.WeightSpec, cfg Config, parts, runs int) (*ShardRow, error) {
+	nodes := make([]*shard.Node, parts)
+	for i := 0; i < parts; i++ {
+		n, err := shard.NewNode(g, spec, shard.Config{
+			ShardID:    i,
+			Partitions: parts,
+			Threads:    cfg.Threads,
+			Kernel:     core.KernelBatch,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("shard %d/%d: %w", i, parts, err)
+		}
+		nodes[i] = n
+	}
+
+	// Loopback wire cluster: one listener per shard, pooled clients between
+	// every pair. partitions=1 needs no transport (nothing ever migrates) but
+	// gets the same code path for uniformity.
+	servers := make([]*wire.Server, parts)
+	addrs := make([]string, parts)
+	for i, n := range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeAll(servers, nil)
+			return nil, err
+		}
+		servers[i] = wire.NewServer(ln, n, nil)
+		addrs[i] = ln.Addr().String()
+	}
+	callers := make([]*shard.Peers, parts)
+	for i := range nodes {
+		peerAddrs := make(map[int]string, parts-1)
+		for j, a := range addrs {
+			if j != i {
+				peerAddrs[j] = a
+			}
+		}
+		callers[i] = shard.NewPeers(peerAddrs, wire.ClientConfig{})
+	}
+	defer closeAll(servers, callers)
+
+	req := shard.WalkRequest{
+		WalksPerVertex: cfg.WalksPerVertex,
+		Length:         cfg.Length,
+		Seed:           cfg.Seed,
+	}
+	runCluster := func() ([]*shard.WalkResult, time.Duration, error) {
+		results := make([]*shard.WalkResult, parts)
+		errs := make([]error, parts)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i, n := range nodes {
+			wg.Add(1)
+			go func(i int, n *shard.Node) {
+				defer wg.Done()
+				results[i], errs[i] = n.RunWalks(context.Background(), callers[i], req)
+			}(i, n)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for i, err := range errs {
+			if err != nil {
+				return nil, 0, fmt.Errorf("shard %d run: %w", i, err)
+			}
+		}
+		return results, elapsed, nil
+	}
+
+	if _, _, err := runCluster(); err != nil { // warmup
+		return nil, err
+	}
+	row := &ShardRow{Partitions: parts}
+	var memory int64
+	for _, n := range nodes {
+		memory += n.MemoryBytes()
+	}
+	row.MemoryPerShard = memory / int64(parts)
+	for r := 0; r < runs; r++ {
+		results, elapsed, err := runCluster()
+		if err != nil {
+			return nil, err
+		}
+		row.Seconds += elapsed.Seconds()
+		for _, res := range results {
+			row.TotalWalks += res.Cost.WalksStarted
+			row.TotalSteps += res.Cost.Steps
+			row.Migrations += res.Migrations
+			row.Frames += res.Frames
+			row.BytesSent += res.BytesSent
+			if res.Rounds > row.Rounds {
+				row.Rounds = res.Rounds
+			}
+		}
+	}
+	if row.Seconds > 0 {
+		row.WalksPerSec = float64(row.TotalWalks) / row.Seconds
+		row.StepsPerSec = float64(row.TotalSteps) / row.Seconds
+		row.FramesPerSec = float64(row.Frames) / row.Seconds
+	}
+	if row.Migrations > 0 {
+		row.BytesPerHop = float64(row.BytesSent) / float64(row.Migrations)
+	}
+	if row.TotalSteps > 0 {
+		row.MigrationShare = float64(row.Migrations) / float64(row.TotalSteps)
+	}
+	return row, nil
+}
+
+func closeAll(servers []*wire.Server, callers []*shard.Peers) {
+	for _, c := range callers {
+		if c != nil {
+			c.Close()
+		}
+	}
+	for _, s := range servers {
+		if s != nil {
+			_ = s.Close()
+		}
+	}
+}
+
+// WriteShardBench writes the sweep as indented JSON to path.
+func WriteShardBench(res *ShardBenchResult, path string) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RenderShardBench renders the sweep as an aligned text table.
+func RenderShardBench(res *ShardBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d vertices, %d edges, R=%d L=%d, %s\n",
+		res.Config.Dataset, res.Config.Vertices, res.Config.Edges,
+		res.Config.WalksPerVertex, res.Config.Length, res.Config.Transport)
+	fmt.Fprintf(&b, "%-6s %12s %12s %10s %10s %10s %9s %8s\n",
+		"parts", "walks/s", "steps/s", "frames/s", "bytes/hop", "migr.share", "mem/shard", "speedup")
+	for _, r := range res.Rows {
+		fmt.Fprintf(&b, "%-6d %12.0f %12.0f %10.0f %10.1f %10.3f %8dK %7.2fx\n",
+			r.Partitions, r.WalksPerSec, r.StepsPerSec, r.FramesPerSec,
+			r.BytesPerHop, r.MigrationShare, r.MemoryPerShard>>10, r.SpeedupVsOne)
+	}
+	return b.String()
+}

@@ -1,0 +1,345 @@
+// Router: the stateless front of a shard cluster. It holds no graph and no
+// index — only the shard base URLs — so any number of router replicas can
+// front the same cluster. GET /walk fans the query to every shard with the
+// request's X-Request-ID attached, collects each shard's partial response
+// (the walks whose source vertex that shard owns, keyed by global walk id),
+// and merges them by walk id into exactly the single-process walkResponse
+// shape: a client cannot tell a routed cluster from one teaserve process.
+//
+// Failure semantics: any unreachable or 503-answering shard makes the whole
+// /walk a 503 + Retry-After (partial walk lists would silently change query
+// semantics); other shard errors (400, 500) propagate with their status. The
+// readiness of the cluster is the conjunction of every shard's /readyz.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/tea-graph/tea/internal/metrics"
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/trace"
+)
+
+// maxShardBody bounds one shard's response body read by the router; beyond it
+// the response is treated as malformed. 64 MiB comfortably holds the largest
+// capped walk response (count and length are capped shard-side).
+const maxShardBody = 64 << 20
+
+// RouterConfig parameterizes a stateless shard router.
+type RouterConfig struct {
+	// Shards lists the shard base URLs in shard-id order; Shards[i] must be
+	// the HTTP address of the process serving shard i.
+	Shards []string
+	// RequestTimeout bounds one fan-out; 0 disables.
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrently executing fan-outs; 0 unlimited.
+	MaxInFlight int
+	// RetryAfter is the Retry-After hint on shed and peer-down responses.
+	RetryAfter time.Duration
+	// Metrics, Trace, Logger as in Config.
+	Metrics *metrics.Registry
+	Trace   *trace.Tracer
+	Logger  *slog.Logger
+}
+
+// Router fans queries over a shard cluster and merges the partial answers.
+type Router struct {
+	base   *Server // instrumentation + ops endpoints; its own mux is never served
+	shards []string
+	client *http.Client
+	mux    *http.ServeMux
+
+	fanouts *metrics.Counter
+	merges  *metrics.Counter
+}
+
+// NewRouter builds a router over the given shard addresses.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("router: need at least one shard address")
+	}
+	base := NewWithConfig(nil, Config{
+		RequestTimeout: cfg.RequestTimeout,
+		MaxInFlight:    cfg.MaxInFlight,
+		RetryAfter:     cfg.RetryAfter,
+		Metrics:        cfg.Metrics,
+		Trace:          cfg.Trace,
+		Logger:         cfg.Logger,
+	})
+	rt := &Router{
+		base:   base,
+		shards: append([]string(nil), cfg.Shards...),
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}},
+		mux:     http.NewServeMux(),
+		fanouts: base.metrics.Counter("tea_router_fanouts_total"),
+		merges:  base.metrics.Counter("tea_router_merged_walks_total"),
+	}
+	rt.mux.HandleFunc("GET /healthz", base.instrument("healthz", rt.handleHealth))
+	rt.mux.HandleFunc("GET /readyz", base.instrument("readyz", rt.handleReady))
+	rt.mux.HandleFunc("GET /stats", base.instrument("stats", rt.handleStats))
+	rt.mux.HandleFunc("GET /walk", base.instrument("walk", base.limited(rt.handleWalk)))
+	rt.mux.HandleFunc("GET /metrics", base.handleMetrics)
+	rt.mux.HandleFunc("GET /metrics.json", base.handleMetricsJSON)
+	rt.mux.HandleFunc("GET /debug/tea/trace", base.handleTrace)
+	rt.mux.HandleFunc("GET /debug/tea/flight", base.handleFlight)
+	return rt, nil
+}
+
+// Handler returns the routable HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Close releases pooled shard connections.
+func (rt *Router) Close() { rt.client.CloseIdleConnections() }
+
+// shardReply is one shard's raw answer to a fanned request.
+type shardReply struct {
+	status     int
+	retryAfter string
+	body       []byte
+	err        error // transport-level failure; status is meaningless
+}
+
+// fan issues GET path?query to every shard concurrently, propagating the
+// request's X-Request-ID, and returns the replies indexed by shard id.
+func (rt *Router) fan(ctx context.Context, path, rawQuery string) []shardReply {
+	rt.fanouts.Inc()
+	replies := make([]shardReply, len(rt.shards))
+	var wg sync.WaitGroup
+	for i := range rt.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			hopCtx, sp := trace.Start(ctx, "router.fanout")
+			if sp != nil {
+				sp.SetInt("shard", int64(i))
+				sp.SetStr("path", path)
+				defer sp.End()
+			}
+			url := rt.shards[i] + path
+			if rawQuery != "" {
+				url += "?" + rawQuery
+			}
+			req, err := http.NewRequestWithContext(hopCtx, http.MethodGet, url, nil)
+			if err != nil {
+				replies[i] = shardReply{err: err}
+				return
+			}
+			if id := trace.RequestID(ctx); id != "" {
+				req.Header.Set("X-Request-ID", id)
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				if sp != nil {
+					sp.SetError(err)
+				}
+				replies[i] = shardReply{err: err}
+				return
+			}
+			body, err := io.ReadAll(io.LimitReader(resp.Body, maxShardBody+1))
+			resp.Body.Close()
+			if err != nil {
+				replies[i] = shardReply{err: err}
+				return
+			}
+			if len(body) > maxShardBody {
+				replies[i] = shardReply{err: fmt.Errorf("response exceeds %d bytes", maxShardBody)}
+				return
+			}
+			if sp != nil {
+				sp.SetInt("status", int64(resp.StatusCode))
+			}
+			replies[i] = shardReply{
+				status:     resp.StatusCode,
+				retryAfter: resp.Header.Get("Retry-After"),
+				body:       body,
+			}
+		}(i)
+	}
+	wg.Wait()
+	return replies
+}
+
+// shardErrMsg extracts the {"error": "..."} body of a shard error response,
+// falling back to the raw body.
+func shardErrMsg(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	if len(body) > 200 {
+		body = body[:200]
+	}
+	return string(body)
+}
+
+// writeShardDown answers 503 + Retry-After for an unreachable or shedding
+// shard: the cluster is momentarily incomplete and the query is retryable.
+func (rt *Router) writeShardDown(w http.ResponseWriter, shardID int, detail string) {
+	ra := retryAfterSecs(rt.base.cfg.RetryAfter)
+	w.Header().Set("Retry-After", ra)
+	writeErr(w, http.StatusServiceUnavailable,
+		fmt.Errorf("shard %d unavailable: %s", shardID, detail))
+}
+
+func (rt *Router) handleWalk(w http.ResponseWriter, r *http.Request) {
+	// The router is stateless: it validates only what merging needs (the
+	// walk count); vertex bounds and size caps are enforced shard-side and
+	// their 400s propagate unchanged.
+	rawFrom := r.URL.Query().Get("from")
+	fromID, err := strconv.ParseUint(rawFrom, 10, 32)
+	if rawFrom == "" || err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing or malformed required parameter %q", "from"))
+		return
+	}
+	count, err := intParam(r, "count", 1)
+	if err != nil || count <= 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("count must be a positive integer"))
+		return
+	}
+
+	replies := rt.fan(r.Context(), "/walk", r.URL.Query().Encode())
+
+	// Any failed or shedding shard fails the whole query: merging a partial
+	// cluster would silently return fewer walks than asked.
+	for i, rep := range replies {
+		if rep.err != nil {
+			rt.writeShardDown(w, i, rep.err.Error())
+			return
+		}
+		if rep.status == http.StatusServiceUnavailable {
+			ra := rep.retryAfter
+			if ra == "" {
+				ra = retryAfterSecs(rt.base.cfg.RetryAfter)
+			}
+			w.Header().Set("Retry-After", ra)
+			writeErr(w, http.StatusServiceUnavailable,
+				fmt.Errorf("shard %d unavailable: %s", i, shardErrMsg(rep.body)))
+			return
+		}
+		if rep.status != http.StatusOK {
+			writeErr(w, rep.status, fmt.Errorf("shard %d: %s", i, shardErrMsg(rep.body)))
+			return
+		}
+	}
+
+	// Merge the partial walk lists by global walk id. Every id in [0, count)
+	// must be claimed exactly once across the cluster — anything else means
+	// the shards disagree about ownership (mismatched partition counts) and
+	// is a deployment error, not a client one.
+	walks := make([][]walkHop, count)
+	var steps, edges, migrations, frames int64
+	for i, rep := range replies {
+		var sr shardWalkResponse
+		if err := json.Unmarshal(rep.body, &sr); err != nil {
+			writeErr(w, http.StatusBadGateway, fmt.Errorf("shard %d: malformed response: %v", i, err))
+			return
+		}
+		if sr.Partitions != len(rt.shards) {
+			writeErr(w, http.StatusBadGateway,
+				fmt.Errorf("shard %d built for %d partitions, router has %d shards", i, sr.Partitions, len(rt.shards)))
+			return
+		}
+		if len(sr.WalkIDs) != len(sr.Walks) {
+			writeErr(w, http.StatusBadGateway,
+				fmt.Errorf("shard %d: %d walk ids for %d walks", i, len(sr.WalkIDs), len(sr.Walks)))
+			return
+		}
+		for j, id := range sr.WalkIDs {
+			if id < 0 || id >= count {
+				writeErr(w, http.StatusBadGateway, fmt.Errorf("shard %d: walk id %d outside [0, %d)", i, id, count))
+				return
+			}
+			if walks[id] != nil {
+				writeErr(w, http.StatusBadGateway, fmt.Errorf("walk id %d claimed by more than one shard", id))
+				return
+			}
+			walks[id] = sr.Walks[j]
+		}
+		steps += costInt(sr.Cost, "steps")
+		edges += costInt(sr.Cost, "edges_evaluated")
+		migrations += costInt(sr.Cost, "migrations")
+		frames += costInt(sr.Cost, "frames")
+	}
+	for id, hops := range walks {
+		if hops == nil {
+			writeErr(w, http.StatusBadGateway, fmt.Errorf("walk id %d claimed by no shard", id))
+			return
+		}
+	}
+	rt.merges.Add(int64(count))
+
+	out := walkResponse{From: temporal.Vertex(fromID), Walks: walks, Cost: map[string]string{
+		"steps":           strconv.FormatInt(steps, 10),
+		"edges_evaluated": strconv.FormatInt(edges, 10),
+		"migrations":      strconv.FormatInt(migrations, 10),
+		"frames":          strconv.FormatInt(frames, 10),
+		"shards":          strconv.Itoa(len(rt.shards)),
+	}}
+	if steps > 0 {
+		out.Cost["edges_per_step"] = fmt.Sprintf("%.2f", float64(edges)/float64(steps))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// costInt reads an int64 cost field, tolerating absence.
+func costInt(cost map[string]string, key string) int64 {
+	v, _ := strconv.ParseInt(cost[key], 10, 64)
+	return v
+}
+
+// handleHealth is the router's own liveness: always 200 (shard reachability
+// belongs to readiness).
+func (rt *Router) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "shards": len(rt.shards)})
+}
+
+// handleReady is cluster readiness: 200 only when every shard's /readyz is
+// 200, else 503 + Retry-After naming the shards that aren't there yet.
+func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
+	replies := rt.fan(r.Context(), "/readyz", "")
+	var notReady []int
+	for i, rep := range replies {
+		if rep.err != nil || rep.status != http.StatusOK {
+			notReady = append(notReady, i)
+		}
+	}
+	if len(notReady) > 0 {
+		w.Header().Set("Retry-After", retryAfterSecs(rt.base.cfg.RetryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "waiting", "shards": len(rt.shards), "not_ready": notReady,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "shards": len(rt.shards)})
+}
+
+// handleStats aggregates every shard's /stats under one response.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	replies := rt.fan(r.Context(), "/stats", "")
+	shards := make([]json.RawMessage, len(replies))
+	for i, rep := range replies {
+		if rep.err != nil {
+			rt.writeShardDown(w, i, rep.err.Error())
+			return
+		}
+		if rep.status != http.StatusOK {
+			writeErr(w, rep.status, fmt.Errorf("shard %d: %s", i, shardErrMsg(rep.body)))
+			return
+		}
+		shards[i] = json.RawMessage(rep.body)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"partitions": len(rt.shards), "shards": shards})
+}

@@ -1,0 +1,196 @@
+// Shard mode: the HTTP face of one internal/shard node. A ShardServer serves
+// the same GET /walk surface as the single-process server, but answers only
+// with the walks whose source vertex its shard owns — walk ids are positions
+// in the global walk list, so a stateless Router (router.go) can merge the
+// partial responses of every shard into exactly the single-process response.
+//
+// Failure semantics: a peer shard going down mid-walk surfaces as a
+// *wire.PeerError from the coordinator, which maps to 503 + Retry-After here
+// (the cluster is incomplete; the client should retry once the peer is back),
+// while deliberate refusals (*wire.RemoteError, e.g. a cluster-config
+// mismatch) are 500s — retrying cannot fix a misconfigured cluster.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/tea-graph/tea/internal/shard"
+	"github.com/tea-graph/tea/internal/shard/wire"
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/trace"
+)
+
+// errShardMode is returned by endpoints that need the whole graph resident
+// (PPR's visit accounting, reachability's BFS) and so are not served by one
+// shard.
+var errShardMode = errors.New("endpoint not available in shard mode; use a single-process teaserve")
+
+// ShardServer is the HTTP handler of one shard process: /walk runs the
+// scatter-gather coordinator over this node's share of the request, /stats
+// describes the partition, and the operational endpoints (health, metrics,
+// tracing) are the regular server's.
+type ShardServer struct {
+	base   *Server // instrumentation + ops endpoints; its own mux is never served
+	node   *shard.Node
+	caller shard.StepCaller
+	mux    *http.ServeMux
+}
+
+// NewShard builds the HTTP server for one shard node. caller delivers step
+// batches to peer shards (shard.Peers over TCP in production, shard.InProcess
+// in tests); cfg carries the same operational limits as the single-process
+// server.
+func NewShard(node *shard.Node, caller shard.StepCaller, cfg Config) *ShardServer {
+	base := NewWithConfig(nil, cfg)
+	ss := &ShardServer{base: base, node: node, caller: caller, mux: http.NewServeMux()}
+	ss.mux.HandleFunc("GET /healthz", base.instrument("healthz", base.handleHealth))
+	ss.mux.HandleFunc("GET /readyz", base.instrument("readyz", base.handleReady))
+	ss.mux.HandleFunc("GET /stats", base.instrument("stats", ss.handleStats))
+	ss.mux.HandleFunc("GET /walk", base.instrument("walk", base.limited(ss.handleWalk)))
+	ss.mux.HandleFunc("GET /ppr", base.instrument("ppr", ss.handleUnavailable))
+	ss.mux.HandleFunc("GET /reach", base.instrument("reach", ss.handleUnavailable))
+	ss.mux.HandleFunc("GET /metrics", base.handleMetrics)
+	ss.mux.HandleFunc("GET /metrics.json", base.handleMetricsJSON)
+	ss.mux.HandleFunc("GET /debug/tea/trace", base.handleTrace)
+	ss.mux.HandleFunc("GET /debug/tea/flight", base.handleFlight)
+	return ss
+}
+
+// Handler returns the routable HTTP handler.
+func (ss *ShardServer) Handler() http.Handler { return ss.mux }
+
+// shardWalkResponse is one shard's partial answer to a /walk: the walks whose
+// global walk ids this shard coordinated, parallel to WalkIDs. The router
+// merges these by walk id into the plain walkResponse shape.
+type shardWalkResponse struct {
+	From       temporal.Vertex   `json:"from"`
+	Shard      int               `json:"shard"`
+	Partitions int               `json:"partitions"`
+	WalkIDs    []int             `json:"walk_ids"`
+	Walks      [][]walkHop       `json:"walks"`
+	Cost       map[string]string `json:"cost"`
+}
+
+func (ss *ShardServer) handleWalk(w http.ResponseWriter, r *http.Request) {
+	from, err := vertexParam(r, "from", ss.node.NumVertices())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	length, err := intParam(r, "length", 80)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	count, err := intParam(r, "count", 1)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	seed, err := intParam(r, "seed", 1)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if length <= 0 || count <= 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("length and count must be positive"))
+		return
+	}
+	if length > ss.base.cfg.MaxWalkLength {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("length %d exceeds per-request limit %d", length, ss.base.cfg.MaxWalkLength))
+		return
+	}
+	if count > ss.base.cfg.MaxWalkCount {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("count %d exceeds per-request limit %d", count, ss.base.cfg.MaxWalkCount))
+		return
+	}
+	res, err := ss.node.RunWalks(r.Context(), ss.caller, shard.WalkRequest{
+		Sources:        []temporal.Vertex{from},
+		WalksPerVertex: count,
+		Length:         length,
+		Seed:           uint64(seed),
+		KeepPaths:      true,
+		RequestID:      trace.RequestID(r.Context()),
+	})
+	if err != nil {
+		ss.writeRunErr(w, err)
+		return
+	}
+	out := shardWalkResponse{
+		From:       from,
+		Shard:      ss.node.ShardID(),
+		Partitions: ss.node.Partitions(),
+		WalkIDs:    res.WalkIDs,
+		Walks:      make([][]walkHop, 0, len(res.Paths)),
+		Cost: map[string]string{
+			"steps":           strconv.FormatInt(res.Cost.Steps, 10),
+			"edges_evaluated": strconv.FormatInt(res.Cost.EdgesEvaluated, 10),
+			"duration":        res.Duration.String(),
+			"rounds":          strconv.Itoa(res.Rounds),
+			"migrations":      strconv.FormatInt(res.Migrations, 10),
+			"frames":          strconv.FormatInt(res.Frames, 10),
+			"local_steps":     strconv.FormatInt(res.LocalSteps, 10),
+			"bytes_sent":      strconv.FormatInt(res.BytesSent, 10),
+		},
+	}
+	if out.WalkIDs == nil {
+		out.WalkIDs = []int{} // "no walks owned" renders as [], not null
+	}
+	for _, p := range res.Paths {
+		hops := make([]walkHop, len(p.Vertices))
+		for i, v := range p.Vertices {
+			hops[i] = walkHop{Vertex: v}
+			if i > 0 {
+				t := int64(p.Times[i-1])
+				hops[i].Time = &t
+			}
+		}
+		out.Walks = append(out.Walks, hops)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// writeRunErr maps a coordinator error onto HTTP: a transient peer failure is
+// 503 + Retry-After (the shard itself is healthy; the cluster is momentarily
+// incomplete), everything else follows the single-process mapping.
+func (ss *ShardServer) writeRunErr(w http.ResponseWriter, err error) {
+	var pe *wire.PeerError
+	if errors.As(err, &pe) {
+		w.Header().Set("Retry-After", retryAfterSecs(ss.base.cfg.RetryAfter))
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeErr(w, runStatus(err), err)
+}
+
+type shardStatsResponse struct {
+	Shard      int   `json:"shard"`
+	Partitions int   `json:"partitions"`
+	Vertices   int   `json:"vertices"`
+	OwnedEdges int   `json:"owned_edges"`
+	IndexBytes int64 `json:"index_bytes"`
+}
+
+func (ss *ShardServer) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, shardStatsResponse{
+		Shard:      ss.node.ShardID(),
+		Partitions: ss.node.Partitions(),
+		Vertices:   ss.node.NumVertices(),
+		OwnedEdges: ss.node.OwnedEdges(),
+		IndexBytes: ss.node.MemoryBytes(),
+	})
+}
+
+func (ss *ShardServer) handleUnavailable(w http.ResponseWriter, _ *http.Request) {
+	writeErr(w, http.StatusNotImplemented, errShardMode)
+}
+
+// retryAfterSecs renders a Retry-After duration in whole seconds, rounded up
+// so the emitted header is never "0".
+func retryAfterSecs(d time.Duration) string {
+	return strconv.Itoa(int((d + time.Second - 1) / time.Second))
+}

@@ -1,0 +1,386 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/tea-graph/tea/internal/core"
+	"github.com/tea-graph/tea/internal/shard/wire"
+	"github.com/tea-graph/tea/internal/stats"
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/trace"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+// StepCaller delivers a batched step request to the shard owning a group of
+// walkers. The TCP implementation is Peers (wire clients); tests and the
+// bench harness use InProcess (direct method calls) — the coordinator logic
+// is identical either way, which is what lets the golden suite prove the
+// loopback deployment equal to the in-process one.
+type StepCaller interface {
+	Step(ctx context.Context, shardID int, req *wire.StepRequest) (*wire.StepResponse, error)
+}
+
+// WalkRequest describes the full logical walk request, identical on every
+// shard: walk ids are positions in the global (source-major) walk list, so
+// each shard independently selects the ids whose source it owns and the
+// router can merge partial results without renumbering.
+type WalkRequest struct {
+	// Sources is the global source list; nil means every vertex.
+	Sources []temporal.Vertex
+	// WalksPerVertex is R; default 1. Length is L; default 80.
+	WalksPerVertex int
+	Length         int
+	// StartTime/HasStartTime follow core.WalkConfig's convention.
+	StartTime    temporal.Time
+	HasStartTime bool
+	// Seed drives every walker's stream, exactly as in core: walk wi uses
+	// root.Split(wi).
+	Seed uint64
+	// KeepPaths stores the sampled paths in the result.
+	KeepPaths bool
+	// RequestID is propagated on every migration frame for trace correlation.
+	RequestID string
+}
+
+func (r *WalkRequest) normalize(numV int) {
+	if r.WalksPerVertex <= 0 {
+		r.WalksPerVertex = 1
+	}
+	if r.Length <= 0 {
+		r.Length = 80
+	}
+	if !r.HasStartTime && r.StartTime == 0 {
+		r.StartTime = temporal.MinTime
+	}
+	if r.Sources == nil {
+		r.Sources = make([]temporal.Vertex, numV)
+		for i := range r.Sources {
+			r.Sources[i] = temporal.Vertex(i)
+		}
+	}
+}
+
+// WalkResult is one shard's share of a walk request: the walks whose source
+// vertex this shard owns, each walked to completion (possibly via peers).
+type WalkResult struct {
+	Cost     stats.Cost
+	Duration time.Duration
+	// Rounds is the number of step-synchronous rounds executed.
+	Rounds int
+	// Migrations counts walker-steps served by a peer (walker crossed a
+	// shard boundary for that step); Frames counts the batched messages that
+	// carried them (one per peer per round) and BytesSent their on-wire
+	// request bytes.
+	Migrations int64
+	Frames     int64
+	BytesSent  int64
+	// LocalSteps counts steps served by this shard's own partition.
+	LocalSteps int64
+	// WalkIDs lists the global walk ids this shard coordinated, ascending.
+	// Paths is parallel to it when KeepPaths is set.
+	WalkIDs []int
+	Paths   []core.Path
+	// Lengths histograms realized walk lengths, as in core.Result.
+	Lengths *stats.Histogram
+}
+
+// coordWalker is a frontier entry: the migrating wire state plus the local
+// result slot it reports into.
+type coordWalker struct {
+	wire.Walker
+	slot int // index into WalkIDs/Paths
+}
+
+// RunWalks executes the walks of req whose source vertex this shard owns,
+// scatter-gather style: each round the resident frontier is grouped by the
+// owner of each walker's current vertex, remote groups cross to their owner
+// as one wire frame per peer, the local group advances on this node's
+// partition, and results are folded back in deterministic walk order.
+//
+// Determinism: walker wi's randomness is root.Split(wi) carried in the
+// migration frames and consumed sequentially wherever the walker happens to
+// be resident — so paths are byte-identical to core.Engine.RunContext with
+// the same seed, for any shard count including 1.
+//
+// A peer failure aborts the run with the *wire.PeerError (fail-fast: the
+// caller maps it to 503 + Retry-After; no partial silent results).
+// Cancellation classifies every in-flight walk as cancelled, like core.
+func (n *Node) RunWalks(ctx context.Context, caller StepCaller, req WalkRequest) (*WalkResult, error) {
+	req.normalize(n.numV)
+	for _, s := range req.Sources {
+		if int(s) >= n.numV {
+			return nil, fmt.Errorf("shard: start vertex %d outside graph with %d vertices", s, n.numV)
+		}
+	}
+	ctx, runSpan := trace.Start(ctx, "shard.run")
+	if runSpan != nil {
+		runSpan.SetInt("shard", int64(n.id))
+		defer runSpan.End()
+	}
+
+	start := time.Now()
+	res := &WalkResult{Lengths: stats.NewHistogram(req.Length + 1)}
+	root := xrand.New(req.Seed)
+
+	// Seed the frontier with the owned slice of the global walk list.
+	totalWalks := len(req.Sources) * req.WalksPerVertex
+	var frontier []coordWalker
+	for wi := 0; wi < totalWalks; wi++ {
+		src := req.Sources[wi/req.WalksPerVertex]
+		if n.part.Owner(src) != n.id {
+			continue
+		}
+		slot := len(res.WalkIDs)
+		res.WalkIDs = append(res.WalkIDs, wi)
+		w := coordWalker{slot: slot}
+		w.ID = uint64(wi)
+		w.Cur = src
+		w.Arrival = req.StartTime
+		root.SplitTo(uint64(wi), &w.RNG)
+		frontier = append(frontier, w)
+		res.Cost.WalksStarted++
+	}
+	if req.KeepPaths {
+		res.Paths = make([]core.Path, len(res.WalkIDs))
+		for i, wi := range res.WalkIDs {
+			res.Paths[i].Vertices = append(make([]temporal.Vertex, 0, req.Length+1), req.Sources[wi/req.WalksPerVertex])
+		}
+	}
+	if runSpan != nil {
+		runSpan.SetInt("walks", int64(len(frontier)))
+	}
+
+	mRounds := n.reg.Counter("tea_shard_rounds_total")
+	mMigr := n.reg.Counter("tea_shard_migrations_total")
+	mFrames := n.reg.Counter("tea_shard_frames_total")
+	mLocal := n.reg.Counter("tea_shard_local_steps_total")
+
+	parts := n.part.Partitions()
+	groups := make([][]int, parts) // frontier indices per owner, reused
+	results := make([]wire.StepResult, 0)
+	var runErr error
+
+	for len(frontier) > 0 && runErr == nil {
+		if ctx.Err() != nil {
+			for i := range frontier {
+				res.Lengths.Observe(int(frontier[i].Steps))
+				res.Cost.WalksCancelled++
+			}
+			frontier = frontier[:0]
+			break
+		}
+		res.Rounds++
+		mRounds.Inc()
+
+		for p := range groups {
+			groups[p] = groups[p][:0]
+		}
+		for i := range frontier {
+			owner := n.part.Owner(frontier[i].Cur)
+			groups[owner] = append(groups[owner], i)
+		}
+
+		// One step result per frontier entry, filled by owner group.
+		if cap(results) < len(frontier) {
+			results = make([]wire.StepResult, len(frontier))
+		}
+		results = results[:len(frontier)]
+
+		var (
+			wg     sync.WaitGroup
+			failMu sync.Mutex
+		)
+		for p := 0; p < parts; p++ {
+			idxs := groups[p]
+			if len(idxs) == 0 || p == n.id {
+				continue
+			}
+			sreq := &wire.StepRequest{
+				RequestID:   req.RequestID,
+				FromShard:   uint32(n.id),
+				Partitions:  uint32(parts),
+				NumVertices: uint32(n.numV),
+				Walkers:     make([]wire.Walker, len(idxs)),
+			}
+			for j, fi := range idxs {
+				sreq.Walkers[j] = frontier[fi].Walker
+			}
+			res.Migrations += int64(len(idxs))
+			res.Frames++
+			res.BytesSent += int64(wire.FrameSize(stepRequestPayloadLen(sreq)))
+			mMigr.Add(int64(len(idxs)))
+			mFrames.Inc()
+			wg.Add(1)
+			go func(p int, idxs []int, sreq *wire.StepRequest) {
+				defer wg.Done()
+				hopCtx, hop := trace.Start(ctx, "shard.hop")
+				if hop != nil {
+					hop.SetInt("peer", int64(p))
+					hop.SetInt("walkers", int64(len(idxs)))
+					defer hop.End()
+				}
+				sresp, err := caller.Step(hopCtx, p, sreq)
+				if err != nil {
+					if hop != nil {
+						hop.SetError(err)
+					}
+					failMu.Lock()
+					if runErr == nil {
+						runErr = err
+					}
+					failMu.Unlock()
+					return
+				}
+				if len(sresp.Results) != len(idxs) {
+					failMu.Lock()
+					if runErr == nil {
+						runErr = &wire.PeerError{Addr: fmt.Sprintf("shard-%d", p),
+							Err: fmt.Errorf("answered %d results for %d walkers", len(sresp.Results), len(idxs))}
+					}
+					failMu.Unlock()
+					return
+				}
+				for j, fi := range idxs {
+					results[fi] = sresp.Results[j]
+				}
+			}(p, idxs, sreq)
+		}
+		// Local group advances while the remote frames are in flight.
+		if idxs := groups[n.id]; len(idxs) > 0 {
+			local := make([]wire.Walker, len(idxs))
+			for j, fi := range idxs {
+				local[j] = frontier[fi].Walker
+			}
+			localRes := make([]wire.StepResult, len(idxs))
+			n.advance(ctx, local, localRes)
+			res.LocalSteps += int64(len(idxs))
+			mLocal.Add(int64(len(idxs)))
+			for j, fi := range idxs {
+				results[fi] = localRes[j]
+			}
+		}
+		wg.Wait()
+		if runErr != nil {
+			break
+		}
+
+		// Fold the step outcomes back in frontier (ascending walk id) order.
+		next := frontier[:0]
+		for i := range frontier {
+			w := frontier[i]
+			r := results[i]
+			res.Cost.EdgesEvaluated += r.Evaluated
+			if r.Status == wire.StatusDeadEnd {
+				res.Lengths.Observe(int(w.Steps))
+				res.Cost.WalksDeadEnded++
+				continue
+			}
+			res.Cost.Steps++
+			w.Steps++
+			w.Cur = r.Dst
+			w.Arrival = r.At
+			w.RNG = r.RNG
+			if req.KeepPaths {
+				p := &res.Paths[w.slot]
+				p.Vertices = append(p.Vertices, r.Dst)
+				p.Times = append(p.Times, r.At)
+			}
+			if int(w.Steps) >= req.Length {
+				res.Lengths.Observe(int(w.Steps))
+				res.Cost.WalksCompleted++
+				continue
+			}
+			next = append(next, w)
+		}
+		frontier = next
+	}
+
+	if runErr != nil {
+		// Fail-fast: in-flight walks are cancelled by the abort, not by the
+		// graph; account them so WalksStarted == WalksFinished holds.
+		for i := range frontier {
+			res.Lengths.Observe(int(frontier[i].Steps))
+			res.Cost.WalksCancelled++
+		}
+		res.Duration = time.Since(start)
+		if runSpan != nil {
+			runSpan.SetError(runErr)
+		}
+		return res, runErr
+	}
+	res.Duration = time.Since(start)
+	if runSpan != nil {
+		runSpan.SetInt("rounds", int64(res.Rounds))
+		runSpan.SetInt("migrations", res.Migrations)
+		runSpan.SetInt("frames", res.Frames)
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// stepRequestPayloadLen mirrors AppendStepRequest's layout so the
+// coordinator can account on-wire bytes without re-encoding.
+func stepRequestPayloadLen(req *wire.StepRequest) int {
+	return 4 + len(req.RequestID) + 16 + len(req.Walkers)*wire.WalkerFrameSize
+}
+
+// InProcess is a StepCaller over co-resident Nodes: scatter-gather without
+// sockets. The golden tests run the same workload through InProcess and
+// through wire clients over loopback TCP and require identical paths.
+type InProcess struct {
+	Nodes []*Node
+}
+
+// Step implements StepCaller.
+func (p *InProcess) Step(ctx context.Context, shardID int, req *wire.StepRequest) (*wire.StepResponse, error) {
+	if shardID < 0 || shardID >= len(p.Nodes) || p.Nodes[shardID] == nil {
+		return nil, fmt.Errorf("shard: no in-process node for shard %d", shardID)
+	}
+	return p.Nodes[shardID].HandleStep(ctx, req)
+}
+
+// Peers is a StepCaller over wire clients, one per remote shard.
+type Peers struct {
+	clients map[int]*wire.Client
+}
+
+// NewPeers builds pooled clients for every peer address. addrs maps shard id
+// to host:port; the local shard must not appear in it.
+func NewPeers(addrs map[int]string, cfg wire.ClientConfig) *Peers {
+	p := &Peers{clients: make(map[int]*wire.Client, len(addrs))}
+	for id, addr := range addrs {
+		p.clients[id] = wire.NewClient(addr, cfg)
+	}
+	return p
+}
+
+// Step implements StepCaller.
+func (p *Peers) Step(ctx context.Context, shardID int, req *wire.StepRequest) (*wire.StepResponse, error) {
+	c, ok := p.clients[shardID]
+	if !ok {
+		return nil, fmt.Errorf("shard: no peer address for shard %d", shardID)
+	}
+	return c.Step(ctx, req)
+}
+
+// Ping probes every peer once; the first failure is returned.
+func (p *Peers) Ping(ctx context.Context) error {
+	for _, c := range p.clients {
+		if err := c.Ping(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases every pooled connection.
+func (p *Peers) Close() {
+	for _, c := range p.clients {
+		c.Close()
+	}
+}

@@ -1,0 +1,267 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/tea-graph/tea/internal/core"
+	"github.com/tea-graph/tea/internal/hpat"
+	"github.com/tea-graph/tea/internal/metrics"
+	"github.com/tea-graph/tea/internal/sampling"
+	"github.com/tea-graph/tea/internal/shard/wire"
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/trace"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+// Config parameterizes one shard node.
+type Config struct {
+	// ShardID is this node's partition, in [0, Partitions).
+	ShardID int
+	// Partitions is the cluster size; every node must agree on it.
+	Partitions int
+	// Threads bounds index-construction and local-step parallelism; <1 means
+	// GOMAXPROCS.
+	Threads int
+	// Kernel selects the local step executor: KernelScalar samples walkers
+	// one at a time, KernelBatch (and KernelAuto) hands the resident frontier
+	// to the index's SampleBatch. Both replay byte-identical walks — the
+	// BatchSampler contract is element-wise equality with Sample.
+	Kernel core.Kernel
+	// Tracer, if non-nil, records shard.step spans keyed by the propagated
+	// request id so cross-process hops land on one timeline.
+	Tracer *trace.Tracer
+	// Metrics receives tea_shard_* families; nil means metrics.Default.
+	Metrics *metrics.Registry
+}
+
+// Node is one shard: the subgraph of its owned vertices' out-edges, their
+// HPAT index, and the step executor remote peers call into. A Node both
+// serves steps for walkers arriving from peers (HandleStep) and coordinates
+// the walks whose source vertex it owns (RunWalks).
+type Node struct {
+	id     int
+	part   *Partitioner
+	g      *temporal.Graph // full vertex space, owned out-edges only
+	idx    *hpat.Index
+	numV   int
+	kernel core.Kernel
+	tracer *trace.Tracer
+	reg    *metrics.Registry
+
+	stepsServed *metrics.Counter
+	stepBatches *metrics.Counter
+
+	// scratch pools the batch kernel's per-call SoA buffers. HandleStep runs
+	// concurrently (one call per serving connection plus the local group), so
+	// the scratch is pooled rather than owned by the node.
+	scratch sync.Pool
+}
+
+// batchScratch is one advanceBatch call's working set.
+type batchScratch struct {
+	us    []temporal.Vertex
+	ks    []int32
+	rs    []*xrand.Rand
+	edges []int32
+	evals []int64
+	oks   []bool
+}
+
+func (s *batchScratch) grow(m int) {
+	if cap(s.us) < m {
+		s.us = make([]temporal.Vertex, m)
+		s.ks = make([]int32, m)
+		s.rs = make([]*xrand.Rand, m)
+		s.edges = make([]int32, m)
+		s.evals = make([]int64, m)
+		s.oks = make([]bool, m)
+		return
+	}
+	s.us = s.us[:m]
+	s.ks = s.ks[:m]
+	s.rs = s.rs[:m]
+	s.edges = s.edges[:m]
+	s.evals = s.evals[:m]
+	s.oks = s.oks[:m]
+}
+
+// NewNode partitions the full graph down to this shard's vertices and builds
+// their HPAT. Every process in the cluster loads the same graph file and
+// calls NewNode with its own ShardID; the consistent-hash Partitioner makes
+// them agree on ownership with no coordination.
+func NewNode(g *temporal.Graph, spec sampling.WeightSpec, cfg Config) (*Node, error) {
+	if cfg.Partitions < 1 {
+		return nil, fmt.Errorf("shard: need at least one partition, got %d", cfg.Partitions)
+	}
+	if cfg.ShardID < 0 || cfg.ShardID >= cfg.Partitions {
+		return nil, fmt.Errorf("shard: shard id %d outside [0, %d)", cfg.ShardID, cfg.Partitions)
+	}
+	threads := cfg.Threads
+	if threads < 1 {
+		threads = 0 // BuildGraphWeights/hpat treat <1 as GOMAXPROCS
+	}
+	part, err := NewPartitioner(cfg.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default
+	}
+
+	// Linear-time weights reference the graph's minimum timestamp; anchor it
+	// on the full graph so every shard computes identical per-vertex
+	// distributions regardless of its local time range (same fix as
+	// internal/dist).
+	if spec.Kind == sampling.WeightLinearTime && spec.Custom == nil {
+		globalMin, _ := g.TimeRange()
+		spec = sampling.WeightSpec{Custom: func(t temporal.Time) float64 {
+			return float64(t-globalMin) + 1
+		}}
+	}
+
+	numV := g.NumVertices()
+	var owned []temporal.Edge
+	for _, e := range g.Edges(nil) {
+		if part.Owner(e.Src) == cfg.ShardID {
+			owned = append(owned, e)
+		}
+	}
+	sub, err := temporal.FromEdges(owned, temporal.WithNumVertices(numV))
+	if err != nil && len(owned) != 0 {
+		return nil, fmt.Errorf("shard: building partition %d subgraph: %w", cfg.ShardID, err)
+	}
+	if sub == nil {
+		sub, _ = temporal.FromEdges(nil, temporal.WithNumVertices(numV))
+	}
+	sub.PrecomputeCandidates(threads)
+	w, err := sampling.BuildGraphWeights(sub, spec, threads)
+	if err != nil {
+		return nil, fmt.Errorf("shard: weights for partition %d: %w", cfg.ShardID, err)
+	}
+	kern := cfg.Kernel
+	if kern == core.KernelAuto {
+		kern = core.KernelBatch
+	}
+	return &Node{
+		id:          cfg.ShardID,
+		part:        part,
+		g:           sub,
+		idx:         hpat.Build(w, hpat.Config{Threads: threads}),
+		numV:        numV,
+		kernel:      kern,
+		tracer:      cfg.Tracer,
+		reg:         reg,
+		stepsServed: reg.Counter("tea_shard_steps_served_total"),
+		stepBatches: reg.Counter("tea_shard_step_batches_total"),
+	}, nil
+}
+
+// ShardID returns this node's partition id.
+func (n *Node) ShardID() int { return n.id }
+
+// Partitions returns the cluster size the node was built for.
+func (n *Node) Partitions() int { return n.part.Partitions() }
+
+// Partitioner returns the shared ownership ring.
+func (n *Node) Partitioner() *Partitioner { return n.part }
+
+// NumVertices returns the full graph's vertex count (the cluster
+// fingerprint carried on every step frame).
+func (n *Node) NumVertices() int { return n.numV }
+
+// MemoryBytes reports this shard's index footprint.
+func (n *Node) MemoryBytes() int64 { return n.idx.MemoryBytes() + n.g.MemoryBytes() }
+
+// OwnedEdges returns the number of edges in this shard's partition (edges
+// whose source vertex this shard owns).
+func (n *Node) OwnedEdges() int { return n.g.NumEdges() }
+
+// HandleStep implements wire.Handler: advance each walker in the request by
+// one step on this shard's partition. The request id opens a root trace span
+// so /debug/tea/trace on the peer shows the hop under the same timeline as
+// the router's and coordinator's spans.
+func (n *Node) HandleStep(ctx context.Context, req *wire.StepRequest) (*wire.StepResponse, error) {
+	if int(req.Partitions) != n.part.Partitions() || int(req.NumVertices) != n.numV {
+		return nil, fmt.Errorf("cluster config mismatch: peer has partitions=%d vertices=%d, this shard has partitions=%d vertices=%d",
+			req.Partitions, req.NumVertices, n.part.Partitions(), n.numV)
+	}
+	var span *trace.Span
+	if n.tracer != nil && req.RequestID != "" {
+		ctx, span = n.tracer.StartRoot(ctx, "shard.step", req.RequestID)
+		if span != nil {
+			span.SetInt("shard", int64(n.id))
+			span.SetInt("from_shard", int64(req.FromShard))
+			span.SetInt("walkers", int64(len(req.Walkers)))
+			defer span.End()
+		}
+	}
+	resp := &wire.StepResponse{Results: make([]wire.StepResult, len(req.Walkers))}
+	n.advance(ctx, req.Walkers, resp.Results)
+	n.stepBatches.Inc()
+	n.stepsServed.Add(int64(len(req.Walkers)))
+	return resp, nil
+}
+
+// advance executes one step for each walker against the local partition.
+// The walker's candidate count is recomputed here from (Cur, Arrival): the
+// single-process engine carries k across steps via CandidateCountAfterEdge,
+// which is by construction CandidateCount(dst, at) on the destination's
+// adjacency — adjacency this shard owns in full, so the recomputed k is
+// identical and the walker's stream is consumed exactly as in-process.
+func (n *Node) advance(ctx context.Context, walkers []wire.Walker, results []wire.StepResult) {
+	if n.kernel == core.KernelBatch {
+		n.advanceBatch(ctx, walkers, results)
+		return
+	}
+	for i := range walkers {
+		w := &walkers[i]
+		k := n.g.CandidateCount(w.Cur, w.Arrival)
+		if k == 0 {
+			results[i] = wire.StepResult{Status: wire.StatusDeadEnd, RNG: w.RNG}
+			continue
+		}
+		edgeIdx, ev, ok := n.idx.Sample(w.Cur, k, &w.RNG)
+		if !ok {
+			results[i] = wire.StepResult{Status: wire.StatusDeadEnd, Evaluated: ev, RNG: w.RNG}
+			continue
+		}
+		dst, at := n.g.EdgeAt(w.Cur, edgeIdx)
+		results[i] = wire.StepResult{Status: wire.StatusStepped, Dst: dst, At: at, Evaluated: ev, RNG: w.RNG}
+	}
+}
+
+// advanceBatch is advance through the index's BatchSampler: element-wise
+// identical to the scalar path by the SampleBatch contract (hpat's
+// implementation calls Sample per entry, and Sample with k<=0 consumes
+// nothing — matching the scalar path's skip).
+func (n *Node) advanceBatch(ctx context.Context, walkers []wire.Walker, results []wire.StepResult) {
+	m := len(walkers)
+	sc, _ := n.scratch.Get().(*batchScratch)
+	if sc == nil {
+		sc = &batchScratch{}
+	}
+	sc.grow(m)
+	for i := range walkers {
+		w := &walkers[i]
+		sc.us[i] = w.Cur
+		sc.ks[i] = int32(n.g.CandidateCount(w.Cur, w.Arrival))
+		sc.rs[i] = &w.RNG
+	}
+	n.idx.SampleBatch(ctx, sc.us, sc.ks, sc.rs, sc.edges, sc.evals, sc.oks)
+	for i := range walkers {
+		w := &walkers[i]
+		if !sc.oks[i] {
+			results[i] = wire.StepResult{Status: wire.StatusDeadEnd, Evaluated: sc.evals[i], RNG: w.RNG}
+			continue
+		}
+		dst, at := n.g.EdgeAt(w.Cur, int(sc.edges[i]))
+		results[i] = wire.StepResult{Status: wire.StatusStepped, Dst: dst, At: at, Evaluated: sc.evals[i], RNG: w.RNG}
+	}
+	for i := range sc.rs {
+		sc.rs[i] = nil // drop walker pointers before pooling
+	}
+	n.scratch.Put(sc)
+}

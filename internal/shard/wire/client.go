@@ -1,0 +1,284 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/tea-graph/tea/internal/metrics"
+)
+
+// PeerError is a definitive failure from or about a peer shard: the peer is
+// unreachable after retries, answered a TypeError frame, or spoke garbage.
+// Callers (the shard coordinator, the HTTP layer) map it to 503 +
+// Retry-After — the cluster is degraded, not the request.
+type PeerError struct {
+	Addr string
+	Err  error
+}
+
+func (e *PeerError) Error() string { return fmt.Sprintf("shard peer %s: %v", e.Addr, e.Err) }
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// RemoteError is the decoded body of a TypeError frame: the peer processed
+// the frame and deliberately refused it (config mismatch, handler failure).
+// Deliberate refusals are not retried — the peer will refuse again.
+type RemoteError struct {
+	Addr string
+	Msg  string
+}
+
+func (e *RemoteError) Error() string { return fmt.Sprintf("shard peer %s refused: %s", e.Addr, e.Msg) }
+
+// ClientConfig tunes a peer client. The zero value is usable.
+type ClientConfig struct {
+	// DialTimeout bounds one connection attempt. Default 2s.
+	DialTimeout time.Duration
+	// MaxIdleConns caps pooled idle connections per peer. Default 4.
+	MaxIdleConns int
+	// Retries is the number of re-attempts after the first failed try on
+	// transient (connection-level) errors. Default 2.
+	Retries int
+	// RetryBackoff is the sleep before the first retry; it doubles each
+	// attempt. Default 25ms.
+	RetryBackoff time.Duration
+	// Metrics receives tea_shard_* client counters; nil means metrics.Default.
+	Metrics *metrics.Registry
+}
+
+func (c ClientConfig) normalized() ClientConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.MaxIdleConns <= 0 {
+		c.MaxIdleConns = 4
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.Default
+	}
+	return c
+}
+
+// pconn is a pooled connection plus its reusable frame buffers. The buffers
+// live with the connection — one exchange owns a connection at a time, so a
+// warm connection encodes requests and reads responses with zero allocations
+// regardless of how many Step calls run concurrently.
+type pconn struct {
+	net.Conn
+	rbuf []byte // ReadFrameBuf scratch
+	wbuf []byte // BeginFrame/SealFrame scratch
+}
+
+// Client is a connection-pooled wire client for one peer shard. A connection
+// carries one request/response exchange at a time; concurrent Step calls each
+// check a connection out of the pool (or dial a fresh one) so they never
+// interleave frames on a stream.
+type Client struct {
+	addr string
+	cfg  ClientConfig
+
+	mu     sync.Mutex
+	idle   []*pconn
+	closed bool
+
+	retries   *metrics.Counter
+	errs      *metrics.Counter
+	sentBytes *metrics.Counter
+	recvBytes *metrics.Counter
+	hopSecs   *metrics.Histogram
+}
+
+// NewClient builds a client for the peer at addr (host:port).
+func NewClient(addr string, cfg ClientConfig) *Client {
+	cfg = cfg.normalized()
+	return &Client{
+		addr:      addr,
+		cfg:       cfg,
+		retries:   cfg.Metrics.Counter(fmt.Sprintf(`tea_shard_peer_retries_total{peer=%q}`, addr)),
+		errs:      cfg.Metrics.Counter(fmt.Sprintf(`tea_shard_peer_errors_total{peer=%q}`, addr)),
+		sentBytes: cfg.Metrics.Counter(fmt.Sprintf(`tea_shard_bytes_sent_total{peer=%q}`, addr)),
+		recvBytes: cfg.Metrics.Counter(fmt.Sprintf(`tea_shard_bytes_recv_total{peer=%q}`, addr)),
+		hopSecs:   cfg.Metrics.Histogram(fmt.Sprintf(`tea_shard_hop_seconds{peer=%q}`, addr)),
+	}
+}
+
+// Addr returns the peer address this client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// Step sends one batched step request and waits for the response. Transient
+// connection errors (dial failure, broken stream) are retried with
+// exponential backoff up to cfg.Retries times; a TypeError answer is
+// returned as *RemoteError without retrying. The context deadline bounds the
+// whole exchange including retries.
+func (c *Client) Step(ctx context.Context, req *StepRequest) (*StepResponse, error) {
+	backoff := c.cfg.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			c.retries.Inc()
+			select {
+			case <-ctx.Done():
+				return nil, &PeerError{Addr: c.addr, Err: fmt.Errorf("%w (last: %v)", ctx.Err(), lastErr)}
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		resp, err := c.exchange(ctx, req)
+		if err == nil {
+			return resp, nil
+		}
+		var remote *RemoteError
+		if errors.As(err, &remote) {
+			c.errs.Inc()
+			return nil, err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	c.errs.Inc()
+	return nil, &PeerError{Addr: c.addr, Err: lastErr}
+}
+
+// Ping probes the peer with a ping/pong exchange.
+func (c *Client) Ping(ctx context.Context) error {
+	conn, err := c.checkout(ctx)
+	if err != nil {
+		return &PeerError{Addr: c.addr, Err: err}
+	}
+	if err := c.applyDeadline(ctx, conn); err != nil {
+		conn.Close()
+		return &PeerError{Addr: c.addr, Err: err}
+	}
+	if err := WriteFrame(conn, TypePing, nil); err != nil {
+		conn.Close()
+		return &PeerError{Addr: c.addr, Err: err}
+	}
+	typ, _, err := ReadFrame(conn)
+	if err != nil || typ != TypePong {
+		conn.Close()
+		if err == nil {
+			err = fmt.Errorf("unexpected frame type %d to ping", typ)
+		}
+		return &PeerError{Addr: c.addr, Err: err}
+	}
+	c.checkin(conn)
+	return nil
+}
+
+// exchange performs one try: checkout, encode into the connection's write
+// buffer, write, read into its read buffer, checkin.
+func (c *Client) exchange(ctx context.Context, req *StepRequest) (*StepResponse, error) {
+	conn, err := c.checkout(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.applyDeadline(ctx, conn); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	frame := BeginFrame(conn.wbuf[:0], TypeStep)
+	frame = AppendStepRequest(frame, req)
+	frame, err = SealFrame(frame)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.wbuf = frame
+	start := time.Now()
+	if _, err := conn.Write(frame); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.sentBytes.Add(int64(len(frame)))
+	typ, body, rbuf, err := ReadFrameBuf(conn, conn.rbuf)
+	conn.rbuf = rbuf
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.recvBytes.Add(int64(FrameSize(len(body))))
+	c.hopSecs.ObserveSince(start)
+	switch typ {
+	case TypeStepResp:
+		resp, err := DecodeStepResponse(body)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		c.checkin(conn)
+		return resp, nil
+	case TypeError:
+		// The connection is still framed correctly; keep it.
+		c.checkin(conn)
+		return nil, &RemoteError{Addr: c.addr, Msg: string(body)}
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("unexpected frame type %d", typ)
+	}
+}
+
+func (c *Client) applyDeadline(ctx context.Context, conn net.Conn) error {
+	if dl, ok := ctx.Deadline(); ok {
+		return conn.SetDeadline(dl)
+	}
+	return conn.SetDeadline(time.Time{})
+}
+
+func (c *Client) checkout(ctx context.Context) (*pconn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("client closed")
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	d := net.Dialer{Timeout: c.cfg.DialTimeout}
+	raw, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, err
+	}
+	return &pconn{Conn: raw}, nil
+}
+
+func (c *Client) checkin(conn *pconn) {
+	conn.SetDeadline(time.Time{})
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < c.cfg.MaxIdleConns {
+		c.idle = append(c.idle, conn)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// Close drops every pooled connection. In-flight exchanges finish on their
+// own connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, conn := range idle {
+		conn.Close()
+	}
+}

@@ -1,0 +1,165 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+)
+
+// Handler answers a batched step request. Returning an error sends a
+// TypeError frame (the connection stays up); the handler must be safe for
+// concurrent calls, one per connection.
+type Handler interface {
+	HandleStep(ctx context.Context, req *StepRequest) (*StepResponse, error)
+}
+
+// Server accepts wire connections and dispatches frames to a Handler. One
+// goroutine per connection; frames on one connection are handled serially
+// (the protocol is strict request/response per stream).
+type Server struct {
+	ln      net.Listener
+	handler Handler
+	logger  *slog.Logger
+
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewServer wraps an existing listener (so callers can bind :0 and read the
+// real address) and begins accepting.
+func NewServer(ln net.Listener, handler Handler, logger *slog.Logger) *Server {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	s := &Server{
+		ln:      ln,
+		handler: handler,
+		logger:  logger,
+		conns:   make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.logger.Warn("shard rpc accept failed", "err", err)
+			continue
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	// Frames on a connection are handled serially, so the connection owns its
+	// scratch: the frame read buffer, the decoded request (walker slice
+	// reused across frames), and the response encode buffer. A warm
+	// connection serves a step round without allocating.
+	var rbuf, wbuf []byte
+	var req StepRequest
+	for {
+		typ, payload, nbuf, err := ReadFrameBuf(conn, rbuf)
+		rbuf = nbuf
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				select {
+				case <-s.done:
+				default:
+					s.logger.Warn("shard rpc read failed", "remote", conn.RemoteAddr().String(), "err", err)
+				}
+			}
+			// Corrupt or truncated stream: the position is untrusted, so the
+			// only safe response is to drop the connection.
+			return
+		}
+		switch typ {
+		case TypePing:
+			if err := WriteFrame(conn, TypePong, nil); err != nil {
+				return
+			}
+		case TypeStep:
+			if err := DecodeStepRequestInto(payload, &req); err != nil {
+				// Frame passed CRC but the payload is malformed: a protocol
+				// bug, not line noise. Refuse it and keep the stream.
+				if werr := WriteFrame(conn, TypeError, []byte(err.Error())); werr != nil {
+					return
+				}
+				continue
+			}
+			resp, err := s.handler.HandleStep(context.Background(), &req)
+			if err != nil {
+				if werr := WriteFrame(conn, TypeError, []byte(err.Error())); werr != nil {
+					return
+				}
+				continue
+			}
+			frame := BeginFrame(wbuf[:0], TypeStepResp)
+			frame = AppendStepResponse(frame, resp)
+			frame, err = SealFrame(frame)
+			if err != nil {
+				if werr := WriteFrame(conn, TypeError, []byte(err.Error())); werr != nil {
+					return
+				}
+				continue
+			}
+			wbuf = frame
+			if _, err := conn.Write(frame); err != nil {
+				return
+			}
+		default:
+			if werr := WriteFrame(conn, TypeError, []byte("unknown frame type")); werr != nil {
+				return
+			}
+		}
+	}
+}
+
+// Close stops accepting, closes every live connection, and waits for the
+// per-connection goroutines to drain. Safe to call more than once.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.done)
+		err = s.ln.Close()
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+	})
+	s.wg.Wait()
+	return err
+}

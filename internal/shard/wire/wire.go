@@ -1,0 +1,341 @@
+// Package wire is the binary RPC the shards speak: length-prefixed,
+// CRC-32C-framed messages (the same frame discipline as internal/wal)
+// carrying batched walker-migration payloads, so a whole step frontier
+// crosses a shard boundary in one message.
+//
+//	frame   := length[4] crc[4] type[1] payload[length-1]
+//
+// length covers the type byte plus the payload; crc is the CRC-32C
+// (Castagnoli) of the type byte and payload, all little-endian. A frame that
+// fails its CRC or exceeds MaxFrameBytes poisons the connection — the peer
+// closes it and the client retries on a fresh one — because a framing error
+// means the stream position can no longer be trusted.
+//
+// Walker frames are fixed-width records: the migrating state of one walk is
+// its id, current vertex, arrival time, steps taken, and the four words of
+// its private xoshiro stream. Shipping the stream state (rather than
+// re-deriving it) is what keeps sharded walks byte-identical to the
+// single-process engine: the walk consumes its stream sequentially across
+// shard hops exactly as the scalar and batched kernels do in one process.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"github.com/tea-graph/tea/internal/temporal"
+	"github.com/tea-graph/tea/internal/xrand"
+)
+
+// MaxFrameBytes bounds one frame. The largest legitimate frame is a step
+// batch of a full /walk request (10k walkers ≈ 600 KiB); 16 MiB leaves
+// generous headroom while still rejecting a garbage length prefix before
+// allocating.
+const MaxFrameBytes = 16 << 20
+
+// frameHeaderSize is the fixed prefix: length[4] crc[4].
+const frameHeaderSize = 8
+
+// Message types.
+const (
+	// TypeStep asks the receiving shard to advance each walker in the
+	// payload by one step on its local partition.
+	TypeStep = byte(1)
+	// TypeStepResp carries the per-walker step outcomes, in request order.
+	TypeStepResp = byte(2)
+	// TypeError carries a shard-side failure (mismatched cluster config, a
+	// handler panic) as a string.
+	TypeError = byte(3)
+	// TypePing and TypePong are the liveness probe pair.
+	TypePing = byte(4)
+	TypePong = byte(5)
+)
+
+// Step outcome statuses.
+const (
+	// StatusStepped: the walker advanced one edge.
+	StatusStepped = byte(0)
+	// StatusDeadEnd: the walker had no temporal candidate (or a zero-weight
+	// candidate prefix) at its current vertex.
+	StatusDeadEnd = byte(1)
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a frame whose CRC or length prefix is invalid.
+var ErrCorrupt = errors.New("wire: corrupt frame")
+
+// Walker is one in-flight walk's migrating state.
+type Walker struct {
+	ID      uint64
+	Cur     temporal.Vertex
+	Arrival temporal.Time
+	Steps   uint32
+	RNG     xrand.Rand
+}
+
+// StepResult is one walker's outcome for one step.
+type StepResult struct {
+	Status    byte
+	Dst       temporal.Vertex
+	At        temporal.Time
+	Evaluated int64
+	RNG       xrand.Rand
+}
+
+// StepRequest asks a shard to advance a batch of walkers one step. The
+// cluster fingerprint (Partitions, NumVertices) guards against heterogeneous
+// deployments: a shard built for a different ring or graph answers TypeError
+// instead of silently sampling from the wrong distribution.
+type StepRequest struct {
+	RequestID  string
+	FromShard  uint32
+	Partitions uint32
+	NumVertices uint32
+	Walkers    []Walker
+}
+
+// StepResponse carries one result per request walker, in order.
+type StepResponse struct {
+	Results []StepResult
+}
+
+const (
+	walkerSize = 8 + 4 + 8 + 4 + 32 // id cur arrival steps rng
+	resultSize = 1 + 4 + 8 + 8 + 32 // status dst at evaluated rng
+)
+
+// WalkerFrameSize is the encoded size of one Walker record, exported so the
+// coordinator can account on-wire bytes without re-encoding frames.
+const WalkerFrameSize = walkerSize
+
+// rngWords round-trips the xoshiro state through the frame. The state fields
+// are unexported, so the wire layer carries them via Marshal/Unmarshal on a
+// fixed 32-byte window.
+func putRNG(b []byte, r *xrand.Rand) {
+	s0, s1, s2, s3 := r.State()
+	binary.LittleEndian.PutUint64(b[0:], s0)
+	binary.LittleEndian.PutUint64(b[8:], s1)
+	binary.LittleEndian.PutUint64(b[16:], s2)
+	binary.LittleEndian.PutUint64(b[24:], s3)
+}
+
+func getRNG(b []byte, r *xrand.Rand) {
+	r.SetState(
+		binary.LittleEndian.Uint64(b[0:]),
+		binary.LittleEndian.Uint64(b[8:]),
+		binary.LittleEndian.Uint64(b[16:]),
+		binary.LittleEndian.Uint64(b[24:]),
+	)
+}
+
+// AppendStepRequest encodes req after buf and returns the extended slice.
+func AppendStepRequest(buf []byte, req *StepRequest) []byte {
+	buf = appendString(buf, req.RequestID)
+	buf = binary.LittleEndian.AppendUint32(buf, req.FromShard)
+	buf = binary.LittleEndian.AppendUint32(buf, req.Partitions)
+	buf = binary.LittleEndian.AppendUint32(buf, req.NumVertices)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(req.Walkers)))
+	for i := range req.Walkers {
+		w := &req.Walkers[i]
+		buf = binary.LittleEndian.AppendUint64(buf, w.ID)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(w.Cur))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(w.Arrival))
+		buf = binary.LittleEndian.AppendUint32(buf, w.Steps)
+		var rng [32]byte
+		putRNG(rng[:], &w.RNG)
+		buf = append(buf, rng[:]...)
+	}
+	return buf
+}
+
+// DecodeStepRequest parses a TypeStep payload.
+func DecodeStepRequest(payload []byte) (*StepRequest, error) {
+	req := &StepRequest{}
+	if err := DecodeStepRequestInto(payload, req); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// DecodeStepRequestInto parses a TypeStep payload into req, reusing
+// req.Walkers' capacity — the per-frame decode path of a serving connection,
+// which would otherwise allocate a frontier-sized slice per step round.
+func DecodeStepRequestInto(payload []byte, req *StepRequest) error {
+	var err error
+	req.RequestID, payload, err = readString(payload)
+	if err != nil {
+		return err
+	}
+	if len(payload) < 16 {
+		return fmt.Errorf("%w: step request header short (%d bytes)", ErrCorrupt, len(payload))
+	}
+	req.FromShard = binary.LittleEndian.Uint32(payload[0:])
+	req.Partitions = binary.LittleEndian.Uint32(payload[4:])
+	req.NumVertices = binary.LittleEndian.Uint32(payload[8:])
+	n := int(binary.LittleEndian.Uint32(payload[12:]))
+	payload = payload[16:]
+	if n < 0 || len(payload) != n*walkerSize {
+		return fmt.Errorf("%w: step request payload %d bytes for %d walkers", ErrCorrupt, len(payload), n)
+	}
+	if cap(req.Walkers) < n {
+		req.Walkers = make([]Walker, n)
+	} else {
+		req.Walkers = req.Walkers[:n]
+	}
+	for i := 0; i < n; i++ {
+		b := payload[i*walkerSize:]
+		w := &req.Walkers[i]
+		w.ID = binary.LittleEndian.Uint64(b[0:])
+		w.Cur = temporal.Vertex(binary.LittleEndian.Uint32(b[8:]))
+		w.Arrival = temporal.Time(binary.LittleEndian.Uint64(b[12:]))
+		w.Steps = binary.LittleEndian.Uint32(b[20:])
+		getRNG(b[24:], &w.RNG)
+	}
+	return nil
+}
+
+// AppendStepResponse encodes resp after buf and returns the extended slice.
+func AppendStepResponse(buf []byte, resp *StepResponse) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(resp.Results)))
+	for i := range resp.Results {
+		r := &resp.Results[i]
+		buf = append(buf, r.Status)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Dst))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.At))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Evaluated))
+		var rng [32]byte
+		putRNG(rng[:], &r.RNG)
+		buf = append(buf, rng[:]...)
+	}
+	return buf
+}
+
+// DecodeStepResponse parses a TypeStepResp payload.
+func DecodeStepResponse(payload []byte) (*StepResponse, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("%w: step response short", ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	payload = payload[4:]
+	if n < 0 || len(payload) != n*resultSize {
+		return nil, fmt.Errorf("%w: step response payload %d bytes for %d results", ErrCorrupt, len(payload), n)
+	}
+	resp := &StepResponse{Results: make([]StepResult, n)}
+	for i := 0; i < n; i++ {
+		b := payload[i*resultSize:]
+		r := &resp.Results[i]
+		r.Status = b[0]
+		r.Dst = temporal.Vertex(binary.LittleEndian.Uint32(b[1:]))
+		r.At = temporal.Time(binary.LittleEndian.Uint64(b[5:]))
+		r.Evaluated = int64(binary.LittleEndian.Uint64(b[13:]))
+		getRNG(b[21:], &r.RNG)
+	}
+	return resp, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+func readString(b []byte) (string, []byte, error) {
+	if len(b) < 4 {
+		return "", nil, fmt.Errorf("%w: string length missing", ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if n < 0 || n > len(b) {
+		return "", nil, fmt.Errorf("%w: string length %d exceeds payload", ErrCorrupt, n)
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// WriteFrame writes one framed message to w.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if 1+len(payload) > MaxFrameBytes {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", 1+len(payload), MaxFrameBytes)
+	}
+	hdr := make([]byte, frameHeaderSize+1, frameHeaderSize+1+len(payload))
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(1+len(payload)))
+	crc := crc32.Update(0, castagnoli, []byte{typ})
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[4:], crc)
+	hdr[8] = typ
+	buf := append(hdr, payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// FrameSize returns the on-wire size of a frame with the given payload
+// length (header + type byte + payload).
+func FrameSize(payloadLen int) int { return frameHeaderSize + 1 + payloadLen }
+
+// BeginFrame starts an in-place frame: it appends a zeroed header and the
+// type byte to buf. The caller appends the payload with the Append* encoders
+// and finishes with SealFrame — encoding the payload directly into the frame
+// buffer instead of encoding it separately and copying it in, which is the
+// difference between two allocations per hop and zero on a warm connection.
+// buf must be empty or end exactly at a frame boundary; the frame starts at
+// len(buf).
+func BeginFrame(buf []byte, typ byte) []byte {
+	var hdr [frameHeaderSize]byte
+	buf = append(buf, hdr[:]...)
+	return append(buf, typ)
+}
+
+// SealFrame fills in the length and CRC of the single frame occupying buf
+// (as started by BeginFrame at offset 0) and returns it ready to write.
+func SealFrame(buf []byte) ([]byte, error) {
+	if len(buf) < frameHeaderSize+1 {
+		return nil, fmt.Errorf("wire: sealing short frame of %d bytes", len(buf))
+	}
+	body := buf[frameHeaderSize:]
+	if len(body) > MaxFrameBytes {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(body), MaxFrameBytes)
+	}
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(body, castagnoli))
+	return buf, nil
+}
+
+// ReadFrame reads one framed message from r. io.EOF is returned unwrapped
+// when the stream ends cleanly at a frame boundary.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	typ, payload, _, err = ReadFrameBuf(r, nil)
+	return typ, payload, err
+}
+
+// ReadFrameBuf is ReadFrame with a caller-owned scratch buffer: the returned
+// payload aliases buf (grown as needed and returned as newBuf), so it is
+// valid only until the next ReadFrameBuf call with the same buffer. The
+// per-connection loops on both sides use it to read every frame of a
+// connection's lifetime into one allocation.
+func ReadFrameBuf(r io.Reader, buf []byte) (typ byte, payload, newBuf []byte, err error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, buf, io.EOF
+		}
+		return 0, nil, buf, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:])
+	want := binary.LittleEndian.Uint32(hdr[4:])
+	if length == 0 || length > MaxFrameBytes {
+		return 0, nil, buf, fmt.Errorf("%w: frame length %d", ErrCorrupt, length)
+	}
+	if uint32(cap(buf)) < length {
+		buf = make([]byte, length)
+	}
+	body := buf[:length]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, buf, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	if crc32.Checksum(body, castagnoli) != want {
+		return 0, nil, buf, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return body[0], body[1:], buf, nil
+}

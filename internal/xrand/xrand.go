@@ -116,3 +116,18 @@ func (r *Rand) Uint64N(n uint64) uint64 {
 func (r *Rand) Range(max float64) float64 {
 	return r.Float64() * max
 }
+
+// State exposes the four xoshiro256++ state words so a generator can be
+// serialized mid-stream (the shard RPC migrates a walker's stream across
+// processes this way).
+func (r *Rand) State() (s0, s1, s2, s3 uint64) {
+	return r.s0, r.s1, r.s2, r.s3
+}
+
+// SetState restores a generator from serialized state words. The caller is
+// responsible for supplying state captured from a valid generator; the
+// all-zero state is the one fixed point of xoshiro and never occurs in a
+// seeded stream.
+func (r *Rand) SetState(s0, s1, s2, s3 uint64) {
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+}
