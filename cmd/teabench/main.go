@@ -50,6 +50,15 @@
 // single-shard baseline the speedup column is relative to:
 //
 //	teabench -quick -dataset growth shard
+//
+// The "obs" experiment (also not part of "all") A/Bs the per-request cost
+// accounting of the observability plane: the identical walk workload with
+// accounting off (plain context) and on (a request collector attached the
+// way the HTTP server does it), writing both throughputs and the relative
+// overhead to -obs-out, BENCH_obs.json by default. CI gates on the overhead
+// staying ≤3% of steps/s:
+//
+//	teabench -quick -dataset growth obs
 package main
 
 import (
@@ -83,6 +92,8 @@ func main() {
 		shardOut = flag.String("shard-out", "BENCH_shard.json", "output path for the shard experiment")
 		shardN   = flag.Int("shard-runs", 1, "measured runs per partition count for the shard experiment")
 		shardPts = flag.String("shard-parts", "1,2,3", "comma-separated partition counts for the shard experiment")
+		obsOut   = flag.String("obs-out", "BENCH_obs.json", "output path for the obs experiment")
+		obsN     = flag.Int("obs-runs", 5, "measured runs per accounting mode for the obs experiment")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: teabench [flags] <experiment>...\n\nexperiments: all %s bench cache shard\n\nflags:\n",
@@ -144,6 +155,10 @@ func main() {
 				fatal(err)
 			}
 			runShardBench(cfg, parts, *shardN, *shardOut, *asJSON)
+			continue
+		}
+		if name == "obs" {
+			runObsBench(cfg, *obsN, *obsOut, *asJSON)
 			continue
 		}
 		runOne(name, cfg, *asJSON)
@@ -218,6 +233,31 @@ func runShardBench(cfg experiments.Config, parts []int, runs int, shardOut strin
 	}
 	fmt.Print(experiments.RenderShardBench(res))
 	fmt.Printf("wrote %s\n(%s elapsed)\n\n", shardOut, time.Since(start).Round(time.Millisecond))
+}
+
+// runObsBench records the cost-accounting overhead A/B to obsOut.
+func runObsBench(cfg experiments.Config, runs int, obsOut string, asJSON bool) {
+	if !asJSON {
+		fmt.Printf("== %s ==\n", title("obs"))
+	}
+	start := time.Now()
+	res, err := experiments.ObsBench(cfg, runs)
+	if err != nil {
+		fatal(err)
+	}
+	if err := experiments.WriteObsBench(res, obsOut); err != nil {
+		fatal(err)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"experiment": "obs", "result": res}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Print(experiments.RenderObsBench(res))
+	fmt.Printf("wrote %s\n(%s elapsed)\n\n", obsOut, time.Since(start).Round(time.Millisecond))
 }
 
 // parseKernels resolves the -kernel flag: a single kernel name, or "both"
@@ -425,6 +465,8 @@ func title(name string) string {
 		return "Out-of-core block cache: Zipfian workload sweep (BENCH_cache.json)"
 	case "shard":
 		return "Sharded serving: loopback-TCP partition sweep (BENCH_shard.json)"
+	case "obs":
+		return "Observability: cost-accounting overhead A/B (BENCH_obs.json)"
 	default:
 		return name
 	}

@@ -21,15 +21,27 @@
 //	-drain             graceful-shutdown drain window
 //	-trace-fraction    head-sample fraction for /debug/tea/trace
 //	-flight-spans      flight recorder capacity; 0 disables
+//	-slow-request      warn-log any request slower than this, with its full
+//	                   cluster cost breakdown (0 disables)
 //	-log-json          structured logs as JSON
 //
 // Endpoints:
 //
-//	GET /healthz            router liveness (always 200)
+//	GET /healthz            cluster health rolled up from every shard's
+//	                        /healthz: 503 "degraded" while any shard is
+//	                        unreachable, 200 "degraded" while one reports
+//	                        degraded storage, 200 "ok" otherwise
 //	GET /readyz             200 only when every shard's /readyz is 200
 //	GET /stats              every shard's /stats under one response
-//	GET /walk?from=ID&length=80&count=1&seed=1
-//	GET /metrics, /metrics.json, /debug/tea/trace, /debug/tea/flight
+//	GET /walk?from=ID&length=80&count=1&seed=1    append &cost=1 for the
+//	                        merged per-shard cost_detail block
+//	GET /metrics            federated Prometheus exposition: the router's own
+//	                        series unlabeled, per-shard series under
+//	                        shard="<id>", cluster rollups under shard="all"
+//	GET /metrics.json       the same federated snapshot as JSON
+//	GET /debug/tea/trace    assembled cross-process traces (&format=chrome)
+//	GET /debug/tea/flight   the router's flight recorder
+//	GET /debug/tea/top      most expensive recent requests with cluster costs
 package main
 
 import (
@@ -58,6 +70,7 @@ func main() {
 		drain         = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
 		traceFraction = flag.Float64("trace-fraction", 0, "fraction of requests head-sampled into full traces (0 disables)")
 		flightSpans   = flag.Int("flight-spans", 1024, "flight recorder capacity, 0 disables")
+		slowReq       = flag.Duration("slow-request", 0, "warn-log requests slower than this with their cluster cost breakdown, 0 disables")
 		logJSON       = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
@@ -89,14 +102,17 @@ func main() {
 	tracer := trace.New(trace.Config{
 		SampleFraction: *traceFraction,
 		FlightSpans:    *flightSpans,
+		Instance:       "router",
+		Shard:          -1,
 	})
 	rt, err := server.NewRouter(server.RouterConfig{
-		Shards:         addrs,
-		RequestTimeout: *reqTimeout,
-		MaxInFlight:    *maxFlight,
-		RetryAfter:     *retryAfter,
-		Trace:          tracer,
-		Logger:         logger,
+		Shards:               addrs,
+		RequestTimeout:       *reqTimeout,
+		MaxInFlight:          *maxFlight,
+		RetryAfter:           *retryAfter,
+		SlowRequestThreshold: *slowReq,
+		Trace:                tracer,
+		Logger:               logger,
 	})
 	if err != nil {
 		logger.Error("router", "error", err)

@@ -45,6 +45,10 @@
 //	-max-length        cap on the length parameter of /walk (400 beyond)
 //	-drain             how long to wait for in-flight requests on shutdown
 //	-pprof             expose net/http/pprof under /debug/pprof/ (off by default)
+//	-instance          instance name stamped on tea_build_info, spans, and log
+//	                   records (defaults to shard-<id> in shard mode)
+//	-slow-request      warn-log any request slower than this with its full
+//	                   cost breakdown (0 disables)
 //
 // Tracing flags (correlated request tracing; see DESIGN.md):
 //
@@ -94,9 +98,11 @@
 //	GET /stats
 //	GET /metrics            Prometheus text exposition format
 //	GET /metrics.json       the same snapshot as JSON
-//	GET /walk?from=ID&length=80&count=1&seed=1
+//	GET /walk?from=ID&length=80&count=1&seed=1    append &cost=1 for the
+//	                        per-request cost_detail block
 //	GET /ppr?from=ID&walks=10000&alpha=0.15&topk=20
 //	GET /reach?from=ID&after=T
+//	GET /debug/tea/top      most expensive recent requests with costs
 //	POST /edges             durable mode: JSON {"edges":[{"src","dst","t"},...]}
 //	POST /expire?before=T   durable mode: drop edges older than T
 package main
@@ -191,6 +197,8 @@ func main() {
 
 		traceFraction = flag.Float64("trace-fraction", 0, "fraction of requests head-sampled into full traces (0 disables, 1 traces every request)")
 		flightSpans   = flag.Int("flight-spans", 1024, "flight recorder capacity (recent spans and error/cancel/retry events), 0 disables")
+		instanceName  = flag.String("instance", "", "instance name stamped on metrics, spans, and logs (default: shard-<id> in shard mode, unlabeled otherwise)")
+		slowReq       = flag.Duration("slow-request", 0, "warn-log requests slower than this with their cost breakdown, 0 disables")
 		logJSON       = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
@@ -229,9 +237,22 @@ func main() {
 		}
 	}
 
+	// Stable instance identity: in shard mode every process names itself
+	// shard-<id> by default, so the series, spans, and log records the router
+	// merges from the cluster stay attributable to one process.
+	instance := *instanceName
+	if instance == "" && *shardID >= 0 {
+		instance = fmt.Sprintf("shard-%d", *shardID)
+	}
+	traceShard := -1
+	if *shardID >= 0 {
+		traceShard = *shardID
+	}
 	tracer := trace.New(trace.Config{
 		SampleFraction: *traceFraction,
 		FlightSpans:    *flightSpans,
+		Instance:       instance,
+		Shard:          traceShard,
 	})
 	if tracer.Enabled() {
 		logger.Info("tracing enabled",
@@ -241,11 +262,14 @@ func main() {
 			"flight_endpoint", "/debug/tea/flight")
 	}
 	scfg := server.Config{
-		RequestTimeout: *reqTimeout,
-		MaxInFlight:    *maxFlight,
-		MaxWalkLength:  *maxLength,
-		Trace:          tracer,
-		Logger:         logger,
+		RequestTimeout:       *reqTimeout,
+		MaxInFlight:          *maxFlight,
+		MaxWalkLength:        *maxLength,
+		Instance:             instance,
+		ShardID:              traceShard,
+		SlowRequestThreshold: *slowReq,
+		Trace:                tracer,
+		Logger:               logger,
 	}
 
 	var handler http.Handler

@@ -9,6 +9,7 @@ import (
 	"time"
 	"unsafe"
 
+	"github.com/tea-graph/tea/internal/reqcost"
 	"github.com/tea-graph/tea/internal/stats"
 	"github.com/tea-graph/tea/internal/temporal"
 	"github.com/tea-graph/tea/internal/trace"
@@ -218,7 +219,9 @@ func (e *Engine) RunContext(ctx context.Context, cfg WalkConfig) (*Result, error
 	// Tracing: nil runSpan (the overwhelmingly common case) keeps the run on
 	// the exact pre-trace path — workers skip batch spans and the sampler is
 	// called without a context. The context-threaded sampler route is only
-	// resolved when this run is actually recorded.
+	// resolved when this run is recorded or cost-accounted; in-memory
+	// samplers don't implement ContextSampler, so their hot loop is
+	// unchanged either way.
 	ctx, runSpan := trace.Start(ctx, "engine.run")
 	var ctxSampler ContextSampler
 	if runSpan != nil {
@@ -227,6 +230,8 @@ func (e *Engine) RunContext(ctx context.Context, cfg WalkConfig) (*Result, error
 		runSpan.SetInt("walks", int64(totalWalks))
 		runSpan.SetInt("length", int64(cfg.Length))
 		runSpan.SetInt("threads", int64(threads))
+	}
+	if runSpan != nil || reqcost.Active(ctx) {
 		ctxSampler, _ = e.sampler.(ContextSampler)
 	}
 

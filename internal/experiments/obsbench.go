@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/tea-graph/tea/internal/core"
+	"github.com/tea-graph/tea/internal/reqcost"
+)
+
+// ObsBenchSchema versions the BENCH_obs.json layout.
+const ObsBenchSchema = "tea/bench-obs/v1"
+
+// ObsVariant is one accounting mode's measured throughput: the identical walk
+// workload with per-request cost accounting off (plain context) or on (a
+// reqcost.Collector attached the way the HTTP server attaches one, with the
+// run's cost folded in after, mirroring the serving path exactly).
+type ObsVariant struct {
+	Accounting bool `json:"accounting"`
+
+	WalksPerSec float64 `json:"walks_per_sec"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+
+	TotalWalks   int64   `json:"total_walks"`
+	TotalSteps   int64   `json:"total_steps"`
+	TotalSeconds float64 `json:"total_seconds"`
+
+	P50RunSeconds float64   `json:"p50_run_seconds"`
+	MaxRunSeconds float64   `json:"max_run_seconds"`
+	RunSeconds    []float64 `json:"run_seconds"`
+}
+
+// ObsBenchResult is the machine-readable accounting-overhead record that
+// cmd/teabench writes to BENCH_obs.json: accounting-off vs accounting-on
+// steps/s over the same engine and workload, and the relative overhead CI
+// gates on (the observability plane must stay ≤3% off the walk hot path).
+type ObsBenchResult struct {
+	Schema    string         `json:"schema"`
+	Timestamp string         `json:"timestamp"`
+	Config    BenchConfigOut `json:"config"`
+
+	Off ObsVariant `json:"off"`
+	On  ObsVariant `json:"on"`
+
+	// OverheadPct is (off.steps/s − on.steps/s) / off.steps/s × 100; negative
+	// means the accounting-on runs happened to be faster (noise).
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// ObsBench measures the cost-accounting overhead on the walk path: one engine
+// for the first profile of cfg, `runs` measured runs per accounting mode
+// (each mode gets its own untimed warmup), accounting-off measured first.
+// The discipline under test: a request-scoped collector must add nothing to
+// the hot loop — engine totals fold in once per run, and only inherently
+// slow operations (device reads, migration frames) add live.
+func ObsBench(cfg Config, runs int) (*ObsBenchResult, error) {
+	cfg = cfg.normalized()
+	if runs <= 0 {
+		runs = 5
+	}
+	p := cfg.Profiles[0]
+	g, err := p.Build()
+	if err != nil {
+		return nil, err
+	}
+	app := core.ExponentialWalk(p.Lambda(cfg.Contrast))
+	eng, err := core.NewEngine(g, app, core.Options{Threads: cfg.Threads})
+	if err != nil {
+		return nil, err
+	}
+
+	wcfg := core.WalkConfig{
+		WalksPerVertex: cfg.WalksPerVertex,
+		Length:         cfg.Length,
+		Threads:        cfg.Threads,
+		Seed:           cfg.Seed,
+	}
+	res := &ObsBenchResult{
+		Schema:    ObsBenchSchema,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Config: BenchConfigOut{
+			Dataset:        p.Name,
+			Vertices:       g.NumVertices(),
+			Edges:          g.NumEdges(),
+			Algorithm:      app.Name,
+			Sampler:        eng.Sampler().Name(),
+			Kernel:         wcfg.Kernel.String(),
+			WalksPerVertex: cfg.WalksPerVertex,
+			Length:         cfg.Length,
+			Threads:        cfg.Threads,
+			Seed:           cfg.Seed,
+			Runs:           runs,
+			GoMaxProcs:     runtime.GOMAXPROCS(0),
+		},
+	}
+
+	// One measured off+on pair per iteration, interleaved, after a joint
+	// warmup of each mode: sequential blocks would attribute process warm-up
+	// (CPU frequency, allocator steady state) entirely to whichever mode ran
+	// first and drown the sub-percent effect under test.
+	res.Off = ObsVariant{Accounting: false}
+	res.On = ObsVariant{Accounting: true}
+	for i := -1; i < runs; i++ { // i == -1 is the untimed warmup pair
+		for _, v := range []*ObsVariant{&res.Off, &res.On} {
+			d, walks, steps, err := obsRun(eng, wcfg, v.Accounting)
+			if err != nil {
+				return nil, err
+			}
+			if i < 0 {
+				continue
+			}
+			secs := d.Seconds()
+			v.RunSeconds = append(v.RunSeconds, secs)
+			v.TotalWalks += walks
+			v.TotalSteps += steps
+			v.TotalSeconds += secs
+		}
+	}
+	for _, v := range []*ObsVariant{&res.Off, &res.On} {
+		sort.Float64s(v.RunSeconds)
+		v.MaxRunSeconds = v.RunSeconds[len(v.RunSeconds)-1]
+		v.P50RunSeconds = nearestRank(v.RunSeconds, 0.50)
+		if v.TotalSeconds > 0 {
+			v.WalksPerSec = float64(v.TotalWalks) / v.TotalSeconds
+			v.StepsPerSec = float64(v.TotalSteps) / v.TotalSeconds
+		}
+	}
+	if res.Off.StepsPerSec > 0 {
+		res.OverheadPct = (res.Off.StepsPerSec - res.On.StepsPerSec) / res.Off.StepsPerSec * 100
+	}
+	return res, nil
+}
+
+// obsRun executes one walk run in the given accounting mode. With accounting
+// on, the run gets a fresh collector on its context and the run cost folded
+// in afterward — the exact per-request shape of the serving path — and the
+// fold is verified so the bench cannot silently measure a disconnected
+// collector.
+func obsRun(eng *core.Engine, wcfg core.WalkConfig, accounting bool) (time.Duration, int64, int64, error) {
+	ctx := context.Background()
+	var col *reqcost.Collector
+	if accounting {
+		ctx, col = reqcost.Attach(ctx)
+	}
+	r, err := eng.RunContext(ctx, wcfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if accounting {
+		col.AddEngine(r.Cost)
+		if snap := col.Snapshot(); snap.Steps != r.Cost.Steps {
+			return 0, 0, 0, fmt.Errorf("obs bench: collector lost steps: %d != %d", snap.Steps, r.Cost.Steps)
+		}
+	}
+	return r.Duration, r.Cost.WalksStarted, r.Cost.Steps, nil
+}
+
+// WriteObsBench writes the result as indented JSON to path.
+func WriteObsBench(res *ObsBenchResult, path string) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// RenderObsBench renders the A/B for the terminal.
+func RenderObsBench(res *ObsBenchResult) string {
+	return fmt.Sprintf(
+		"dataset=%s (%d vertices, %d edges) algo=%s runs=%d\n"+
+			"accounting=off steps/s=%.0f walks/s=%.0f p50=%.4fs\n"+
+			"accounting=on  steps/s=%.0f walks/s=%.0f p50=%.4fs\n"+
+			"accounting overhead: %.2f%% of steps/s\n",
+		res.Config.Dataset, res.Config.Vertices, res.Config.Edges, res.Config.Algorithm, res.Config.Runs,
+		res.Off.StepsPerSec, res.Off.WalksPerSec, res.Off.P50RunSeconds,
+		res.On.StepsPerSec, res.On.WalksPerSec, res.On.P50RunSeconds,
+		res.OverheadPct)
+}

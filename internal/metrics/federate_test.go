@@ -1,0 +1,250 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"testing"
+)
+
+func TestWithLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"tea_x_total", `tea_x_total{shard="2"}`},
+		{`tea_x_total{endpoint="walk"}`, `tea_x_total{endpoint="walk",shard="2"}`},
+	}
+	for _, c := range cases {
+		if got := WithLabel(c.in, "shard", "2"); got != c.want {
+			t.Fatalf("WithLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// fedCounter/fedGauge/fedHist locate a series by exact name.
+func fedCounter(s *Snapshot, name string) (int64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+func fedGauge(s *Snapshot, name string) (float64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+func fedHist(s *Snapshot, name string) (HistogramSnap, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramSnap{}, false
+}
+
+func TestFederateCountersSumWithLabels(t *testing.T) {
+	shardVals := []int64{10, 25, 7}
+	var shards []ShardSnap
+	for i, v := range shardVals {
+		r := NewRegistry()
+		r.Counter(`tea_server_requests_total{endpoint="walk"}`).Add(v)
+		r.Counter("tea_shard_steps_served_total").Add(v * 2)
+		shards = append(shards, ShardSnap{Label: strconv.Itoa(i), Snap: r.Snapshot()})
+	}
+	own := NewRegistry()
+	own.Counter("tea_router_fanouts_total").Add(3)
+
+	fed := Federate(own.Snapshot(), shards)
+
+	if v, ok := fedCounter(fed, "tea_router_fanouts_total"); !ok || v != 3 {
+		t.Fatalf("router's own counter lost: %v %v", v, ok)
+	}
+	var sum int64
+	for i, v := range shardVals {
+		name := `tea_server_requests_total{endpoint="walk",shard="` + strconv.Itoa(i) + `"}`
+		got, ok := fedCounter(fed, name)
+		if !ok || got != v {
+			t.Fatalf("per-shard series %s = %d ok=%v, want %d", name, got, ok, v)
+		}
+		sum += v
+	}
+	roll, ok := fedCounter(fed, `tea_server_requests_total{endpoint="walk",shard="all"}`)
+	if !ok || roll != sum {
+		t.Fatalf("rollup = %d ok=%v, want %d", roll, ok, sum)
+	}
+	roll2, ok := fedCounter(fed, `tea_shard_steps_served_total{shard="all"}`)
+	if !ok || roll2 != 2*sum {
+		t.Fatalf("steps rollup = %d ok=%v, want %d", roll2, ok, 2*sum)
+	}
+}
+
+func TestFederateGaugePolicies(t *testing.T) {
+	var shards []ShardSnap
+	uptimes := []float64{5, 42, 17}
+	for i, u := range uptimes {
+		r := NewRegistry()
+		r.Gauge("tea_uptime_seconds").Set(u)
+		r.Gauge("tea_server_inflight").Set(float64(i + 1))
+		r.Gauge(`tea_build_info{version="devel"}`).Set(1)
+		shards = append(shards, ShardSnap{Label: strconv.Itoa(i), Snap: r.Snapshot()})
+	}
+	fed := Federate(nil, shards)
+
+	if v, ok := fedGauge(fed, `tea_uptime_seconds{shard="all"}`); !ok || v != 42 {
+		t.Fatalf("uptime rollup = %v ok=%v, want max 42", v, ok)
+	}
+	if v, ok := fedGauge(fed, `tea_server_inflight{shard="all"}`); !ok || v != 6 {
+		t.Fatalf("inflight rollup = %v ok=%v, want sum 6", v, ok)
+	}
+	if _, ok := fedGauge(fed, `tea_build_info{version="devel",shard="all"}`); ok {
+		t.Fatal("build_info must not be rolled up")
+	}
+	if v, ok := fedGauge(fed, `tea_build_info{version="devel",shard="1"}`); !ok || v != 1 {
+		t.Fatalf("per-shard build_info missing: %v %v", v, ok)
+	}
+}
+
+// TestHistogramMergeProperty is the satellite's property test: for random
+// observation sets split over k shards, the bucket-wise merge preserves
+// total count and sum exactly, and p50/p95/p99 equal the pooled-sample
+// histogram's quantiles (the layouts are identical, so the merge is exact
+// at bucket resolution — stronger than the one-bucket-relative-error bound
+// the merge guarantees in general).
+func TestHistogramMergeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(5)
+		n := 1 + rng.Intn(2000)
+
+		pooled := NewRegistry()
+		pooledHist := pooled.Histogram("tea_server_request_seconds")
+		shardRegs := make([]*Registry, k)
+		for i := range shardRegs {
+			shardRegs[i] = NewRegistry()
+		}
+
+		var sum float64
+		for j := 0; j < n; j++ {
+			// Log-uniform over ~9 decades, plus occasional zeros and huge
+			// outliers beyond the last bucket bound.
+			var v float64
+			switch rng.Intn(10) {
+			case 0:
+				v = 0
+			case 1:
+				v = 1e6 * rng.Float64() // +Inf bucket territory
+			default:
+				v = math.Pow(10, -7+9*rng.Float64())
+			}
+			sum += v
+			pooledHist.Observe(v)
+			shardRegs[rng.Intn(k)].Histogram("tea_server_request_seconds").Observe(v)
+		}
+
+		var parts []HistogramSnap
+		var shards []ShardSnap
+		for i, r := range shardRegs {
+			snap := r.Snapshot()
+			shards = append(shards, ShardSnap{Label: strconv.Itoa(i), Snap: snap})
+			if len(snap.Histograms) > 0 {
+				parts = append(parts, snap.Histograms[0])
+			}
+		}
+		merged := MergeHistogramSnaps("tea_server_request_seconds", parts...)
+		want := pooled.Snapshot().Histograms[0]
+
+		if merged.Count != want.Count {
+			t.Fatalf("trial %d: merged count %d != pooled %d", trial, merged.Count, want.Count)
+		}
+		if math.Abs(merged.Sum-want.Sum) > 1e-9*math.Max(1, math.Abs(want.Sum)) {
+			t.Fatalf("trial %d: merged sum %g != pooled %g", trial, merged.Sum, want.Sum)
+		}
+		if merged.P50 != want.P50 || merged.P95 != want.P95 || merged.P99 != want.P99 {
+			t.Fatalf("trial %d: merged quantiles p50=%g p95=%g p99=%g != pooled p50=%g p95=%g p99=%g",
+				trial, merged.P50, merged.P95, merged.P99, want.P50, want.P95, want.P99)
+		}
+		// Bucket-exactness: cumulative counts agree wherever pooled has a
+		// bucket (merged may carry extra trailing buckets with equal counts).
+		mcum := make(map[float64]int64, len(merged.Buckets))
+		for _, b := range merged.Buckets {
+			mcum[b.UpperBound] = b.Count
+		}
+		for _, b := range want.Buckets {
+			if got, ok := mcum[b.UpperBound]; !ok || got != b.Count {
+				t.Fatalf("trial %d: bucket le=%g merged=%d(ok=%v) pooled=%d", trial, b.UpperBound, got, ok, b.Count)
+			}
+		}
+
+		// The full Federate path agrees with the direct merge.
+		fed := Federate(nil, shards)
+		rolled, ok := fedHist(fed, `tea_server_request_seconds{shard="all"}`)
+		if !ok || rolled.Count != want.Count || rolled.P99 != want.P99 {
+			t.Fatalf("trial %d: federated rollup mismatch (ok=%v)", trial, ok)
+		}
+	}
+}
+
+// TestHistogramMergeQuantileError checks the documented general bound: the
+// merged quantile is within one bucket's relative error (a factor of the
+// bucket growth) of the exact sample quantile.
+func TestHistogramMergeQuantileError(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		k := 2 + rng.Intn(3)
+		n := 100 + rng.Intn(1000)
+		var samples []float64
+		shardRegs := make([]*Registry, k)
+		for i := range shardRegs {
+			shardRegs[i] = NewRegistry()
+		}
+		for j := 0; j < n; j++ {
+			v := math.Pow(10, -5+6*rng.Float64())
+			samples = append(samples, v)
+			shardRegs[rng.Intn(k)].Histogram("h").Observe(v)
+		}
+		var parts []HistogramSnap
+		for _, r := range shardRegs {
+			if s := r.Snapshot(); len(s.Histograms) > 0 {
+				parts = append(parts, s.Histograms[0])
+			}
+		}
+		merged := MergeHistogramSnaps("h", parts...)
+		sort.Float64s(samples)
+		for _, q := range []struct {
+			q   float64
+			got float64
+		}{{0.50, merged.P50}, {0.95, merged.P95}, {0.99, merged.P99}} {
+			rank := int(math.Ceil(q.q*float64(n))) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			exact := samples[rank]
+			// The bucket bound is an upper bound within one growth factor
+			// of the true value.
+			if q.got < exact || q.got > exact*histGrowth*(1+1e-9) {
+				t.Fatalf("trial %d: q%.0f bound %g outside (%g, %g]", trial, q.q*100, q.got, exact, exact*histGrowth)
+			}
+		}
+	}
+}
+
+func TestFederateHistogramPerShardCopies(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h").Observe(0.001)
+	r.Histogram("h").Observe(0.1)
+	fed := Federate(nil, []ShardSnap{{Label: "0", Snap: r.Snapshot()}})
+	per, ok := fedHist(fed, `h{shard="0"}`)
+	if !ok || per.Count != 2 {
+		t.Fatalf("per-shard histogram missing or wrong: %+v ok=%v", per, ok)
+	}
+	roll, ok := fedHist(fed, `h{shard="all"}`)
+	if !ok || roll.Count != 2 || roll.Sum != per.Sum {
+		t.Fatalf("rollup histogram wrong: %+v ok=%v", roll, ok)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/tea-graph/tea/internal/blockcache"
+	"github.com/tea-graph/tea/internal/reqcost"
 	"github.com/tea-graph/tea/internal/stats"
 	"github.com/tea-graph/tea/internal/temporal"
 	"github.com/tea-graph/tea/internal/trace"
@@ -146,13 +147,16 @@ func (e *Engine) runWalks(ctx context.Context, total uint64, startOf func(uint64
 
 	// Tracing: the run span and the per-flush-group batch spans exist only
 	// when the caller's context is being traced; cs stays nil otherwise so the
-	// untraced walk loop is the plain Sample call.
+	// untraced walk loop is the plain Sample call. Cost accounting also rides
+	// the context-threaded path, so it too resolves cs.
 	ctx, runSpan := trace.Start(ctx, "ooc.run")
 	var cs ctxSampler
 	if runSpan != nil {
 		runSpan.SetStr("sampler", e.sampler.Name())
 		runSpan.SetInt("walks", int64(total))
 		runSpan.SetInt("length", int64(length))
+	}
+	if runSpan != nil || reqcost.Active(ctx) {
 		cs, _ = e.sampler.(ctxSampler)
 	}
 	walkCtx := ctx

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"github.com/tea-graph/tea/internal/blockcache"
+	"github.com/tea-graph/tea/internal/reqcost"
 	"github.com/tea-graph/tea/internal/sampling"
 	"github.com/tea-graph/tea/internal/temporal"
 	"github.com/tea-graph/tea/internal/trace"
@@ -176,13 +177,20 @@ func (d *DiskGraphWalker) sampleWith(ctx context.Context, u temporal.Vertex, k i
 	} else {
 		off := d.edgeBase + d.edgeOff[u]*edgeRecBytes
 		sp := trace.StartSpan(ctx, "ooc.block_fetch")
+		rc := reqcost.From(ctx)
 		var err error
-		if sp != nil && d.cache != nil {
+		if (sp != nil || rc != nil) && d.cache != nil {
 			var src blockcache.ReadSource
 			src, err = d.cache.ReadAtSource(buf, off)
 			sp.SetStr("source", src.String())
+			if err == nil {
+				rc.CacheRead(src == blockcache.SourceCache || src == blockcache.SourceCoalesced, int64(len(buf)))
+			}
 		} else {
 			err = d.store.ReadAt(buf, off)
+			if err == nil {
+				rc.DeviceRead(int64(len(buf)))
+			}
 		}
 		if sp != nil {
 			sp.SetInt("vertex", int64(u))

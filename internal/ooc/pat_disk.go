@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/tea-graph/tea/internal/blockcache"
+	"github.com/tea-graph/tea/internal/reqcost"
 	"github.com/tea-graph/tea/internal/sampling"
 	"github.com/tea-graph/tea/internal/temporal"
 	"github.com/tea-graph/tea/internal/trace"
@@ -166,16 +167,24 @@ func (d *DiskPAT) trunkRecord(ctx context.Context, u temporal.Vertex, t int, buf
 		return err
 	}
 	sp := trace.StartSpan(ctx, "ooc.block_fetch")
+	rc := reqcost.From(ctx)
 	off := d.diskBase + (d.trunkOff[u]+int64(t))*int64(d.trunkSize*slotBytes)
 	var src blockcache.ReadSource
 	srcKnown := false
 	readOnce := func() error {
-		if sp != nil && d.cache != nil {
+		if (sp != nil || rc != nil) && d.cache != nil {
 			s, err := d.cache.ReadAtSource(buf, off)
 			src, srcKnown = s, true
+			if err == nil {
+				rc.CacheRead(s == blockcache.SourceCache || s == blockcache.SourceCoalesced, int64(len(buf)))
+			}
 			return err
 		}
-		return d.store.ReadAt(buf, off)
+		err := d.store.ReadAt(buf, off)
+		if err == nil {
+			rc.DeviceRead(int64(len(buf)))
+		}
+		return err
 	}
 	retries := 0
 	err := readOnce()

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"github.com/tea-graph/tea/internal/metrics"
+	"github.com/tea-graph/tea/internal/reqcost"
 	"github.com/tea-graph/tea/internal/temporal"
 	"github.com/tea-graph/tea/internal/trace"
 )
@@ -44,6 +45,11 @@ type RouterConfig struct {
 	MaxInFlight int
 	// RetryAfter is the Retry-After hint on shed and peer-down responses.
 	RetryAfter time.Duration
+	// SlowRequestThreshold and TopRequests as in Config: the slow-request log
+	// and the /debug/tea/top ring also run at the router, where one record
+	// covers the whole fan-out with the merged cluster cost.
+	SlowRequestThreshold time.Duration
+	TopRequests          int
 	// Metrics, Trace, Logger as in Config.
 	Metrics *metrics.Registry
 	Trace   *trace.Tracer
@@ -67,12 +73,16 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		return nil, fmt.Errorf("router: need at least one shard address")
 	}
 	base := NewWithConfig(nil, Config{
-		RequestTimeout: cfg.RequestTimeout,
-		MaxInFlight:    cfg.MaxInFlight,
-		RetryAfter:     cfg.RetryAfter,
-		Metrics:        cfg.Metrics,
-		Trace:          cfg.Trace,
-		Logger:         cfg.Logger,
+		RequestTimeout:       cfg.RequestTimeout,
+		MaxInFlight:          cfg.MaxInFlight,
+		RetryAfter:           cfg.RetryAfter,
+		SlowRequestThreshold: cfg.SlowRequestThreshold,
+		TopRequests:          cfg.TopRequests,
+		Instance:             "router",
+		ShardID:              -1,
+		Metrics:              cfg.Metrics,
+		Trace:                cfg.Trace,
+		Logger:               cfg.Logger,
 	})
 	rt := &Router{
 		base:   base,
@@ -89,10 +99,11 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	rt.mux.HandleFunc("GET /readyz", base.instrument("readyz", rt.handleReady))
 	rt.mux.HandleFunc("GET /stats", base.instrument("stats", rt.handleStats))
 	rt.mux.HandleFunc("GET /walk", base.instrument("walk", base.limited(rt.handleWalk)))
-	rt.mux.HandleFunc("GET /metrics", base.handleMetrics)
-	rt.mux.HandleFunc("GET /metrics.json", base.handleMetricsJSON)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("GET /metrics.json", rt.handleMetricsJSON)
 	rt.mux.HandleFunc("GET /debug/tea/trace", base.handleTrace)
 	rt.mux.HandleFunc("GET /debug/tea/flight", base.handleFlight)
+	rt.mux.HandleFunc("GET /debug/tea/top", base.handleTop)
 	return rt, nil
 }
 
@@ -137,6 +148,11 @@ func (rt *Router) fan(ctx context.Context, path, rawQuery string) []shardReply {
 			}
 			if id := trace.RequestID(ctx); id != "" {
 				req.Header.Set("X-Request-ID", id)
+			}
+			if trace.SpanFromContext(hopCtx).Sampled() {
+				// Tell the shard this request's trace is retained upstream,
+				// so it collects its part regardless of its own sampling.
+				req.Header.Set("X-Trace-Sampled", "1")
 			}
 			resp, err := rt.client.Do(req)
 			if err != nil {
@@ -241,6 +257,8 @@ func (rt *Router) handleWalk(w http.ResponseWriter, r *http.Request) {
 	// is a deployment error, not a client one.
 	walks := make([][]walkHop, count)
 	var steps, edges, migrations, frames int64
+	clusterCost := reqcost.Cost{Shards: map[string]*reqcost.Cost{}}
+	var spanRecs []trace.SpanRecord
 	for i, rep := range replies {
 		var sr shardWalkResponse
 		if err := json.Unmarshal(rep.body, &sr); err != nil {
@@ -272,6 +290,30 @@ func (rt *Router) handleWalk(w http.ResponseWriter, r *http.Request) {
 		edges += costInt(sr.Cost, "edges_evaluated")
 		migrations += costInt(sr.Cost, "migrations")
 		frames += costInt(sr.Cost, "frames")
+		if sr.CostDetail != nil {
+			clusterCost.Add(*sr.CostDetail)
+			clusterCost.Shards[strconv.Itoa(i)] = sr.CostDetail
+		}
+		// Shard span summaries become real spans in the router's tracer: each
+		// gets a placeholder SpanID here (Inject remaps them onto the tracer's
+		// own sequence) and identity attrs, so one X-Request-ID resolves to
+		// one trace spanning every process the request touched.
+		for _, ss := range sr.Spans {
+			attrs := []trace.Attr{
+				trace.Str("instance", fmt.Sprintf("shard-%d", ss.Shard)),
+				trace.Int("shard_id", int64(ss.Shard)),
+			}
+			if ss.Walkers > 0 {
+				attrs = append(attrs, trace.Int("walkers", int64(ss.Walkers)))
+			}
+			spanRecs = append(spanRecs, trace.SpanRecord{
+				SpanID:      uint64(len(spanRecs) + 1),
+				Name:        ss.Name,
+				StartMicros: ss.StartMicros,
+				DurMicros:   ss.DurMicros,
+				Attrs:       attrs,
+			})
+		}
 	}
 	for id, hops := range walks {
 		if hops == nil {
@@ -280,6 +322,13 @@ func (rt *Router) handleWalk(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	rt.merges.Add(int64(count))
+	// Fold the cluster's cost into this request's collector so the router's
+	// slow-request log and /debug/tea/top carry cluster-wide numbers, and
+	// inject the shards' span summaries when this request's trace is retained.
+	reqcost.From(r.Context()).AddCost(clusterCost)
+	if len(spanRecs) > 0 && trace.SpanFromContext(r.Context()).Sampled() {
+		rt.base.tracer.Inject(trace.RequestID(r.Context()), spanRecs)
+	}
 
 	out := walkResponse{From: temporal.Vertex(fromID), Walks: walks, Cost: map[string]string{
 		"steps":           strconv.FormatInt(steps, 10),
@@ -291,6 +340,9 @@ func (rt *Router) handleWalk(w http.ResponseWriter, r *http.Request) {
 	if steps > 0 {
 		out.Cost["edges_per_step"] = fmt.Sprintf("%.2f", float64(edges)/float64(steps))
 	}
+	if r.URL.Query().Get("cost") == "1" && len(clusterCost.Shards) > 0 {
+		out.CostDetail = &clusterCost
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -300,10 +352,104 @@ func costInt(cost map[string]string, key string) int64 {
 	return v
 }
 
-// handleHealth is the router's own liveness: always 200 (shard reachability
-// belongs to readiness).
-func (rt *Router) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "shards": len(rt.shards)})
+// handleHealth is cluster health rolled up from every shard's /healthz. An
+// unreachable (or erroring) shard makes the rollup a 503 "degraded" with
+// Retry-After — the router must never answer a 200 "ok" lie while a shard is
+// dead. A shard that is up but reports degraded storage keeps the rollup at
+// 200 (the cluster still serves) with status "degraded" and the per-shard
+// bodies attached so the trouble is attributable.
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	replies := rt.fan(r.Context(), "/healthz", "")
+	shards := make(map[string]any, len(replies))
+	status := http.StatusOK
+	overall := "ok"
+	markDown := func(key, detail string) {
+		shards[key] = map[string]string{"status": "down", "error": detail}
+		overall = "degraded"
+		status = http.StatusServiceUnavailable
+	}
+	for i, rep := range replies {
+		key := strconv.Itoa(i)
+		switch {
+		case rep.err != nil:
+			markDown(key, rep.err.Error())
+		case rep.status != http.StatusOK:
+			markDown(key, shardErrMsg(rep.body))
+		default:
+			var body map[string]any
+			if err := json.Unmarshal(rep.body, &body); err != nil {
+				markDown(key, "malformed /healthz body")
+				continue
+			}
+			shards[key] = body
+			if s, _ := body["status"].(string); s != "ok" {
+				overall = "degraded"
+			}
+		}
+	}
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSecs(rt.base.cfg.RetryAfter))
+	}
+	writeJSON(w, status, map[string]any{"status": overall, "shards": shards})
+}
+
+// scrapeShards pulls and parses every shard's /metrics.json snapshot. Any
+// failed scrape fails the whole federation: a silently absent shard would
+// make the cluster rollups understate reality.
+func (rt *Router) scrapeShards(ctx context.Context) ([]metrics.ShardSnap, error) {
+	replies := rt.fan(ctx, "/metrics.json", "")
+	shards := make([]metrics.ShardSnap, len(replies))
+	for i, rep := range replies {
+		if rep.err != nil {
+			return nil, fmt.Errorf("shard %d: %v", i, rep.err)
+		}
+		if rep.status != http.StatusOK {
+			return nil, fmt.Errorf("shard %d: status %d", i, rep.status)
+		}
+		snap := &metrics.Snapshot{}
+		if err := json.Unmarshal(rep.body, snap); err != nil {
+			return nil, fmt.Errorf("shard %d: malformed snapshot: %v", i, err)
+		}
+		shards[i] = metrics.ShardSnap{Label: strconv.Itoa(i), Snap: snap}
+	}
+	return shards, nil
+}
+
+// federatedSnapshot scrapes the cluster and merges it with the router's own
+// registry; on scrape failure it has already written the 503 (with no-store
+// and Retry-After) and returns nil.
+func (rt *Router) federatedSnapshot(w http.ResponseWriter, r *http.Request) *metrics.Snapshot {
+	w.Header().Set("Cache-Control", "no-store")
+	shards, err := rt.scrapeShards(r.Context())
+	if err != nil {
+		w.Header().Set("Retry-After", retryAfterSecs(rt.base.cfg.RetryAfter))
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("metrics federation: %v", err))
+		return nil
+	}
+	rt.base.uptime.Set(time.Since(rt.base.started).Seconds())
+	return metrics.Federate(rt.base.metrics.Snapshot(), shards)
+}
+
+// handleMetrics is the federated Prometheus exposition: the router's own
+// series unlabeled, each shard's under shard="<id>", cluster rollups under
+// shard="all".
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	fed := rt.federatedSnapshot(w, r)
+	if fed == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = fed.WritePrometheus(w)
+}
+
+// handleMetricsJSON is the same federated snapshot as JSON.
+func (rt *Router) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	fed := rt.federatedSnapshot(w, r)
+	if fed == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, fed)
 }
 
 // handleReady is cluster readiness: 200 only when every shard's /readyz is

@@ -36,6 +36,7 @@ import (
 	"github.com/tea-graph/tea/internal/apps"
 	"github.com/tea-graph/tea/internal/core"
 	"github.com/tea-graph/tea/internal/metrics"
+	"github.com/tea-graph/tea/internal/reqcost"
 	"github.com/tea-graph/tea/internal/scrub"
 	"github.com/tea-graph/tea/internal/stream"
 	"github.com/tea-graph/tea/internal/temporal"
@@ -90,6 +91,24 @@ type Config struct {
 	// 0 means the default (100000). Only meaningful in durable-ingest mode.
 	MaxIngestBatch int
 
+	// Instance names this process in its observability output ("router",
+	// "shard-2"): tea_build_info gains an instance label, spans are stamped
+	// with it (via the tracer's own Config), and the logger carries it on
+	// every record. Empty leaves everything unlabeled — without it, series
+	// and spans merged from two shards are indistinguishable.
+	Instance string
+	// ShardID is the shard this process serves, stamped alongside Instance;
+	// negative (or Instance empty) means the process serves no shard.
+	ShardID int
+
+	// SlowRequestThreshold, when positive, emits one structured warn record
+	// (with the request's full cost breakdown) for every request slower than
+	// it. 0 disables the slow-request log.
+	SlowRequestThreshold time.Duration
+	// TopRequests sizes the /debug/tea/top ring of recent requests; 0 means
+	// 256.
+	TopRequests int
+
 	// Metrics receives the server's operational metrics and backs the
 	// /metrics and /metrics.json endpoints; nil means metrics.Default (so
 	// engine and out-of-core families rendered there too).
@@ -123,6 +142,10 @@ type Server struct {
 	shedTotal     *metrics.Counter
 	timeoutTotal  *metrics.Counter
 	uptime        *metrics.Gauge
+
+	// top retains the most recent completed requests with their cost
+	// breakdowns for GET /debug/tea/top.
+	top *reqcost.Top
 
 	// prepWalk, when non-nil, may adjust the WalkConfig before a /walk run
 	// starts. Test seam: lets tests install a Visitor to observe and pace
@@ -184,13 +207,26 @@ func NewWithConfig(eng *core.Engine, cfg Config) *Server {
 	s := &Server{
 		eng: eng, mux: http.NewServeMux(), cfg: cfg, metrics: cfg.Metrics,
 		tracer: cfg.Trace, logger: cfg.Logger, started: time.Now(),
+		top: reqcost.NewTop(cfg.TopRequests),
+	}
+	if cfg.Instance != "" && s.logger != nil {
+		s.logger = s.logger.With(slog.String("instance", cfg.Instance))
+		if cfg.ShardID >= 0 {
+			s.logger = s.logger.With(slog.Int("shard", cfg.ShardID))
+		}
 	}
 	s.inflightGauge = s.metrics.Gauge("tea_server_inflight")
 	s.shedTotal = s.metrics.Counter("tea_server_shed_total")
 	s.timeoutTotal = s.metrics.Counter("tea_server_timeout_total")
 	s.uptime = s.metrics.Gauge("tea_uptime_seconds")
-	s.metrics.Gauge(fmt.Sprintf("tea_build_info{version=%q,go_version=%q}",
-		buildVersion(), runtime.Version())).Set(1)
+	buildInfo := fmt.Sprintf("tea_build_info{version=%q,go_version=%q", buildVersion(), runtime.Version())
+	if cfg.Instance != "" {
+		buildInfo += fmt.Sprintf(",instance=%q", cfg.Instance)
+		if cfg.ShardID >= 0 {
+			buildInfo += fmt.Sprintf(",shard_id=%q", strconv.Itoa(cfg.ShardID))
+		}
+	}
+	s.metrics.Gauge(buildInfo + "}").Set(1)
 	if cfg.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInFlight)
 	}
@@ -206,6 +242,7 @@ func NewWithConfig(eng *core.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	s.mux.HandleFunc("GET /debug/tea/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /debug/tea/flight", s.handleFlight)
+	s.mux.HandleFunc("GET /debug/tea/top", s.handleTop)
 	return s
 }
 
@@ -264,11 +301,18 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		var sp *trace.Span
 		if s.tracer.Enabled() {
 			ctx = trace.WithTracer(ctx, s.tracer)
-			ctx, sp = s.tracer.StartRoot(ctx, "server.request", reqID)
+			if r.Header.Get("X-Trace-Sampled") == "1" {
+				// An upstream process (the router) already sampled this
+				// request; retain this process's part of the trace too.
+				ctx, sp = s.tracer.StartRootSampled(ctx, "server.request", reqID)
+			} else {
+				ctx, sp = s.tracer.StartRoot(ctx, "server.request", reqID)
+			}
 			sp.SetStr("endpoint", endpoint)
 			sp.SetStr("method", r.Method)
 			sp.SetStr("path", r.URL.RequestURI())
 		}
+		ctx, col := reqcost.Attach(ctx)
 		r = r.WithContext(ctx)
 
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
@@ -288,6 +332,16 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		case http.StatusGatewayTimeout:
 			s.timeoutTotal.Inc()
 		}
+		cost := col.Snapshot()
+		cost.WallMicros = elapsed.Microseconds()
+		s.top.Record(reqcost.Record{
+			RequestID:   reqID,
+			Endpoint:    endpoint,
+			Status:      sw.status,
+			StartMicros: start.UnixMicro(),
+			WallMicros:  elapsed.Microseconds(),
+			Cost:        cost,
+		})
 		if s.logger != nil {
 			s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
 				slog.String("endpoint", endpoint),
@@ -296,8 +350,39 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 				slog.Int("status", sw.status),
 				slog.Duration("elapsed", elapsed),
 			)
+			if s.cfg.SlowRequestThreshold > 0 && elapsed > s.cfg.SlowRequestThreshold {
+				s.logger.LogAttrs(ctx, slog.LevelWarn, "slow request",
+					slog.String("endpoint", endpoint),
+					slog.String("path", r.URL.RequestURI()),
+					slog.Int("status", sw.status),
+					slog.Duration("elapsed", elapsed),
+					slog.Duration("threshold", s.cfg.SlowRequestThreshold),
+					slog.Int64("steps", cost.Steps),
+					slog.Int64("edges_evaluated", cost.EdgesEvaluated),
+					slog.Int64("migrations", cost.Migrations),
+					slog.Int64("migration_bytes", cost.MigrationBytes),
+					slog.Int64("cache_hits", cost.CacheHits),
+					slog.Int64("cache_misses", cost.CacheMisses),
+					slog.Int64("device_bytes", cost.DeviceBytes),
+					slog.Int64("read_retries", cost.ReadRetries),
+				)
+			}
 		}
 	}
+}
+
+// handleTop implements GET /debug/tea/top: the k (default 20) most expensive
+// recent requests by wall time, each with its full cost breakdown — the
+// first stop when "something was slow a minute ago" and the trace was not
+// sampled.
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+	k, err := intParam(r, "k", 20)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	writeJSON(w, http.StatusOK, map[string]any{"top": s.top.Top(k)})
 }
 
 // handleMetrics renders the registry in the Prometheus text exposition
@@ -404,6 +489,10 @@ type walkResponse struct {
 	From  temporal.Vertex   `json:"from"`
 	Walks [][]walkHop       `json:"walks"`
 	Cost  map[string]string `json:"cost"`
+	// CostDetail is the full per-request resource breakdown, present when
+	// the request opted in with ?cost=1. On router-assembled responses its
+	// Shards map splits the totals per shard.
+	CostDetail *reqcost.Cost `json:"cost_detail,omitempty"`
 }
 
 type walkHop struct {
@@ -463,11 +552,18 @@ func (s *Server) handleWalk(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, runStatus(err), err)
 		return
 	}
+	rc := reqcost.From(r.Context())
+	rc.AddEngine(res.Cost)
 	out := walkResponse{From: from, Cost: map[string]string{
 		"steps":          strconv.FormatInt(res.Cost.Steps, 10),
 		"edges_per_step": fmt.Sprintf("%.2f", res.Cost.EdgesPerStep()),
 		"duration":       res.Duration.String(),
 	}}
+	if r.URL.Query().Get("cost") == "1" && rc != nil {
+		detail := rc.Snapshot()
+		detail.WallMicros = res.Duration.Microseconds()
+		out.CostDetail = &detail
+	}
 	for _, p := range res.Paths {
 		hops := make([]walkHop, len(p.Vertices))
 		for i, v := range p.Vertices {

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"time"
 
+	"github.com/tea-graph/tea/internal/reqcost"
 	"github.com/tea-graph/tea/internal/shard"
 	"github.com/tea-graph/tea/internal/shard/wire"
 	"github.com/tea-graph/tea/internal/temporal"
@@ -57,6 +58,7 @@ func NewShard(node *shard.Node, caller shard.StepCaller, cfg Config) *ShardServe
 	ss.mux.HandleFunc("GET /metrics.json", base.handleMetricsJSON)
 	ss.mux.HandleFunc("GET /debug/tea/trace", base.handleTrace)
 	ss.mux.HandleFunc("GET /debug/tea/flight", base.handleFlight)
+	ss.mux.HandleFunc("GET /debug/tea/top", base.handleTop)
 	return ss
 }
 
@@ -73,6 +75,15 @@ type shardWalkResponse struct {
 	WalkIDs    []int             `json:"walk_ids"`
 	Walks      [][]walkHop       `json:"walks"`
 	Cost       map[string]string `json:"cost"`
+	// CostDetail is this shard's share of the request's resource consumption,
+	// present when the request carried ?cost=1; the router merges the shares
+	// into the assembled response's cost_detail with a per-shard split.
+	CostDetail *reqcost.Cost `json:"cost_detail,omitempty"`
+	// Spans carries compact span summaries (this shard's run/hop timings plus
+	// whatever peers shipped on step responses) when the request was sampled
+	// upstream; the router injects them into its tracer so one X-Request-ID
+	// yields one cross-process trace.
+	Spans []wire.SpanSummary `json:"spans,omitempty"`
 }
 
 func (ss *ShardServer) handleWalk(w http.ResponseWriter, r *http.Request) {
@@ -115,11 +126,14 @@ func (ss *ShardServer) handleWalk(w http.ResponseWriter, r *http.Request) {
 		Seed:           uint64(seed),
 		KeepPaths:      true,
 		RequestID:      trace.RequestID(r.Context()),
+		CollectSpans:   r.Header.Get("X-Trace-Sampled") == "1",
 	})
 	if err != nil {
 		ss.writeRunErr(w, err)
 		return
 	}
+	rc := reqcost.From(r.Context())
+	rc.AddEngine(res.Cost)
 	out := shardWalkResponse{
 		From:       from,
 		Shard:      ss.node.ShardID(),
@@ -139,6 +153,12 @@ func (ss *ShardServer) handleWalk(w http.ResponseWriter, r *http.Request) {
 	}
 	if out.WalkIDs == nil {
 		out.WalkIDs = []int{} // "no walks owned" renders as [], not null
+	}
+	out.Spans = res.Spans
+	if r.URL.Query().Get("cost") == "1" && rc != nil {
+		detail := rc.Snapshot()
+		detail.WallMicros = res.Duration.Microseconds()
+		out.CostDetail = &detail
 	}
 	for _, p := range res.Paths {
 		hops := make([]walkHop, len(p.Vertices))

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/tea-graph/tea/internal/core"
+	"github.com/tea-graph/tea/internal/reqcost"
 	"github.com/tea-graph/tea/internal/shard/wire"
 	"github.com/tea-graph/tea/internal/stats"
 	"github.com/tea-graph/tea/internal/temporal"
@@ -43,6 +44,11 @@ type WalkRequest struct {
 	KeepPaths bool
 	// RequestID is propagated on every migration frame for trace correlation.
 	RequestID string
+	// CollectSpans asks for compact span summaries in the result — the
+	// coordinator's own run/hop timings plus whatever each peer shipped back
+	// on its step responses — so an upstream router can assemble one
+	// cross-process trace. Independent of any tracer configuration.
+	CollectSpans bool
 }
 
 func (r *WalkRequest) normalize(numV int) {
@@ -85,6 +91,9 @@ type WalkResult struct {
 	Paths   []core.Path
 	// Lengths histograms realized walk lengths, as in core.Result.
 	Lengths *stats.Histogram
+	// Spans carries the compact cross-process span summaries when the
+	// request set CollectSpans.
+	Spans []wire.SpanSummary
 }
 
 // coordWalker is a frontier entry: the migrating wire state plus the local
@@ -119,6 +128,11 @@ func (n *Node) RunWalks(ctx context.Context, caller StepCaller, req WalkRequest)
 	if runSpan != nil {
 		runSpan.SetInt("shard", int64(n.id))
 		defer runSpan.End()
+	}
+	rc := reqcost.From(ctx)
+	var flags uint32
+	if req.CollectSpans {
+		flags |= wire.FlagCollectSpans
 	}
 
 	start := time.Now()
@@ -162,6 +176,7 @@ func (n *Node) RunWalks(ctx context.Context, caller StepCaller, req WalkRequest)
 	groups := make([][]int, parts) // frontier indices per owner, reused
 	results := make([]wire.StepResult, 0)
 	var runErr error
+	var spanMu sync.Mutex // guards res.Spans across hop goroutines
 
 	for len(frontier) > 0 && runErr == nil {
 		if ctx.Err() != nil {
@@ -203,16 +218,19 @@ func (n *Node) RunWalks(ctx context.Context, caller StepCaller, req WalkRequest)
 				FromShard:   uint32(n.id),
 				Partitions:  uint32(parts),
 				NumVertices: uint32(n.numV),
+				Flags:       flags,
 				Walkers:     make([]wire.Walker, len(idxs)),
 			}
 			for j, fi := range idxs {
 				sreq.Walkers[j] = frontier[fi].Walker
 			}
+			frameBytes := int64(wire.FrameSize(stepRequestPayloadLen(sreq)))
 			res.Migrations += int64(len(idxs))
 			res.Frames++
-			res.BytesSent += int64(wire.FrameSize(stepRequestPayloadLen(sreq)))
+			res.BytesSent += frameBytes
 			mMigr.Add(int64(len(idxs)))
 			mFrames.Inc()
+			rc.AddMigration(int64(len(idxs)), frameBytes)
 			wg.Add(1)
 			go func(p int, idxs []int, sreq *wire.StepRequest) {
 				defer wg.Done()
@@ -222,6 +240,7 @@ func (n *Node) RunWalks(ctx context.Context, caller StepCaller, req WalkRequest)
 					hop.SetInt("walkers", int64(len(idxs)))
 					defer hop.End()
 				}
+				hopStart := time.Now()
 				sresp, err := caller.Step(hopCtx, p, sreq)
 				if err != nil {
 					if hop != nil {
@@ -242,6 +261,19 @@ func (n *Node) RunWalks(ctx context.Context, caller StepCaller, req WalkRequest)
 					}
 					failMu.Unlock()
 					return
+				}
+				if req.CollectSpans {
+					hopSum := wire.SpanSummary{
+						Name:        "shard.hop",
+						Shard:       int32(n.id),
+						StartMicros: hopStart.UnixMicro(),
+						DurMicros:   time.Since(hopStart).Microseconds(),
+						Walkers:     int32(len(idxs)),
+					}
+					spanMu.Lock()
+					res.Spans = append(res.Spans, hopSum)
+					res.Spans = append(res.Spans, sresp.Spans...)
+					spanMu.Unlock()
 				}
 				for j, fi := range idxs {
 					results[fi] = sresp.Results[j]
@@ -309,6 +341,7 @@ func (n *Node) RunWalks(ctx context.Context, caller StepCaller, req WalkRequest)
 		if runSpan != nil {
 			runSpan.SetError(runErr)
 		}
+		n.appendRunSummary(res, &req, start)
 		return res, runErr
 	}
 	res.Duration = time.Since(start)
@@ -317,16 +350,33 @@ func (n *Node) RunWalks(ctx context.Context, caller StepCaller, req WalkRequest)
 		runSpan.SetInt("migrations", res.Migrations)
 		runSpan.SetInt("frames", res.Frames)
 	}
+	n.appendRunSummary(res, &req, start)
 	if err := ctx.Err(); err != nil {
 		return res, err
 	}
 	return res, nil
 }
 
+// appendRunSummary prepends the whole-run span summary when the request
+// collects spans — the coordinator-side anchor the router nests hops under.
+func (n *Node) appendRunSummary(res *WalkResult, req *WalkRequest, start time.Time) {
+	if !req.CollectSpans {
+		return
+	}
+	run := wire.SpanSummary{
+		Name:        "shard.run",
+		Shard:       int32(n.id),
+		StartMicros: start.UnixMicro(),
+		DurMicros:   res.Duration.Microseconds(),
+		Walkers:     int32(len(res.WalkIDs)),
+	}
+	res.Spans = append([]wire.SpanSummary{run}, res.Spans...)
+}
+
 // stepRequestPayloadLen mirrors AppendStepRequest's layout so the
 // coordinator can account on-wire bytes without re-encoding.
 func stepRequestPayloadLen(req *wire.StepRequest) int {
-	return 4 + len(req.RequestID) + 16 + len(req.Walkers)*wire.WalkerFrameSize
+	return 4 + len(req.RequestID) + 20 + len(req.Walkers)*wire.WalkerFrameSize
 }
 
 // InProcess is a StepCaller over co-resident Nodes: scatter-gather without

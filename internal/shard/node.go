@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/tea-graph/tea/internal/core"
 	"github.com/tea-graph/tea/internal/hpat"
@@ -198,10 +199,23 @@ func (n *Node) HandleStep(ctx context.Context, req *wire.StepRequest) (*wire.Ste
 			defer span.End()
 		}
 	}
+	var stepStart time.Time
+	if req.Flags&wire.FlagCollectSpans != 0 {
+		stepStart = time.Now()
+	}
 	resp := &wire.StepResponse{Results: make([]wire.StepResult, len(req.Walkers))}
 	n.advance(ctx, req.Walkers, resp.Results)
 	n.stepBatches.Inc()
 	n.stepsServed.Add(int64(len(req.Walkers)))
+	if req.Flags&wire.FlagCollectSpans != 0 {
+		resp.Spans = []wire.SpanSummary{{
+			Name:        "shard.step",
+			Shard:       int32(n.id),
+			StartMicros: stepStart.UnixMicro(),
+			DurMicros:   time.Since(stepStart).Microseconds(),
+			Walkers:     int32(len(req.Walkers)),
+		}}
+	}
 	return resp, nil
 }
 

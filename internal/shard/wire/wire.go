@@ -86,21 +86,45 @@ type StepResult struct {
 	RNG       xrand.Rand
 }
 
+// Request flags.
+const (
+	// FlagCollectSpans asks the serving shard to return span summaries for
+	// this step batch, so the coordinating process can assemble one
+	// cross-process trace for a sampled request.
+	FlagCollectSpans = uint32(1 << 0)
+)
+
 // StepRequest asks a shard to advance a batch of walkers one step. The
 // cluster fingerprint (Partitions, NumVertices) guards against heterogeneous
 // deployments: a shard built for a different ring or graph answers TypeError
 // instead of silently sampling from the wrong distribution.
 type StepRequest struct {
-	RequestID  string
-	FromShard  uint32
-	Partitions uint32
+	RequestID   string
+	FromShard   uint32
+	Partitions  uint32
 	NumVertices uint32
-	Walkers    []Walker
+	Flags       uint32
+	Walkers     []Walker
 }
 
-// StepResponse carries one result per request walker, in order.
+// SpanSummary is one remote operation's compact trace record: enough to
+// place it on a cluster-wide timeline (wall-clock begin and duration) and
+// attribute it (name, owning shard, batch size). Shipped in step responses
+// when the request carries FlagCollectSpans; the coordinator and router
+// convert these into full SpanRecords via trace.Tracer.Inject.
+type SpanSummary struct {
+	Name        string `json:"name"`
+	Shard       int32  `json:"shard"`
+	StartMicros int64  `json:"start_us"`
+	DurMicros   int64  `json:"dur_us"`
+	Walkers     int32  `json:"walkers,omitempty"`
+}
+
+// StepResponse carries one result per request walker, in order, plus span
+// summaries when the request asked for them.
 type StepResponse struct {
 	Results []StepResult
+	Spans   []SpanSummary
 }
 
 const (
@@ -138,6 +162,7 @@ func AppendStepRequest(buf []byte, req *StepRequest) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, req.FromShard)
 	buf = binary.LittleEndian.AppendUint32(buf, req.Partitions)
 	buf = binary.LittleEndian.AppendUint32(buf, req.NumVertices)
+	buf = binary.LittleEndian.AppendUint32(buf, req.Flags)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(req.Walkers)))
 	for i := range req.Walkers {
 		w := &req.Walkers[i]
@@ -170,14 +195,15 @@ func DecodeStepRequestInto(payload []byte, req *StepRequest) error {
 	if err != nil {
 		return err
 	}
-	if len(payload) < 16 {
+	if len(payload) < 20 {
 		return fmt.Errorf("%w: step request header short (%d bytes)", ErrCorrupt, len(payload))
 	}
 	req.FromShard = binary.LittleEndian.Uint32(payload[0:])
 	req.Partitions = binary.LittleEndian.Uint32(payload[4:])
 	req.NumVertices = binary.LittleEndian.Uint32(payload[8:])
-	n := int(binary.LittleEndian.Uint32(payload[12:]))
-	payload = payload[16:]
+	req.Flags = binary.LittleEndian.Uint32(payload[12:])
+	n := int(binary.LittleEndian.Uint32(payload[16:]))
+	payload = payload[20:]
 	if n < 0 || len(payload) != n*walkerSize {
 		return fmt.Errorf("%w: step request payload %d bytes for %d walkers", ErrCorrupt, len(payload), n)
 	}
@@ -199,6 +225,8 @@ func DecodeStepRequestInto(payload []byte, req *StepRequest) error {
 }
 
 // AppendStepResponse encodes resp after buf and returns the extended slice.
+// Span summaries, when present, follow the results as a counted trailer;
+// responses without spans encode byte-identically to the pre-trailer format.
 func AppendStepResponse(buf []byte, resp *StepResponse) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(resp.Results)))
 	for i := range resp.Results {
@@ -211,6 +239,17 @@ func AppendStepResponse(buf []byte, resp *StepResponse) []byte {
 		putRNG(rng[:], &r.RNG)
 		buf = append(buf, rng[:]...)
 	}
+	if len(resp.Spans) > 0 {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(resp.Spans)))
+		for i := range resp.Spans {
+			s := &resp.Spans[i]
+			buf = appendString(buf, s.Name)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(s.Shard))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(s.StartMicros))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(s.DurMicros))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(s.Walkers))
+		}
+	}
 	return buf
 }
 
@@ -221,7 +260,7 @@ func DecodeStepResponse(payload []byte) (*StepResponse, error) {
 	}
 	n := int(binary.LittleEndian.Uint32(payload))
 	payload = payload[4:]
-	if n < 0 || len(payload) != n*resultSize {
+	if n < 0 || len(payload) < n*resultSize {
 		return nil, fmt.Errorf("%w: step response payload %d bytes for %d results", ErrCorrupt, len(payload), n)
 	}
 	resp := &StepResponse{Results: make([]StepResult, n)}
@@ -233,6 +272,39 @@ func DecodeStepResponse(payload []byte) (*StepResponse, error) {
 		r.At = temporal.Time(binary.LittleEndian.Uint64(b[5:]))
 		r.Evaluated = int64(binary.LittleEndian.Uint64(b[13:]))
 		getRNG(b[21:], &r.RNG)
+	}
+	payload = payload[n*resultSize:]
+	if len(payload) == 0 {
+		return resp, nil
+	}
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("%w: step response span trailer short", ErrCorrupt)
+	}
+	m := int(binary.LittleEndian.Uint32(payload))
+	payload = payload[4:]
+	if m < 0 || m > MaxFrameBytes/8 {
+		return nil, fmt.Errorf("%w: step response span count %d", ErrCorrupt, m)
+	}
+	resp.Spans = make([]SpanSummary, 0, m)
+	for i := 0; i < m; i++ {
+		var s SpanSummary
+		var err error
+		s.Name, payload, err = readString(payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(payload) < 24 {
+			return nil, fmt.Errorf("%w: step response span record short", ErrCorrupt)
+		}
+		s.Shard = int32(binary.LittleEndian.Uint32(payload[0:]))
+		s.StartMicros = int64(binary.LittleEndian.Uint64(payload[4:]))
+		s.DurMicros = int64(binary.LittleEndian.Uint64(payload[12:]))
+		s.Walkers = int32(binary.LittleEndian.Uint32(payload[20:]))
+		payload = payload[24:]
+		resp.Spans = append(resp.Spans, s)
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("%w: step response has %d trailing bytes", ErrCorrupt, len(payload))
 	}
 	return resp, nil
 }

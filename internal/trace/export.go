@@ -26,13 +26,18 @@ type chromeDoc struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
-// ChromeEvents converts completed spans to trace_event entries. Lanes (tid)
-// group spans by worker: a span annotated with an integer "worker" attribute
-// lands in lane worker+1, everything else (request, run, ooc spans riding a
-// worker's context keep their worker lane via their own annotation) in lane
-// 0, so per-worker walk batches render side by side.
+// ChromeEvents converts completed spans to trace_event entries. Processes
+// (pid) group spans by origin: a span annotated with an integer "shard_id"
+// attribute lands in pid shard+2 (so shard 0 is pid 2), everything else —
+// the router's or a single process's own spans — in pid 1; a process_name
+// metadata event names each pid from the span's "instance" attribute.
+// Lanes (tid) group spans by worker: a span annotated with an integer
+// "worker" attribute lands in lane worker+1, everything else (request, run,
+// ooc spans riding a worker's context keep their worker lane via their own
+// annotation) in lane 0, so per-worker walk batches render side by side.
 func ChromeEvents(spans []SpanRecord) []ChromeEvent {
 	events := make([]ChromeEvent, 0, len(spans))
+	names := make(map[int]string)
 	for _, s := range spans {
 		ev := ChromeEvent{
 			Name:  s.Name,
@@ -42,13 +47,26 @@ func ChromeEvents(spans []SpanRecord) []ChromeEvent {
 			Dur:   s.DurMicros,
 			PID:   1,
 		}
+		instance := ""
 		if len(s.Attrs) > 0 || s.Error != "" {
 			ev.Args = make(map[string]any, len(s.Attrs)+2)
 			for _, a := range s.Attrs {
 				ev.Args[a.Key] = a.Value
-				if a.Key == "worker" {
+				switch a.Key {
+				case "worker":
 					if w, ok := a.Value.(int64); ok {
 						ev.TID = w + 1
+					}
+				case "shard_id":
+					switch v := a.Value.(type) {
+					case int64:
+						ev.PID = int(v) + 2
+					case float64: // decoded from JSON
+						ev.PID = int(v) + 2
+					}
+				case "instance":
+					if v, ok := a.Value.(string); ok {
+						instance = v
 					}
 				}
 			}
@@ -57,7 +75,18 @@ func ChromeEvents(spans []SpanRecord) []ChromeEvent {
 			}
 			ev.Args["trace_id"] = s.TraceID
 		}
+		if instance != "" && names[ev.PID] == "" {
+			names[ev.PID] = instance
+		}
 		events = append(events, ev)
+	}
+	for pid, name := range names {
+		events = append(events, ChromeEvent{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   pid,
+			Args:  map[string]any{"name": name},
+		})
 	}
 	return events
 }

@@ -111,7 +111,7 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 	if t == nil {
 		return ctx, nil
 	}
-	sp := t.startRoot(name, "")
+	sp := t.startRoot(name, "", false)
 	if sp == nil {
 		return ctx, nil
 	}
@@ -134,10 +134,22 @@ func StartSpan(ctx context.Context, name string) *Span {
 // the request ID, so /debug/tea/trace?id=<X-Request-ID> finds the trace.
 // Returns ctx unchanged and nil when the tracer records nothing.
 func (t *Tracer) StartRoot(ctx context.Context, name, traceID string) (context.Context, *Span) {
+	return t.startRootCtx(ctx, name, traceID, false)
+}
+
+// StartRootSampled is StartRoot with the head sampling decision forced to
+// yes — used when an upstream process already sampled this request (the
+// router's X-Trace-Sampled propagation), so every shard retains its part of
+// the trace regardless of local sample fractions.
+func (t *Tracer) StartRootSampled(ctx context.Context, name, traceID string) (context.Context, *Span) {
+	return t.startRootCtx(ctx, name, traceID, true)
+}
+
+func (t *Tracer) startRootCtx(ctx context.Context, name, traceID string, force bool) (context.Context, *Span) {
 	if t == nil {
 		return ctx, nil
 	}
-	sp := t.startRoot(name, traceID)
+	sp := t.startRoot(name, traceID, force)
 	if sp == nil {
 		return ctx, nil
 	}
@@ -147,11 +159,11 @@ func (t *Tracer) StartRoot(ctx context.Context, name, traceID string) (context.C
 
 // startRoot creates a root span, deciding sampling; nil when neither the
 // sampler nor the flight recorder wants it.
-func (t *Tracer) startRoot(name, traceID string) *Span {
+func (t *Tracer) startRoot(name, traceID string, force bool) *Span {
 	if t == nil {
 		return nil
 	}
-	sampled := t.sampleRoot()
+	sampled := force || t.sampleRoot()
 	if !sampled && len(t.ring) == 0 {
 		return nil
 	}
@@ -235,6 +247,13 @@ func (s *Span) End() {
 		return
 	}
 	end := time.Now()
+	attrs := s.attrs
+	if inst := s.tracer.cfg.Instance; inst != "" {
+		attrs = append(attrs, Attr{Key: "instance", Value: inst})
+		if s.tracer.cfg.Shard >= 0 {
+			attrs = append(attrs, Attr{Key: "shard_id", Value: int64(s.tracer.cfg.Shard)})
+		}
+	}
 	rec := SpanRecord{
 		TraceID:     s.traceID,
 		SpanID:      s.id,
@@ -242,7 +261,7 @@ func (s *Span) End() {
 		Name:        s.name,
 		StartMicros: s.start.UnixMicro(),
 		DurMicros:   end.Sub(s.start).Microseconds(),
-		Attrs:       s.attrs,
+		Attrs:       attrs,
 		Error:       s.err,
 	}
 	if s.sampled {

@@ -52,6 +52,13 @@ type Config struct {
 	// MaxSpansPerTrace bounds one trace's span count; spans beyond the bound
 	// are counted as dropped, not retained. 0 means 4096.
 	MaxSpansPerTrace int
+	// Instance names the process in every span this tracer records (e.g.
+	// "router", "shard-2"), so spans merged across processes stay
+	// attributable. Empty leaves spans unstamped.
+	Instance string
+	// Shard is the shard id stamped alongside Instance; negative means the
+	// process serves no shard (router, single-process server).
+	Shard int
 }
 
 const (
@@ -218,6 +225,36 @@ func (t *Tracer) Trace(id string) (spans []SpanRecord, dropped int, ok bool) {
 	}
 	sortSpans(spans)
 	return spans, dropped, true
+}
+
+// Inject adds externally produced span records — summaries shipped back by
+// shard processes — to the retained trace traceID, so one request's spans
+// from every process it touched assemble into one exportable trace. Span IDs
+// are remapped through this tracer's allocator (remote processes allocate
+// from their own sequences, so raw IDs would collide); parent links are
+// preserved when the parent arrived in the same batch and cleared otherwise,
+// making such spans roots that BuildTree attaches at the top level.
+func (t *Tracer) Inject(traceID string, recs []SpanRecord) {
+	if t == nil || traceID == "" || len(recs) == 0 {
+		return
+	}
+	idmap := make(map[uint64]uint64, len(recs))
+	for _, r := range recs {
+		if r.SpanID != 0 {
+			idmap[r.SpanID] = t.seq.Add(1)
+		}
+	}
+	for _, r := range recs {
+		r.TraceID = traceID
+		r.SpanID = idmap[r.SpanID]
+		if mapped, ok := idmap[r.ParentID]; ok && r.ParentID != 0 {
+			r.ParentID = mapped
+		} else {
+			r.ParentID = 0
+		}
+		t.keep(r)
+		t.recordSpan(r)
+	}
 }
 
 // TraceIDs lists the retained sampled traces, oldest first.
