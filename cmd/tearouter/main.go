@@ -13,6 +13,19 @@
 // the shards themselves were started with (same length = same partition
 // count); a mismatch is detected per-request and answered with 502.
 //
+// A -shards entry may name several "|"-separated replica URLs serving the
+// same partition:
+//
+//	tearouter -shards 'http://h0a:8080|http://h0b:8080,http://h1a:8080|http://h1b:8080'
+//
+// The router keeps a per-replica circuit breaker, prefers the healthiest /
+// fastest replica for every fanned request, and fails over to a sibling on a
+// transport error or 503 — a single replica outage never surfaces to
+// clients. Only a partition with every replica down answers 503 +
+// Retry-After. /healthz and /readyz report the per-partition replica table,
+// and the tea_router_replica_* metric family counts failovers and publishes
+// breaker states.
+//
 // Operational flags mirror teaserve:
 //
 //	-request-timeout   per-fanout deadline (0 disables; exceeded queries 504)
@@ -88,15 +101,24 @@ func main() {
 		os.Exit(2)
 	}
 	var addrs []string
-	for _, a := range strings.Split(*shards, ",") {
-		a = strings.TrimSpace(a)
-		if a == "" {
+	for _, entry := range strings.Split(*shards, ",") {
+		if strings.TrimSpace(entry) == "" {
 			continue
 		}
-		if !strings.Contains(a, "://") {
-			a = "http://" + a
+		// An entry may name several "|"-separated replica URLs serving the
+		// same partition; normalize each and keep them joined.
+		var replicas []string
+		for _, a := range strings.Split(entry, "|") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				continue
+			}
+			if !strings.Contains(a, "://") {
+				a = "http://" + a
+			}
+			replicas = append(replicas, strings.TrimRight(a, "/"))
 		}
-		addrs = append(addrs, strings.TrimRight(a, "/"))
+		addrs = append(addrs, strings.Join(replicas, "|"))
 	}
 
 	tracer := trace.New(trace.Config{

@@ -83,9 +83,34 @@
 //
 //	-shard-id        this process's shard id (enables shard mode)
 //	-shard-peers     RPC host:port of every shard, in shard-id order; the
-//	                 list length is the partition count
+//	                 comma count is the partition count. An entry may name
+//	                 several "|"-separated replica addresses serving the same
+//	                 partition: step batches prefer the healthiest replica
+//	                 (per-replica circuit breakers) and fail over mid-request
+//	                 — walkers carry their RNG state, so a sibling answers
+//	                 the re-sent frames byte-identically
+//	-shard-replica   which replica of its own partition this process is
+//	                 (index into the "|" list; default 0)
 //	-shard-rpc-addr  RPC listen address (default: own -shard-peers entry)
 //	-shard-kernel    local step kernel: scalar|batch
+//	-shard-hedge     hedged step-RPCs: off (default), auto (launch a
+//	                 duplicate on a sibling after the primary's observed
+//	                 p99), or a fixed duration; first answer wins
+//	-chaos           network fault injection on this process's RPC traffic
+//	                 (testing only), e.g. "drop:peer=h1:9000,after=3" —
+//	                 kinds: drop|delay|stall|reset|flip|partition
+//	-chaos-seed      seed for randomized -chaos faults
+//
+// A replicated cluster — 2 partitions × 2 replicas — looks like:
+//
+//	PEERS='h0a:9000|h0b:9000,h1a:9000|h1b:9000'
+//	teaserve -input g.teag -shard-id 0 -shard-replica 0 -shard-peers $PEERS ...
+//	teaserve -input g.teag -shard-id 0 -shard-replica 1 -shard-peers $PEERS ...
+//	teaserve -input g.teag -shard-id 1 -shard-replica 0 -shard-peers $PEERS ...
+//	teaserve -input g.teag -shard-id 1 -shard-replica 1 -shard-peers $PEERS ...
+//
+// GET /healthz in shard mode reports this process's local view of every peer
+// partition's replicas (breaker state, consecutive failures, latency EWMA).
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: the listener closes
 // immediately, in-flight requests get up to -drain to finish, and walk
@@ -126,6 +151,7 @@ import (
 	tea "github.com/tea-graph/tea"
 	"github.com/tea-graph/tea/internal/blockcache"
 	"github.com/tea-graph/tea/internal/core"
+	"github.com/tea-graph/tea/internal/netchaos"
 	"github.com/tea-graph/tea/internal/ooc"
 	"github.com/tea-graph/tea/internal/sampling"
 	"github.com/tea-graph/tea/internal/scrub"
@@ -173,10 +199,14 @@ func main() {
 		drain      = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
 		withPprof  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 
-		shardID     = flag.Int("shard-id", -1, "shard mode: this process's shard id (requires -shard-peers; see cmd/tearouter)")
-		shardPeers  = flag.String("shard-peers", "", "comma-separated RPC host:port of every shard in shard-id order; its length is the partition count")
-		shardRPC    = flag.String("shard-rpc-addr", "", "walker-migration RPC listen address (default: this shard's -shard-peers entry)")
-		shardKernel = flag.String("shard-kernel", "batch", "local step kernel in shard mode: scalar|batch")
+		shardID      = flag.Int("shard-id", -1, "shard mode: this process's shard id (requires -shard-peers; see cmd/tearouter)")
+		shardPeers   = flag.String("shard-peers", "", "comma-separated RPC host:port of every shard in shard-id order; '|' separates a partition's replicas; the comma count is the partition count")
+		shardReplica = flag.Int("shard-replica", 0, "which replica of its partition this process is (index into the '|' list of its -shard-peers entry)")
+		shardRPC     = flag.String("shard-rpc-addr", "", "walker-migration RPC listen address (default: this shard's -shard-peers entry)")
+		shardKernel  = flag.String("shard-kernel", "batch", "local step kernel in shard mode: scalar|batch")
+		shardHedge   = flag.String("shard-hedge", "off", "hedged step-RPCs against sibling replicas: off|auto|<duration> (auto = primary's observed p99)")
+		chaosSpec    = flag.String("chaos", "", "inject network faults on peer RPC conns, e.g. 'drop:peer=h1:9000,after=3;delay:dur=50ms' (testing only)")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for randomized -chaos faults (byte flips)")
 
 		oocMode        = flag.Bool("ooc", false, "serve out-of-core: PAT trunks on disk, trunk prefix sums in memory")
 		oocStorePath   = flag.String("ooc-store", "", "block store path for -ooc (default: temp file removed on exit)")
@@ -243,6 +273,11 @@ func main() {
 	instance := *instanceName
 	if instance == "" && *shardID >= 0 {
 		instance = fmt.Sprintf("shard-%d", *shardID)
+		if *shardReplica > 0 {
+			// Replicas of one partition stay distinguishable in federated
+			// series and assembled traces.
+			instance = fmt.Sprintf("shard-%d-r%d", *shardID, *shardReplica)
+		}
 	}
 	traceShard := -1
 	if *shardID >= 0 {
@@ -404,16 +439,20 @@ func main() {
 
 	if *shardID >= 0 {
 		runShard(g, app, scfg, shardOpts{
-			id:      *shardID,
-			peers:   *shardPeers,
-			rpcAddr: *shardRPC,
-			kernel:  *shardKernel,
-			addr:    *addr,
-			drain:   *drain,
-			pprof:   *withPprof,
-			tracer:  tracer,
-			logger:  logger,
-			fatal:   fatal,
+			id:        *shardID,
+			replica:   *shardReplica,
+			peers:     *shardPeers,
+			rpcAddr:   *shardRPC,
+			kernel:    *shardKernel,
+			hedge:     *shardHedge,
+			chaos:     *chaosSpec,
+			chaosSeed: *chaosSeed,
+			addr:      *addr,
+			drain:     *drain,
+			pprof:     *withPprof,
+			tracer:    tracer,
+			logger:    logger,
+			fatal:     fatal,
 		})
 		return
 	}
@@ -491,33 +530,69 @@ func main() {
 
 // shardOpts carries the shard-mode knobs from flag parsing to runShard.
 type shardOpts struct {
-	id      int
-	peers   string
-	rpcAddr string
-	kernel  string
-	addr    string
-	drain   time.Duration
-	pprof   bool
-	tracer  *trace.Tracer
-	logger  *slog.Logger
-	fatal   func(string, error)
+	id        int
+	replica   int
+	peers     string
+	rpcAddr   string
+	kernel    string
+	hedge     string
+	chaos     string
+	chaosSeed int64
+	addr      string
+	drain     time.Duration
+	pprof     bool
+	tracer    *trace.Tracer
+	logger    *slog.Logger
+	fatal     func(string, error)
+}
+
+// parseHedge maps the -shard-hedge flag onto a hedge config.
+func parseHedge(s string) (shard.HedgeConfig, error) {
+	switch s {
+	case "", "off":
+		return shard.HedgeConfig{}, nil
+	case "auto":
+		return shard.HedgeConfig{Enabled: true}, nil
+	default:
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			return shard.HedgeConfig{}, fmt.Errorf("-shard-hedge %q: want off, auto, or a positive duration", s)
+		}
+		return shard.HedgeConfig{Enabled: true, Delay: d}, nil
+	}
 }
 
 // runShard serves one shard of a partitioned cluster: a binary-RPC listener
 // answers peer step batches (walker migration) while the HTTP server answers
 // /walk for the walks whose source vertex this shard owns. Every shard
 // process loads the same graph file; the consistent-hash partitioner makes
-// them agree on vertex ownership with no coordination. Front the cluster
-// with cmd/tearouter to get the single-process response shape back.
+// them agree on vertex ownership with no coordination. A partition may be
+// served by several interchangeable replicas ('|' in its -shard-peers
+// entry): step batches fail over between a peer partition's replicas, and
+// -shard-hedge duplicates slow step-RPCs against a sibling. Front the
+// cluster with cmd/tearouter to get the single-process response shape back.
 func runShard(g *tea.Graph, app tea.App, scfg server.Config, o shardOpts) {
-	var peers []string
-	for _, p := range strings.Split(o.peers, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			peers = append(peers, p)
+	var parts [][]string // [partition][replica]
+	for _, entry := range strings.Split(o.peers, ",") {
+		if entry = strings.TrimSpace(entry); entry == "" {
+			continue
 		}
+		var replicas []string
+		for _, a := range strings.Split(entry, "|") {
+			if a = strings.TrimSpace(a); a != "" {
+				replicas = append(replicas, a)
+			}
+		}
+		if len(replicas) == 0 {
+			o.fatal("flags", fmt.Errorf("-shard-peers entry %q names no replica", entry))
+		}
+		parts = append(parts, replicas)
 	}
-	if o.id >= len(peers) {
-		o.fatal("flags", fmt.Errorf("-shard-id %d outside the %d-entry -shard-peers list", o.id, len(peers)))
+	if o.id >= len(parts) {
+		o.fatal("flags", fmt.Errorf("-shard-id %d outside the %d-entry -shard-peers list", o.id, len(parts)))
+	}
+	if o.replica < 0 || o.replica >= len(parts[o.id]) {
+		o.fatal("flags", fmt.Errorf("-shard-replica %d outside this partition's %d-replica list", o.replica, len(parts[o.id])))
 	}
 	var kern core.Kernel
 	switch o.kernel {
@@ -528,11 +603,15 @@ func runShard(g *tea.Graph, app tea.App, scfg server.Config, o shardOpts) {
 	default:
 		o.fatal("flags", fmt.Errorf("unknown -shard-kernel %q (want scalar or batch)", o.kernel))
 	}
+	hedge, err := parseHedge(o.hedge)
+	if err != nil {
+		o.fatal("flags", err)
+	}
 
 	start := time.Now()
 	node, err := shard.NewNode(g, app.Weight, shard.Config{
 		ShardID:    o.id,
-		Partitions: len(peers),
+		Partitions: len(parts),
 		Kernel:     kern,
 		Tracer:     o.tracer,
 	})
@@ -541,26 +620,44 @@ func runShard(g *tea.Graph, app tea.App, scfg server.Config, o shardOpts) {
 	}
 	rpcAddr := o.rpcAddr
 	if rpcAddr == "" {
-		rpcAddr = peers[o.id]
+		rpcAddr = parts[o.id][o.replica]
 	}
 	ln, err := net.Listen("tcp", rpcAddr)
 	if err != nil {
 		o.fatal("shard rpc listen failed", err)
 	}
+	clientCfg := wire.ClientConfig{}
+	if o.chaos != "" {
+		// Fault injection for chaos drills: the plan wraps both directions of
+		// this process's RPC traffic — outbound peer dials and inbound
+		// migration conns — exactly like FaultFS wraps the WAL's filesystem.
+		plan, err := netchaos.Parse(o.chaos, o.chaosSeed)
+		if err != nil {
+			o.fatal("flags", err)
+		}
+		clientCfg.Dialer = plan.Dial
+		ln = plan.Listener(ln)
+		o.logger.Warn("network chaos enabled", "spec", o.chaos, "seed", o.chaosSeed)
+	}
 	wireSrv := wire.NewServer(ln, node, o.logger)
-	peerAddrs := make(map[int]string, len(peers)-1)
-	for pid, a := range peers {
+	peerAddrs := make(map[int][]string, len(parts)-1)
+	for pid, replicas := range parts {
 		if pid != o.id {
-			peerAddrs[pid] = a
+			peerAddrs[pid] = replicas
 		}
 	}
-	callers := shard.NewPeers(peerAddrs, wire.ClientConfig{})
+	callers := shard.NewReplicaPeers(peerAddrs, shard.ReplicaPeersConfig{
+		Client: clientCfg,
+		Hedge:  hedge,
+	})
 
 	o.logger.Info("shard ready",
 		"shard", o.id,
-		"partitions", len(peers),
+		"replica", o.replica,
+		"partitions", len(parts),
 		"application", app.Name,
 		"rpc_addr", ln.Addr().String(),
+		"hedge", o.hedge,
 		"owned_edges", node.OwnedEdges(),
 		"index_bytes", node.MemoryBytes(),
 		"elapsed", time.Since(start).Round(time.Millisecond))

@@ -1,15 +1,23 @@
 // Router: the stateless front of a shard cluster. It holds no graph and no
 // index — only the shard base URLs — so any number of router replicas can
-// front the same cluster. GET /walk fans the query to every shard with the
-// request's X-Request-ID attached, collects each shard's partial response
-// (the walks whose source vertex that shard owns, keyed by global walk id),
-// and merges them by walk id into exactly the single-process walkResponse
-// shape: a client cannot tell a routed cluster from one teaserve process.
+// front the same cluster. GET /walk fans the query to every partition with
+// the request's X-Request-ID attached, collects each partition's partial
+// response (the walks whose source vertex that partition owns, keyed by
+// global walk id), and merges them by walk id into exactly the
+// single-process walkResponse shape: a client cannot tell a routed cluster
+// from one teaserve process.
 //
-// Failure semantics: any unreachable or 503-answering shard makes the whole
-// /walk a 503 + Retry-After (partial walk lists would silently change query
-// semantics); other shard errors (400, 500) propagate with their status. The
-// readiness of the cluster is the conjunction of every shard's /readyz.
+// Each configured shard entry may name several "|"-separated replica URLs
+// (router_replica.go): the router prefers the healthiest replica per
+// partition and fails over to a sibling on a transport error or 503, so a
+// single replica outage never surfaces to clients.
+//
+// Failure semantics: a partition whose every replica is unreachable or
+// shedding makes the whole /walk a 503 + Retry-After (partial walk lists
+// would silently change query semantics); other shard errors (400, 500)
+// propagate with their status — a deliberate refusal is identical on every
+// replica of the partition, so it is never failed over. The readiness of
+// the cluster is the conjunction of every partition's /readyz.
 package server
 
 import (
@@ -25,6 +33,7 @@ import (
 
 	"github.com/tea-graph/tea/internal/metrics"
 	"github.com/tea-graph/tea/internal/reqcost"
+	"github.com/tea-graph/tea/internal/shard"
 	"github.com/tea-graph/tea/internal/temporal"
 	"github.com/tea-graph/tea/internal/trace"
 )
@@ -36,9 +45,13 @@ const maxShardBody = 64 << 20
 
 // RouterConfig parameterizes a stateless shard router.
 type RouterConfig struct {
-	// Shards lists the shard base URLs in shard-id order; Shards[i] must be
-	// the HTTP address of the process serving shard i.
+	// Shards lists the shard base URLs in shard-id order; Shards[i] names the
+	// HTTP address(es) of the processes serving shard i. An entry may hold
+	// several "|"-separated replica URLs; the router load-balances toward the
+	// healthiest and fails over between them.
 	Shards []string
+	// Breaker tunes the per-replica circuit breakers (zero value → defaults).
+	Breaker shard.BreakerConfig
 	// RequestTimeout bounds one fan-out; 0 disables.
 	RequestTimeout time.Duration
 	// MaxInFlight caps concurrently executing fan-outs; 0 unlimited.
@@ -59,7 +72,7 @@ type RouterConfig struct {
 // Router fans queries over a shard cluster and merges the partial answers.
 type Router struct {
 	base   *Server // instrumentation + ops endpoints; its own mux is never served
-	shards []string
+	groups []*routerGroup
 	client *http.Client
 	mux    *http.ServeMux
 
@@ -71,6 +84,10 @@ type Router struct {
 func NewRouter(cfg RouterConfig) (*Router, error) {
 	if len(cfg.Shards) == 0 {
 		return nil, fmt.Errorf("router: need at least one shard address")
+	}
+	replicaURLs, err := parseReplicaShards(cfg.Shards)
+	if err != nil {
+		return nil, err
 	}
 	base := NewWithConfig(nil, Config{
 		RequestTimeout:       cfg.RequestTimeout,
@@ -86,7 +103,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	})
 	rt := &Router{
 		base:   base,
-		shards: append([]string(nil), cfg.Shards...),
+		groups: newRouterGroups(replicaURLs, base.metrics, cfg.Breaker),
 		client: &http.Client{Transport: &http.Transport{
 			MaxIdleConnsPerHost: 16,
 			IdleConnTimeout:     90 * time.Second,
@@ -121,69 +138,125 @@ type shardReply struct {
 	err        error // transport-level failure; status is meaningless
 }
 
-// fan issues GET path?query to every shard concurrently, propagating the
-// request's X-Request-ID, and returns the replies indexed by shard id.
+// fan issues GET path?query to every partition concurrently, propagating the
+// request's X-Request-ID, and returns the replies indexed by shard id. Each
+// partition's reply comes from its healthiest answering replica.
 func (rt *Router) fan(ctx context.Context, path, rawQuery string) []shardReply {
 	rt.fanouts.Inc()
-	replies := make([]shardReply, len(rt.shards))
+	replies := make([]shardReply, len(rt.groups))
 	var wg sync.WaitGroup
-	for i := range rt.shards {
+	for i, g := range rt.groups {
 		wg.Add(1)
-		go func(i int) {
+		go func(i int, g *routerGroup) {
 			defer wg.Done()
-			hopCtx, sp := trace.Start(ctx, "router.fanout")
-			if sp != nil {
-				sp.SetInt("shard", int64(i))
-				sp.SetStr("path", path)
-				defer sp.End()
-			}
-			url := rt.shards[i] + path
-			if rawQuery != "" {
-				url += "?" + rawQuery
-			}
-			req, err := http.NewRequestWithContext(hopCtx, http.MethodGet, url, nil)
-			if err != nil {
-				replies[i] = shardReply{err: err}
-				return
-			}
-			if id := trace.RequestID(ctx); id != "" {
-				req.Header.Set("X-Request-ID", id)
-			}
-			if trace.SpanFromContext(hopCtx).Sampled() {
-				// Tell the shard this request's trace is retained upstream,
-				// so it collects its part regardless of its own sampling.
-				req.Header.Set("X-Trace-Sampled", "1")
-			}
-			resp, err := rt.client.Do(req)
-			if err != nil {
-				if sp != nil {
-					sp.SetError(err)
-				}
-				replies[i] = shardReply{err: err}
-				return
-			}
-			body, err := io.ReadAll(io.LimitReader(resp.Body, maxShardBody+1))
-			resp.Body.Close()
-			if err != nil {
-				replies[i] = shardReply{err: err}
-				return
-			}
-			if len(body) > maxShardBody {
-				replies[i] = shardReply{err: fmt.Errorf("response exceeds %d bytes", maxShardBody)}
-				return
-			}
-			if sp != nil {
-				sp.SetInt("status", int64(resp.StatusCode))
-			}
-			replies[i] = shardReply{
-				status:     resp.StatusCode,
-				retryAfter: resp.Header.Get("Retry-After"),
-				body:       body,
-			}
-		}(i)
+			replies[i] = rt.fanPartition(ctx, g, path, rawQuery)
+		}(i, g)
 	}
 	wg.Wait()
 	return replies
+}
+
+// fanPartition tries a partition's replicas in health-preference order and
+// returns the first reply that isn't a transport failure or a 503. Those two
+// are exactly the retryable-elsewhere outcomes — a 400/500 is the partition's
+// deliberate answer and would be identical from every sibling. Replica
+// outcomes feed the breakers unless the request's own context was cancelled
+// (an abandoned request says nothing about replica health).
+func (rt *Router) fanPartition(ctx context.Context, g *routerGroup, path, rawQuery string) shardReply {
+	order := g.ordered()
+	var last shardReply
+	for i, rep := range order {
+		if i > 0 {
+			g.failovers.Inc()
+			rt.traceFailover(ctx, g.partition, order[i-1].url, rep.url)
+		}
+		// Register half-open probe intent; ordering already demotes open
+		// replicas, and even a hard-open one is attempted as a last resort.
+		rep.breaker.Allow()
+		start := time.Now()
+		reply := rt.doShardRequest(ctx, g.partition, rep.url, path, rawQuery)
+		var outcome error
+		if reply.err != nil {
+			outcome = reply.err
+		} else if reply.status == http.StatusServiceUnavailable {
+			outcome = fmt.Errorf("replica shedding (503)")
+		}
+		if outcome == nil || ctx.Err() == nil {
+			rep.breaker.Report(time.Since(start), outcome)
+			rep.publishState()
+		}
+		if outcome == nil {
+			return reply
+		}
+		last = reply
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return last
+}
+
+// doShardRequest performs one GET against one replica of one partition.
+func (rt *Router) doShardRequest(ctx context.Context, partition int, baseURL, path, rawQuery string) shardReply {
+	hopCtx, sp := trace.Start(ctx, "router.fanout")
+	if sp != nil {
+		sp.SetInt("shard", int64(partition))
+		sp.SetStr("replica", baseURL)
+		sp.SetStr("path", path)
+		defer sp.End()
+	}
+	url := baseURL + path
+	if rawQuery != "" {
+		url += "?" + rawQuery
+	}
+	req, err := http.NewRequestWithContext(hopCtx, http.MethodGet, url, nil)
+	if err != nil {
+		return shardReply{err: err}
+	}
+	if id := trace.RequestID(ctx); id != "" {
+		req.Header.Set("X-Request-ID", id)
+	}
+	if trace.SpanFromContext(hopCtx).Sampled() {
+		// Tell the shard this request's trace is retained upstream,
+		// so it collects its part regardless of its own sampling.
+		req.Header.Set("X-Trace-Sampled", "1")
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		if sp != nil {
+			sp.SetError(err)
+		}
+		return shardReply{err: err}
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxShardBody+1))
+	resp.Body.Close()
+	if err != nil {
+		return shardReply{err: err}
+	}
+	if len(body) > maxShardBody {
+		return shardReply{err: fmt.Errorf("response exceeds %d bytes", maxShardBody)}
+	}
+	if sp != nil {
+		sp.SetInt("status", int64(resp.StatusCode))
+	}
+	return shardReply{
+		status:     resp.StatusCode,
+		retryAfter: resp.Header.Get("Retry-After"),
+		body:       body,
+	}
+}
+
+// traceFailover records a replica failover as an instantaneous span on the
+// request's timeline.
+func (rt *Router) traceFailover(ctx context.Context, partition int, from, to string) {
+	_, sp := trace.Start(ctx, "router.failover")
+	if sp == nil {
+		return
+	}
+	sp.SetInt("shard", int64(partition))
+	sp.SetStr("from", from)
+	sp.SetStr("to", to)
+	sp.End()
 }
 
 // shardErrMsg extracts the {"error": "..."} body of a shard error response,
@@ -265,9 +338,9 @@ func (rt *Router) handleWalk(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadGateway, fmt.Errorf("shard %d: malformed response: %v", i, err))
 			return
 		}
-		if sr.Partitions != len(rt.shards) {
+		if sr.Partitions != len(rt.groups) {
 			writeErr(w, http.StatusBadGateway,
-				fmt.Errorf("shard %d built for %d partitions, router has %d shards", i, sr.Partitions, len(rt.shards)))
+				fmt.Errorf("shard %d built for %d partitions, router has %d shards", i, sr.Partitions, len(rt.groups)))
 			return
 		}
 		if len(sr.WalkIDs) != len(sr.Walks) {
@@ -335,7 +408,7 @@ func (rt *Router) handleWalk(w http.ResponseWriter, r *http.Request) {
 		"edges_evaluated": strconv.FormatInt(edges, 10),
 		"migrations":      strconv.FormatInt(migrations, 10),
 		"frames":          strconv.FormatInt(frames, 10),
-		"shards":          strconv.Itoa(len(rt.shards)),
+		"shards":          strconv.Itoa(len(rt.groups)),
 	}}
 	if steps > 0 {
 		out.Cost["edges_per_step"] = fmt.Sprintf("%.2f", float64(edges)/float64(steps))
@@ -391,7 +464,9 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", retryAfterSecs(rt.base.cfg.RetryAfter))
 	}
-	writeJSON(w, status, map[string]any{"status": overall, "shards": shards})
+	writeJSON(w, status, map[string]any{
+		"status": overall, "shards": shards, "replicas": rt.replicaTopology(),
+	})
 }
 
 // scrapeShards pulls and parses every shard's /metrics.json snapshot. Any
@@ -452,8 +527,11 @@ func (rt *Router) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, fed)
 }
 
-// handleReady is cluster readiness: 200 only when every shard's /readyz is
-// 200, else 503 + Retry-After naming the shards that aren't there yet.
+// handleReady is cluster readiness: 200 only when every partition has at
+// least one replica whose /readyz is 200 (fan fails over between replicas),
+// else 503 + Retry-After naming the partitions that aren't there yet. The
+// per-replica breaker table rides along so an operator can see which
+// replicas a "ready" verdict is actually standing on.
 func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
 	replies := rt.fan(r.Context(), "/readyz", "")
 	var notReady []int
@@ -465,11 +543,14 @@ func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
 	if len(notReady) > 0 {
 		w.Header().Set("Retry-After", retryAfterSecs(rt.base.cfg.RetryAfter))
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status": "waiting", "shards": len(rt.shards), "not_ready": notReady,
+			"status": "waiting", "shards": len(rt.groups), "not_ready": notReady,
+			"replicas": rt.replicaTopology(),
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "shards": len(rt.shards)})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ready", "shards": len(rt.groups), "replicas": rt.replicaTopology(),
+	})
 }
 
 // handleStats aggregates every shard's /stats under one response.
@@ -487,5 +568,5 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		shards[i] = json.RawMessage(rep.body)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"partitions": len(rt.shards), "shards": shards})
+	writeJSON(w, http.StatusOK, map[string]any{"partitions": len(rt.groups), "shards": shards})
 }

@@ -48,7 +48,7 @@ type ShardServer struct {
 func NewShard(node *shard.Node, caller shard.StepCaller, cfg Config) *ShardServer {
 	base := NewWithConfig(nil, cfg)
 	ss := &ShardServer{base: base, node: node, caller: caller, mux: http.NewServeMux()}
-	ss.mux.HandleFunc("GET /healthz", base.instrument("healthz", base.handleHealth))
+	ss.mux.HandleFunc("GET /healthz", base.instrument("healthz", ss.handleHealth))
 	ss.mux.HandleFunc("GET /readyz", base.instrument("readyz", base.handleReady))
 	ss.mux.HandleFunc("GET /stats", base.instrument("stats", ss.handleStats))
 	ss.mux.HandleFunc("GET /walk", base.instrument("walk", base.limited(ss.handleWalk)))
@@ -64,6 +64,33 @@ func NewShard(node *shard.Node, caller shard.StepCaller, cfg Config) *ShardServe
 
 // Handler returns the routable HTTP handler.
 func (ss *ShardServer) Handler() http.Handler { return ss.mux }
+
+// peerSnapshotter is implemented by step callers that keep a health-aware
+// replica table (shard.Peers, shard.ReplicaPeers).
+type peerSnapshotter interface {
+	Snapshot() map[int][]shard.ReplicaStatus
+}
+
+// handleHealth is the single-process /healthz plus, when the step caller
+// keeps one, this shard's local view of every peer partition's replicas:
+// breaker state, consecutive failures, latency EWMA, open connections. The
+// view is per-process by design — each shard's breakers see their own
+// traffic — so comparing /healthz across shards localizes asymmetric
+// network trouble.
+func (ss *ShardServer) handleHealth(w http.ResponseWriter, r *http.Request) {
+	ps, ok := ss.caller.(peerSnapshotter)
+	if !ok {
+		ss.base.handleHealth(w, r)
+		return
+	}
+	peers := map[string][]shard.ReplicaStatus{}
+	for id, sts := range ps.Snapshot() {
+		peers[strconv.Itoa(id)] = sts
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok", "shard": ss.node.ShardID(), "peers": peers,
+	})
+}
 
 // shardWalkResponse is one shard's partial answer to a /walk: the walks whose
 // global walk ids this shard coordinated, parallel to WalkIDs. The router

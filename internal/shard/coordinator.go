@@ -204,6 +204,10 @@ func (n *Node) RunWalks(ctx context.Context, caller StepCaller, req WalkRequest)
 		}
 		results = results[:len(frontier)]
 
+		// Remote hops of one round share a cancellable context: the first peer
+		// failure aborts the round, so sibling step-RPCs unwind immediately
+		// instead of leaking goroutines and conns until their own deadlines.
+		roundCtx, cancelRound := context.WithCancel(ctx)
 		var (
 			wg     sync.WaitGroup
 			failMu sync.Mutex
@@ -234,7 +238,7 @@ func (n *Node) RunWalks(ctx context.Context, caller StepCaller, req WalkRequest)
 			wg.Add(1)
 			go func(p int, idxs []int, sreq *wire.StepRequest) {
 				defer wg.Done()
-				hopCtx, hop := trace.Start(ctx, "shard.hop")
+				hopCtx, hop := trace.Start(roundCtx, "shard.hop")
 				if hop != nil {
 					hop.SetInt("peer", int64(p))
 					hop.SetInt("walkers", int64(len(idxs)))
@@ -251,6 +255,7 @@ func (n *Node) RunWalks(ctx context.Context, caller StepCaller, req WalkRequest)
 						runErr = err
 					}
 					failMu.Unlock()
+					cancelRound()
 					return
 				}
 				if len(sresp.Results) != len(idxs) {
@@ -260,6 +265,7 @@ func (n *Node) RunWalks(ctx context.Context, caller StepCaller, req WalkRequest)
 							Err: fmt.Errorf("answered %d results for %d walkers", len(sresp.Results), len(idxs))}
 					}
 					failMu.Unlock()
+					cancelRound()
 					return
 				}
 				if req.CollectSpans {
@@ -295,6 +301,7 @@ func (n *Node) RunWalks(ctx context.Context, caller StepCaller, req WalkRequest)
 			}
 		}
 		wg.Wait()
+		cancelRound()
 		if runErr != nil {
 			break
 		}
@@ -394,43 +401,40 @@ func (p *InProcess) Step(ctx context.Context, shardID int, req *wire.StepRequest
 	return p.Nodes[shardID].HandleStep(ctx, req)
 }
 
-// Peers is a StepCaller over wire clients, one per remote shard.
+// Peers is a StepCaller over wire clients, one per remote shard. It is the
+// single-replica view of ReplicaPeers — the same health-aware table with
+// groups of one — kept as the simple constructor for tests and deployments
+// without replication.
 type Peers struct {
-	clients map[int]*wire.Client
+	rp *ReplicaPeers
 }
 
 // NewPeers builds pooled clients for every peer address. addrs maps shard id
 // to host:port; the local shard must not appear in it.
 func NewPeers(addrs map[int]string, cfg wire.ClientConfig) *Peers {
-	p := &Peers{clients: make(map[int]*wire.Client, len(addrs))}
+	groups := make(map[int][]string, len(addrs))
 	for id, addr := range addrs {
-		p.clients[id] = wire.NewClient(addr, cfg)
+		groups[id] = []string{addr}
 	}
-	return p
+	return &Peers{rp: NewReplicaPeers(groups, ReplicaPeersConfig{Client: cfg, Metrics: cfg.Metrics})}
 }
 
 // Step implements StepCaller.
 func (p *Peers) Step(ctx context.Context, shardID int, req *wire.StepRequest) (*wire.StepResponse, error) {
-	c, ok := p.clients[shardID]
-	if !ok {
-		return nil, fmt.Errorf("shard: no peer address for shard %d", shardID)
-	}
-	return c.Step(ctx, req)
+	return p.rp.Step(ctx, shardID, req)
 }
 
 // Ping probes every peer once; the first failure is returned.
 func (p *Peers) Ping(ctx context.Context) error {
-	for _, c := range p.clients {
-		if err := c.Ping(ctx); err != nil {
-			return err
-		}
-	}
-	return nil
+	return p.rp.Ping(ctx)
+}
+
+// Snapshot exposes the underlying replica health table (groups of one).
+func (p *Peers) Snapshot() map[int][]ReplicaStatus {
+	return p.rp.Snapshot()
 }
 
 // Close releases every pooled connection.
 func (p *Peers) Close() {
-	for _, c := range p.clients {
-		c.Close()
-	}
+	p.rp.Close()
 }

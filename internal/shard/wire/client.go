@@ -33,18 +33,33 @@ type RemoteError struct {
 
 func (e *RemoteError) Error() string { return fmt.Sprintf("shard peer %s refused: %s", e.Addr, e.Msg) }
 
+// aLongTimeAgo is a deadline that is guaranteed to have passed; setting it on
+// a connection interrupts any blocked Read/Write (the net.http idiom for
+// cancelling in-flight I/O from another goroutine).
+var aLongTimeAgo = time.Unix(1, 0)
+
+// DialFunc dials one connection to a peer. Fault-injection harnesses
+// (internal/netchaos) hook the client here.
+type DialFunc func(ctx context.Context, network, addr string) (net.Conn, error)
+
 // ClientConfig tunes a peer client. The zero value is usable.
 type ClientConfig struct {
 	// DialTimeout bounds one connection attempt. Default 2s.
 	DialTimeout time.Duration
 	// MaxIdleConns caps pooled idle connections per peer. Default 4.
 	MaxIdleConns int
+	// MaxIdleAge caps how long a pooled connection may sit idle before it is
+	// reaped at the next checkout instead of reused. Default 60s.
+	MaxIdleAge time.Duration
 	// Retries is the number of re-attempts after the first failed try on
 	// transient (connection-level) errors. Default 2.
 	Retries int
 	// RetryBackoff is the sleep before the first retry; it doubles each
 	// attempt. Default 25ms.
 	RetryBackoff time.Duration
+	// Dialer replaces the default net.Dialer when non-nil. DialTimeout still
+	// bounds the attempt via the context passed in.
+	Dialer DialFunc
 	// Metrics receives tea_shard_* client counters; nil means metrics.Default.
 	Metrics *metrics.Registry
 }
@@ -55,6 +70,9 @@ func (c ClientConfig) normalized() ClientConfig {
 	}
 	if c.MaxIdleConns <= 0 {
 		c.MaxIdleConns = 4
+	}
+	if c.MaxIdleAge <= 0 {
+		c.MaxIdleAge = 60 * time.Second
 	}
 	if c.Retries < 0 {
 		c.Retries = 0
@@ -76,8 +94,26 @@ func (c ClientConfig) normalized() ClientConfig {
 // regardless of how many Step calls run concurrently.
 type pconn struct {
 	net.Conn
-	rbuf []byte // ReadFrameBuf scratch
-	wbuf []byte // BeginFrame/SealFrame scratch
+	rbuf      []byte    // ReadFrameBuf scratch
+	wbuf      []byte    // BeginFrame/SealFrame scratch
+	idleSince time.Time // when the conn was last checked in
+	owner     *Client
+	closeOnce sync.Once
+}
+
+// Close closes the underlying connection exactly once and keeps the owner's
+// open-connection accounting honest no matter how many error paths call it.
+func (p *pconn) Close() error {
+	err := net.ErrClosed
+	p.closeOnce.Do(func() {
+		p.owner.mu.Lock()
+		p.owner.open--
+		open := p.owner.open
+		p.owner.mu.Unlock()
+		p.owner.openConns.Set(float64(open))
+		err = p.Conn.Close()
+	})
+	return err
 }
 
 // Client is a connection-pooled wire client for one peer shard. A connection
@@ -90,13 +126,17 @@ type Client struct {
 
 	mu     sync.Mutex
 	idle   []*pconn
+	open   int // dialed and not yet closed (idle + in-flight)
 	closed bool
 
 	retries   *metrics.Counter
 	errs      *metrics.Counter
 	sentBytes *metrics.Counter
 	recvBytes *metrics.Counter
+	reaped    *metrics.Counter
+	stale     *metrics.Counter
 	hopSecs   *metrics.Histogram
+	openConns *metrics.Gauge
 }
 
 // NewClient builds a client for the peer at addr (host:port).
@@ -109,18 +149,36 @@ func NewClient(addr string, cfg ClientConfig) *Client {
 		errs:      cfg.Metrics.Counter(fmt.Sprintf(`tea_shard_peer_errors_total{peer=%q}`, addr)),
 		sentBytes: cfg.Metrics.Counter(fmt.Sprintf(`tea_shard_bytes_sent_total{peer=%q}`, addr)),
 		recvBytes: cfg.Metrics.Counter(fmt.Sprintf(`tea_shard_bytes_recv_total{peer=%q}`, addr)),
+		reaped:    cfg.Metrics.Counter(fmt.Sprintf(`tea_shard_conns_reaped_total{peer=%q}`, addr)),
+		stale:     cfg.Metrics.Counter(fmt.Sprintf(`tea_shard_conns_stale_total{peer=%q}`, addr)),
 		hopSecs:   cfg.Metrics.Histogram(fmt.Sprintf(`tea_shard_hop_seconds{peer=%q}`, addr)),
+		openConns: cfg.Metrics.Gauge(fmt.Sprintf(`tea_shard_peer_open_conns{peer=%q}`, addr)),
 	}
 }
 
 // Addr returns the peer address this client dials.
 func (c *Client) Addr() string { return c.addr }
 
+// OpenConns reports connections dialed and not yet closed (idle + in-flight).
+func (c *Client) OpenConns() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.open
+}
+
+// IdleConns reports connections currently parked in the pool.
+func (c *Client) IdleConns() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.idle)
+}
+
 // Step sends one batched step request and waits for the response. Transient
 // connection errors (dial failure, broken stream) are retried with
 // exponential backoff up to cfg.Retries times; a TypeError answer is
 // returned as *RemoteError without retrying. The context deadline bounds the
-// whole exchange including retries.
+// whole exchange including retries, and cancelling the context interrupts an
+// in-flight exchange rather than waiting out the connection deadline.
 func (c *Client) Step(ctx context.Context, req *StepRequest) (*StepResponse, error) {
 	backoff := c.cfg.RetryBackoff
 	var lastErr error
@@ -158,56 +216,64 @@ func (c *Client) Ping(ctx context.Context) error {
 	if err != nil {
 		return &PeerError{Addr: c.addr, Err: err}
 	}
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(aLongTimeAgo) })
 	if err := c.applyDeadline(ctx, conn); err != nil {
+		stop()
 		conn.Close()
 		return &PeerError{Addr: c.addr, Err: err}
 	}
 	if err := WriteFrame(conn, TypePing, nil); err != nil {
+		stop()
 		conn.Close()
 		return &PeerError{Addr: c.addr, Err: err}
 	}
 	typ, _, err := ReadFrame(conn)
 	if err != nil || typ != TypePong {
+		stop()
 		conn.Close()
 		if err == nil {
 			err = fmt.Errorf("unexpected frame type %d to ping", typ)
 		}
 		return &PeerError{Addr: c.addr, Err: err}
 	}
-	c.checkin(conn)
+	c.release(conn, stop)
 	return nil
 }
 
 // exchange performs one try: checkout, encode into the connection's write
-// buffer, write, read into its read buffer, checkin.
+// buffer, write, read into its read buffer, checkin. An AfterFunc poisons
+// the connection deadline if ctx is cancelled mid-flight so blocked I/O
+// returns immediately instead of holding a goroutine and a socket.
 func (c *Client) exchange(ctx context.Context, req *StepRequest) (*StepResponse, error) {
 	conn, err := c.checkout(ctx)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.applyDeadline(ctx, conn); err != nil {
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(aLongTimeAgo) })
+	fail := func(err error) error {
+		stop()
 		conn.Close()
-		return nil, err
+		return err
+	}
+	if err := c.applyDeadline(ctx, conn); err != nil {
+		return nil, fail(err)
 	}
 	frame := BeginFrame(conn.wbuf[:0], TypeStep)
 	frame = AppendStepRequest(frame, req)
 	frame, err = SealFrame(frame)
 	if err != nil {
-		conn.Close()
-		return nil, err
+		return nil, fail(err)
 	}
 	conn.wbuf = frame
 	start := time.Now()
 	if _, err := conn.Write(frame); err != nil {
-		conn.Close()
-		return nil, err
+		return nil, fail(err)
 	}
 	c.sentBytes.Add(int64(len(frame)))
 	typ, body, rbuf, err := ReadFrameBuf(conn, conn.rbuf)
 	conn.rbuf = rbuf
 	if err != nil {
-		conn.Close()
-		return nil, err
+		return nil, fail(err)
 	}
 	c.recvBytes.Add(int64(FrameSize(len(body))))
 	c.hopSecs.ObserveSince(start)
@@ -215,19 +281,28 @@ func (c *Client) exchange(ctx context.Context, req *StepRequest) (*StepResponse,
 	case TypeStepResp:
 		resp, err := DecodeStepResponse(body)
 		if err != nil {
-			conn.Close()
-			return nil, err
+			return nil, fail(err)
 		}
-		c.checkin(conn)
+		c.release(conn, stop)
 		return resp, nil
 	case TypeError:
 		// The connection is still framed correctly; keep it.
-		c.checkin(conn)
+		c.release(conn, stop)
 		return nil, &RemoteError{Addr: c.addr, Msg: string(body)}
 	default:
-		conn.Close()
-		return nil, fmt.Errorf("unexpected frame type %d", typ)
+		return nil, fail(fmt.Errorf("unexpected frame type %d", typ))
 	}
+}
+
+// release disarms the cancellation AfterFunc and returns the connection to
+// the pool. If the AfterFunc already started — the context raced the end of
+// the exchange — the deadline may be poisoned, so the conn is not reusable.
+func (c *Client) release(conn *pconn, stop func() bool) {
+	if !stop() {
+		conn.Close()
+		return
+	}
+	c.checkin(conn)
 }
 
 func (c *Client) applyDeadline(ctx context.Context, conn net.Conn) error {
@@ -237,29 +312,70 @@ func (c *Client) applyDeadline(ctx context.Context, conn net.Conn) error {
 	return conn.SetDeadline(time.Time{})
 }
 
+// checkout pops the most recently used idle connection, reaping any that
+// outlived MaxIdleAge or fail a liveness poke (a peer restart leaves behind
+// conns that look open but are dead — detect them here, not mid-request).
 func (c *Client) checkout(ctx context.Context) (*pconn, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, errors.New("client closed")
-	}
-	if n := len(c.idle); n > 0 {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, errors.New("client closed")
+		}
+		n := len(c.idle)
+		if n == 0 {
+			c.mu.Unlock()
+			break
+		}
 		conn := c.idle[n-1]
 		c.idle = c.idle[:n-1]
+		expired := time.Since(conn.idleSince) > c.cfg.MaxIdleAge
 		c.mu.Unlock()
+		if expired {
+			c.reaped.Inc()
+			conn.Close()
+			continue
+		}
+		if !c.alive(conn) {
+			c.stale.Inc()
+			conn.Close()
+			continue
+		}
 		return conn, nil
 	}
-	c.mu.Unlock()
-	d := net.Dialer{Timeout: c.cfg.DialTimeout}
-	raw, err := d.DialContext(ctx, "tcp", c.addr)
+	dctx := ctx
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, c.cfg.DialTimeout)
+		defer cancel()
+	}
+	var raw net.Conn
+	var err error
+	if c.cfg.Dialer != nil {
+		raw, err = c.cfg.Dialer(dctx, "tcp", c.addr)
+	} else {
+		d := net.Dialer{Timeout: c.cfg.DialTimeout}
+		raw, err = d.DialContext(dctx, "tcp", c.addr)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &pconn{Conn: raw}, nil
+	c.mu.Lock()
+	c.open++
+	open := c.open
+	c.mu.Unlock()
+	c.openConns.Set(float64(open))
+	return &pconn{Conn: raw, owner: c}, nil
+}
+
+// alive verifies a pooled connection is still usable (see connCheck).
+func (c *Client) alive(conn *pconn) bool {
+	return connCheck(conn.Conn) == nil
 }
 
 func (c *Client) checkin(conn *pconn) {
 	conn.SetDeadline(time.Time{})
+	conn.idleSince = time.Now()
 	c.mu.Lock()
 	if !c.closed && len(c.idle) < c.cfg.MaxIdleConns {
 		c.idle = append(c.idle, conn)

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package wire
+
+import "net"
+
+// connCheck is a no-op where non-blocking raw reads aren't available; the
+// retry loop still recovers from stale conns, just retry-visibly.
+func connCheck(conn net.Conn) error { return nil }

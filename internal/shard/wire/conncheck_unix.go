@@ -1,0 +1,50 @@
+//go:build unix
+
+package wire
+
+import (
+	"errors"
+	"io"
+	"net"
+	"syscall"
+)
+
+var errUnexpectedRead = errors.New("wire: unexpected bytes on idle connection")
+
+// connCheck probes an idle pooled connection without consuming time or data:
+// a non-blocking read on the raw fd must yield EAGAIN (nothing pending, peer
+// still there). EOF or a reset means the peer went away while the conn was
+// parked; actual bytes mean the stream is desynced. A deadline-based poke
+// cannot do this — the runtime returns ErrDeadlineExceeded for an expired
+// deadline without ever issuing the read syscall, so a pending FIN stays
+// invisible.
+func connCheck(conn net.Conn) error {
+	sc, ok := conn.(syscall.Conn)
+	if !ok {
+		return nil // wrapped conn (e.g. netchaos): cannot probe, assume usable
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return err
+	}
+	var checkErr error
+	rerr := rc.Read(func(fd uintptr) bool {
+		var buf [1]byte
+		n, err := syscall.Read(int(fd), buf[:])
+		switch {
+		case n > 0:
+			checkErr = errUnexpectedRead
+		case err == syscall.EAGAIN || err == syscall.EWOULDBLOCK:
+			checkErr = nil
+		case err != nil:
+			checkErr = err
+		default: // n == 0, err == nil: orderly shutdown
+			checkErr = io.EOF
+		}
+		return true
+	})
+	if rerr != nil {
+		return rerr
+	}
+	return checkErr
+}

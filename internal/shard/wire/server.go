@@ -23,6 +23,8 @@ type Server struct {
 	ln      net.Listener
 	handler Handler
 	logger  *slog.Logger
+	ctx     context.Context // cancelled on Close so wedged handlers drain
+	cancel  context.CancelFunc
 
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
@@ -44,6 +46,7 @@ func NewServer(ln net.Listener, handler Handler, logger *slog.Logger) *Server {
 		conns:   make(map[net.Conn]struct{}),
 		done:    make(chan struct{}),
 	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -119,7 +122,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				}
 				continue
 			}
-			resp, err := s.handler.HandleStep(context.Background(), &req)
+			resp, err := s.handler.HandleStep(s.ctx, &req)
 			if err != nil {
 				if werr := WriteFrame(conn, TypeError, []byte(err.Error())); werr != nil {
 					return
@@ -153,6 +156,7 @@ func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		close(s.done)
+		s.cancel()
 		err = s.ln.Close()
 		s.mu.Lock()
 		for conn := range s.conns {

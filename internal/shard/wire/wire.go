@@ -282,7 +282,10 @@ func DecodeStepResponse(payload []byte) (*StepResponse, error) {
 	}
 	m := int(binary.LittleEndian.Uint32(payload))
 	payload = payload[4:]
-	if m < 0 || m > MaxFrameBytes/8 {
+	// A response without spans omits the trailer entirely, so a zero count
+	// here is a second spelling of the same message — reject it to keep the
+	// encoding canonical (one message, one byte sequence).
+	if m <= 0 || m > MaxFrameBytes/8 {
 		return nil, fmt.Errorf("%w: step response span count %d", ErrCorrupt, m)
 	}
 	resp.Spans = make([]SpanSummary, 0, m)
